@@ -1,0 +1,160 @@
+package arboretum
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlanFacade(t *testing.T) {
+	res, err := Plan(PlanRequest{
+		Name:       "top1",
+		Source:     "aggr = sum(db);\nresult = em(aggr, 0.1);\noutput(result);",
+		N:          1 << 30,
+		Categories: 1 << 15,
+		Goal:       MinimizeExpectedDeviceCPU,
+		Limits:     DefaultLimits(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epsilon != 0.1 {
+		t.Errorf("ε = %g", res.Epsilon)
+	}
+	if res.CommitteeSize < 20 || res.CommitteeSize > 150 {
+		t.Errorf("committee size = %d", res.CommitteeSize)
+	}
+	if !strings.Contains(res.Summary, "vignette") {
+		t.Error("summary missing vignettes")
+	}
+	if res.DeviceExpectedCPU <= 0 || res.PrefixesExplored <= 0 {
+		t.Errorf("degenerate result: %+v", res)
+	}
+}
+
+func TestPlanFacadeErrors(t *testing.T) {
+	if _, err := Plan(PlanRequest{Source: "output(1);", N: 100, Goal: "bogus"}); err == nil {
+		t.Error("bogus goal accepted")
+	}
+	if _, err := Plan(PlanRequest{Source: "output(db[0][0]);", N: 100, Categories: 2}); err == nil {
+		t.Error("non-private query accepted")
+	}
+}
+
+func TestDeploymentFacade(t *testing.T) {
+	d, err := NewDeployment(DeploymentConfig{
+		Devices: 64, Categories: 4, Seed: 7,
+		Data: func(i int) int {
+			if i%3 == 0 {
+				return 1
+			}
+			return 2
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Run("aggr = sum(db);\nresult = em(aggr, 3.0);\noutput(result);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outputs) != 1 || int(res.Outputs[0]) != 2 {
+		t.Errorf("outputs = %v, want the mode (2)", res.Outputs)
+	}
+	if res.AcceptedInputs != 64 {
+		t.Errorf("accepted = %d", res.AcceptedInputs)
+	}
+	eps, _ := d.RemainingBudget()
+	if eps >= 10 {
+		t.Error("budget not charged")
+	}
+}
+
+func TestEvaluationQueries(t *testing.T) {
+	qs := EvaluationQueries()
+	if len(qs) != 10 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	for _, q := range qs {
+		if q.Name == "" || q.Source == "" || q.Lines <= 0 {
+			t.Errorf("incomplete query info: %+v", q)
+		}
+	}
+}
+
+func TestEnergyGoal(t *testing.T) {
+	res, err := Plan(PlanRequest{
+		Name:       "top1-energy",
+		Source:     "aggr = sum(db);\nresult = em(aggr, 0.1);\noutput(result);",
+		N:          1 << 28,
+		Categories: 1 << 15,
+		Goal:       MinimizeExpectedDeviceEnergy,
+		Limits:     DefaultLimits(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeviceExpectedCPU <= 0 {
+		t.Errorf("degenerate energy-goal plan: %+v", res)
+	}
+}
+
+func TestRunWithExponentiateEM(t *testing.T) {
+	d, err := NewDeployment(DeploymentConfig{
+		Devices: 64, Categories: 4, Seed: 9, BudgetEpsilon: 100,
+		Data: func(i int) int {
+			if i%2 == 0 {
+				return 1
+			}
+			return i % 4
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.RunWithExponentiateEM("aggr = sum(db);\nresult = em(aggr, 3.0);\noutput(result);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(res.Outputs[0]) != 1 {
+		t.Errorf("exponentiate-variant top1 = %v, want 1", res.Outputs[0])
+	}
+}
+
+func TestRunPlanned(t *testing.T) {
+	src := "aggr = sum(db);\nresult = em(aggr, 3.0);\noutput(result);"
+	// Force the device-tree + exponentiate plan, then execute with the
+	// plan's structure.
+	p, err := Plan(PlanRequest{
+		Name: "planned", Source: src, N: 1 << 26, Categories: 8,
+		Limits: DefaultLimits(),
+		ForceChoices: map[string]string{
+			"sum": "device-tree-fanout-8",
+			"em":  "exponentiate",
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDeployment(DeploymentConfig{
+		Devices: 64, Categories: 8, Seed: 4, BudgetEpsilon: 100,
+		Data: func(i int) int {
+			if i%2 == 0 {
+				return 6
+			}
+			return i % 8
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.RunPlanned(p, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(res.Outputs[0]) != 6 {
+		t.Errorf("planned run top1 = %v, want 6", res.Outputs[0])
+	}
+	if _, err := d.RunPlanned(nil, src); err == nil {
+		t.Error("nil plan accepted")
+	}
+}

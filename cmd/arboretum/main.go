@@ -1,0 +1,223 @@
+// Command arboretum plans and executes federated-analytics queries.
+//
+// Usage:
+//
+//	arboretum plan  -query top1 [-n 1073741824] [-goal device-expected-cpu]
+//	arboretum plan  -file my_query.txt -categories 1024
+//	arboretum run   -query top1 [-devices 128] [-committee 5]
+//	arboretum list
+//
+// `plan` prints the chosen plan (vignettes, committees, six-metric cost) for
+// a deployment of -n participants. `run` executes the query end to end on a
+// small simulated deployment with real cryptography. `list` shows the
+// built-in evaluation queries.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"arboretum"
+	"arboretum/internal/queries"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "plan":
+		if err := planCmd(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "arboretum:", err)
+			os.Exit(1)
+		}
+	case "run":
+		if err := runCmd(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "arboretum:", err)
+			os.Exit(1)
+		}
+	case "explain":
+		if err := explainCmd(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "arboretum:", err)
+			os.Exit(1)
+		}
+	case "list":
+		listCmd()
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  arboretum plan    -query <name> | -file <path> [-n N] [-categories C] [-goal G]
+  arboretum run     -query <name> | -file <path> [-devices D] [-committee M] [-seed S]
+  arboretum explain -query <name> | -file <path> [-n N] -dim sum|em|noise|compute
+  arboretum list`)
+}
+
+// loadQuery resolves -query/-file/-categories into source text + width.
+func loadQuery(name, file string, categories int64) (string, string, int64, error) {
+	if name != "" {
+		q, err := queries.ByName(name)
+		if err != nil {
+			return "", "", 0, err
+		}
+		c := q.Categories
+		if categories > 0 {
+			c = categories
+		}
+		return q.Name, q.Source, c, nil
+	}
+	if file == "" {
+		return "", "", 0, fmt.Errorf("need -query or -file")
+	}
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return "", "", 0, err
+	}
+	if categories <= 0 {
+		categories = 1
+	}
+	return file, string(data), categories, nil
+}
+
+func planCmd(args []string) error {
+	fs := flag.NewFlagSet("plan", flag.ExitOnError)
+	name := fs.String("query", "", "built-in query name (see `arboretum list`)")
+	file := fs.String("file", "", "query source file")
+	n := fs.Int64("n", 1<<30, "number of participants")
+	categories := fs.Int64("categories", 0, "one-hot categories (default: the query's)")
+	goal := fs.String("goal", string(arboretum.MinimizeExpectedDeviceCPU), "optimization goal")
+	verbose := fs.Bool("v", false, "show per-vignette member costs")
+	asJSON := fs.Bool("json", false, "emit the plan result as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	label, src, c, err := loadQuery(*name, *file, *categories)
+	if err != nil {
+		return err
+	}
+	res, err := arboretum.Plan(arboretum.PlanRequest{
+		Name: label, Source: src, N: *n, Categories: c,
+		Goal: arboretum.Goal(*goal), Limits: arboretum.DefaultLimits(),
+	})
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	}
+	if *verbose {
+		fmt.Print(res.Detail)
+	} else {
+		fmt.Print(res.Summary)
+	}
+	fmt.Printf("privacy: (ε=%.4g, δ=%.3g)-differential privacy\n", res.Epsilon, res.Delta)
+	fmt.Printf("planner: %v, %d plan prefixes considered\n", res.PlanningTime, res.PrefixesExplored)
+	fmt.Printf("choices: %v\n", res.Choices)
+	return nil
+}
+
+func runCmd(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	name := fs.String("query", "", "built-in query name")
+	file := fs.String("file", "", "query source file")
+	devices := fs.Int("devices", 128, "simulated devices")
+	categories := fs.Int64("categories", 8, "categories for the simulated data")
+	committee := fs.Int("committee", 5, "committee size")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	_, src, c, err := loadQuery(*name, *file, *categories)
+	if err != nil {
+		return err
+	}
+	if c > 32 {
+		c = 32 // keep the simulated run snappy
+	}
+	d, err := arboretum.NewDeployment(arboretum.DeploymentConfig{
+		Devices: *devices, Categories: int(c), CommitteeSize: *committee,
+		Seed: *seed, BudgetEpsilon: 1000,
+	})
+	if err != nil {
+		return err
+	}
+	res, err := d.Run(src)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("accepted inputs: %d\n", res.AcceptedInputs)
+	fmt.Printf("charged ε: %.4g\n", res.Epsilon)
+	for i, o := range res.Outputs {
+		fmt.Printf("output[%d] = %g\n", i, o)
+	}
+	return nil
+}
+
+func listCmd() {
+	fmt.Printf("%-10s %-28s %6s %6s\n", "name", "action", "C", "lines")
+	for _, q := range arboretum.EvaluationQueries() {
+		fmt.Printf("%-10s %-28s %6d %6d\n", q.Name, q.Action, q.Categories, q.Lines)
+	}
+}
+
+// explainCmd prices the alternatives the planner rejected for one operator:
+// it re-plans with each implementation family pinned and prints the cost
+// deltas, so an analyst can see why the winner won.
+func explainCmd(args []string) error {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	name := fs.String("query", "", "built-in query name")
+	file := fs.String("file", "", "query source file")
+	n := fs.Int64("n", 1<<30, "number of participants")
+	categories := fs.Int64("categories", 0, "one-hot categories")
+	dim := fs.String("dim", "sum", "operator to explain: sum, em, noise, compute")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	label, src, c, err := loadQuery(*name, *file, *categories)
+	if err != nil {
+		return err
+	}
+	families := map[string][]string{
+		"sum":     {"aggregator-loop", "device-tree-fanout-2", "device-tree-fanout-8", "device-tree-fanout-64"},
+		"em":      {"gumbel", "exponentiate-mpc", "exponentiate-fhe"},
+		"noise":   {"committee-slice-1", "committee-slice-16", "committee-slice-64"},
+		"compute": {"aggregator-he", "committee-slice-16", "committee-slice-1024"},
+	}
+	alts, ok := families[*dim]
+	if !ok {
+		return fmt.Errorf("unknown dimension %q", *dim)
+	}
+	free, err := arboretum.Plan(arboretum.PlanRequest{
+		Name: label, Source: src, N: *n, Categories: c,
+		Limits: arboretum.DefaultLimits(),
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("planner's choice for %s: %s\n\n", *dim, free.Choices[*dim])
+	fmt.Printf("%-24s %10s %9s %8s %9s %8s\n", "pinned", "agg h", "exp s", "exp MB", "max s", "max GB")
+	for _, alt := range alts {
+		res, err := arboretum.Plan(arboretum.PlanRequest{
+			Name: label, Source: src, N: *n, Categories: c,
+			Limits:       arboretum.DefaultLimits(),
+			ForceChoices: map[string]string{*dim: alt},
+		})
+		if err != nil {
+			fmt.Printf("%-24s infeasible (%v)\n", alt, err)
+			continue
+		}
+		fmt.Printf("%-24s %10.0f %9.1f %8.2f %9.0f %8.2f\n",
+			alt, res.AggregatorCoreHours, res.DeviceExpectedCPU, res.DeviceExpectedMB,
+			res.DeviceMaxCPU, res.DeviceMaxGB)
+	}
+	return nil
+}

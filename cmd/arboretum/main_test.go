@@ -1,0 +1,69 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadQueryBuiltin(t *testing.T) {
+	name, src, c, err := loadQuery("top1", "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "top1" || src == "" || c != 1<<15 {
+		t.Errorf("loadQuery(top1) = %q, %d", name, c)
+	}
+	// Category override.
+	_, _, c, err = loadQuery("top1", "", 128)
+	if err != nil || c != 128 {
+		t.Errorf("category override: c=%d err=%v", c, err)
+	}
+	if _, _, _, err := loadQuery("nope", "", 0); err == nil {
+		t.Error("unknown query accepted")
+	}
+	if _, _, _, err := loadQuery("", "", 0); err == nil {
+		t.Error("missing query and file accepted")
+	}
+}
+
+func TestLoadQueryFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "q.txt")
+	if err := os.WriteFile(path, []byte("output(1);"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	name, src, c, err := loadQuery("", path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != path || src != "output(1);" || c != 1 {
+		t.Errorf("loadQuery(file) = %q %q %d", name, src, c)
+	}
+	if _, _, _, err := loadQuery("", "/no/such/file", 0); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestPlanCmd(t *testing.T) {
+	if err := planCmd([]string{"-query", "cms", "-n", "1048576"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := planCmd([]string{"-query", "cms", "-goal", "bogus"}); err == nil {
+		t.Error("bogus goal accepted")
+	}
+}
+
+func TestExplainCmd(t *testing.T) {
+	if err := explainCmd([]string{"-query", "cms", "-n", "1048576", "-dim", "noise"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := explainCmd([]string{"-query", "cms", "-dim", "bogus"}); err == nil {
+		t.Error("bogus dimension accepted")
+	}
+}
+
+func TestPlanCmdJSON(t *testing.T) {
+	if err := planCmd([]string{"-query", "cms", "-n", "1048576", "-json"}); err != nil {
+		t.Fatal(err)
+	}
+}

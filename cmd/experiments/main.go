@@ -1,0 +1,174 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (Section 7).
+//
+// Usage:
+//
+//	experiments                 # run everything
+//	experiments -exp fig6       # one experiment: table1 table2 fig6 fig7
+//	                            # fig8 fig9 ablation fig10 fig11 geo hetero
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"arboretum/internal/eval"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (table1, table2, fig6, fig7, fig8, fig9, ablation, fig10, fig11, geo, hetero, validate, design, all)")
+	out := flag.String("out", "", "also write CSV data files into this directory")
+	flag.Parse()
+	if err := run(*exp, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+// saveCSV writes one experiment's data file when -out is set.
+func saveCSV(dir, name, data string) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, name), []byte(data), 0o644)
+}
+
+func run(exp, outDir string) error {
+	all := exp == "all"
+	section := func(title string) { fmt.Printf("\n=== %s ===\n", title) }
+
+	if all || exp == "table1" {
+		section("Table 1: approaches at 10^8 participants (zip-code query)")
+		rows, err := eval.Table1()
+		if err != nil {
+			return err
+		}
+		fmt.Print(eval.RenderTable1(rows))
+	}
+	if all || exp == "table2" {
+		section("Table 2: supported queries")
+		fmt.Print(eval.RenderTable2(eval.Table2()))
+	}
+	if all || exp == "fig6" || exp == "fig7" || exp == "fig8" {
+		rows, err := eval.QueryCosts()
+		if err != nil {
+			return err
+		}
+		if all || exp == "fig6" {
+			section("Figure 6")
+			fmt.Print(eval.RenderFigure6(rows))
+		}
+		if all || exp == "fig7" {
+			section("Figure 7")
+			fmt.Print(eval.RenderFigure7(rows))
+		}
+		if all || exp == "fig8" {
+			section("Figure 8")
+			fmt.Print(eval.RenderFigure8(rows))
+		}
+		if csvData, err := eval.CSVQueryCosts(rows); err == nil {
+			if err := saveCSV(outDir, "query_costs.csv", csvData); err != nil {
+				return err
+			}
+		}
+		if all {
+			section("Section 7.2: committee structure")
+			for _, r := range rows {
+				fmt.Printf("%-12s committees=%-8d size=%-4d serving %.5f%% of participants\n",
+					r.Query, r.CommitteeCount, r.CommitteeSize, 100*r.ServingFrac)
+			}
+		}
+	}
+	if all || exp == "fig9" {
+		section("Figure 9: planner runtime")
+		rows, err := eval.Figure9()
+		if err != nil {
+			return err
+		}
+		fmt.Print(eval.RenderFigure9(rows))
+		if csvData, err := eval.CSVFigure9(rows); err == nil {
+			if err := saveCSV(outDir, "figure9.csv", csvData); err != nil {
+				return err
+			}
+		}
+	}
+	if all || exp == "ablation" {
+		section("Section 7.3: branch-and-bound ablation")
+		rows, err := eval.Ablation(2_000_000)
+		if err != nil {
+			return err
+		}
+		fmt.Print(eval.RenderAblation(rows))
+	}
+	if all || exp == "fig10" {
+		section("Figure 10: scalability")
+		rows, err := eval.Figure10()
+		if err != nil {
+			return err
+		}
+		fmt.Print(eval.RenderFigure10(rows))
+		if csvData, err := eval.CSVFigure10(rows); err == nil {
+			if err := saveCSV(outDir, "figure10.csv", csvData); err != nil {
+				return err
+			}
+		}
+	}
+	if all || exp == "fig11" {
+		section("Figure 11: power")
+		rows, err := eval.Figure11()
+		if err != nil {
+			return err
+		}
+		fmt.Print(eval.RenderFigure11(rows))
+		if csvData, err := eval.CSVFigure11(rows); err == nil {
+			if err := saveCSV(outDir, "figure11.csv", csvData); err != nil {
+				return err
+			}
+		}
+	}
+	if all || exp == "geo" || exp == "hetero" {
+		section("Section 7.5: heterogeneity")
+		h, err := eval.Heterogeneity()
+		if err != nil {
+			return err
+		}
+		fmt.Print(eval.RenderHeterogeneity(h))
+	}
+	if all || exp == "design" {
+		section("Design-choice ablations")
+		rows, err := eval.DesignAblations()
+		if err != nil {
+			return err
+		}
+		fmt.Print(eval.RenderDesignAblations(rows))
+	}
+	if all || exp == "accuracy" {
+		section("Utility vs ε (end-to-end)")
+		rows, err := eval.Accuracy(10)
+		if err != nil {
+			return err
+		}
+		fmt.Print(eval.RenderAccuracy(rows))
+	}
+	if all || exp == "validate" {
+		section("Cost-model validation (Appendix C analogue)")
+		rows, err := eval.Validate()
+		if err != nil {
+			return err
+		}
+		fmt.Print(eval.RenderValidation(rows))
+	}
+	if !all {
+		switch exp {
+		case "table1", "table2", "fig6", "fig7", "fig8", "fig9", "ablation", "fig10", "fig11", "geo", "hetero", "validate", "design", "accuracy":
+		default:
+			return fmt.Errorf("unknown experiment %q", exp)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,22 @@
+package main
+
+import "testing"
+
+// The cheap experiments run through the same entry point the CLI uses.
+func TestRunSelectedExperiments(t *testing.T) {
+	for _, exp := range []string{"table2", "fig9"} {
+		if err := run(exp, ""); err != nil {
+			t.Errorf("run(%q): %v", exp, err)
+		}
+	}
+	if err := run("bogus", ""); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("fig9", dir); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,31 @@
+// Command planshow prints the chosen plan for every evaluation query at the
+// paper's deployment scale — a quick way to inspect the planner's output.
+package main
+
+import (
+	"fmt"
+
+	"arboretum/internal/costmodel"
+	"arboretum/internal/planner"
+	"arboretum/internal/queries"
+)
+
+func main() {
+	for _, q := range queries.All {
+		res, err := planner.Plan(planner.Request{
+			Name: q.Name, Source: q.Source, N: 1 << 30, Categories: q.Categories,
+			Goal: costmodel.PartExpCPU, Limits: planner.DefaultLimits,
+		})
+		if err != nil {
+			fmt.Println(q.Name, "ERROR:", err)
+			continue
+		}
+		p := res.Plan
+		fmt.Printf("%-10s exp %6.1fs/%7.2fMB  max %7.1fs/%7.2fGB  agg %8.0f core-h/%8.1fTB  comm=%d m=%d prefixes=%d t=%v\n",
+			q.Name, p.Cost.PartExpCPU, p.Cost.PartExpBytes/1e6,
+			p.Cost.PartMaxCPU, p.Cost.PartMaxBytes/1e9,
+			p.Cost.AggCPU/3600, p.Cost.AggBytes/1e12,
+			p.CommitteeCount, p.CommitteeSize, res.Stats.PrefixesExplored, res.PlanningTime)
+		fmt.Printf("           choices: %v\n", p.Choices)
+	}
+}

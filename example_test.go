@@ -1,0 +1,61 @@
+package arboretum_test
+
+import (
+	"fmt"
+	"log"
+
+	"arboretum"
+)
+
+// ExamplePlan plans the paper's running example — the most-frequent-item
+// query — for a billion-device deployment and prints the structural facts
+// of the chosen plan.
+func ExamplePlan() {
+	res, err := arboretum.Plan(arboretum.PlanRequest{
+		Name:       "top1",
+		Source:     "aggr = sum(db);\nresult = em(aggr, 0.1);\noutput(result);",
+		N:          1 << 30,
+		Categories: 1 << 15,
+		Goal:       arboretum.MinimizeExpectedDeviceCPU,
+		Limits:     arboretum.DefaultLimits(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("epsilon: %.1f\n", res.Epsilon)
+	fmt.Printf("sum: %s\n", res.Choices["sum"])
+	fmt.Printf("expected device seconds: %.0f\n", res.DeviceExpectedCPU)
+	// Output:
+	// epsilon: 0.1
+	// sum: aggregator-loop
+	// expected device seconds: 14
+}
+
+// ExampleDeployment_Run executes the same query end to end on a small
+// simulated deployment with real cryptography. Category 3 is the clear mode,
+// so a large ε returns it deterministically.
+func ExampleDeployment_Run() {
+	dep, err := arboretum.NewDeployment(arboretum.DeploymentConfig{
+		Devices:    64,
+		Categories: 4,
+		Seed:       1,
+		Data: func(device int) int {
+			if device%2 == 0 {
+				return 3
+			}
+			return device % 4
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := dep.Run("aggr = sum(db);\nresult = em(aggr, 5.0);\noutput(result);")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("most frequent category: %.0f\n", res.Outputs[0])
+	fmt.Printf("accepted inputs: %d\n", res.AcceptedInputs)
+	// Output:
+	// most frequent category: 3
+	// accepted inputs: 64
+}

@@ -1,0 +1,64 @@
+// Scaling: a miniature of the paper's Figure 10 — how the costs of the top1
+// query move as the deployment grows from 2^18 to 2^30 participants, with
+// and without an aggregator budget. Watch three effects: the aggregator's
+// cost grows with N, the participants' expected cost falls (the odds of
+// serving on a committee shrink), and once the budget binds, the planner
+// outsources the summation to the devices.
+//
+//	go run ./examples/scaling
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"arboretum"
+)
+
+const top1 = `
+aggr = sum(db);
+result = em(aggr, 0.1);
+output(result);
+`
+
+func main() {
+	for _, budget := range []float64{0, 1000} { // core-hours; 0 = defaults
+		label := "default limits"
+		if budget > 0 {
+			label = fmt.Sprintf("aggregator limited to %.0f core-hours", budget)
+		}
+		fmt.Printf("--- %s ---\n", label)
+		fmt.Printf("%-6s %12s %12s %12s  %s\n", "logN", "agg core-h", "device exp s", "device max s", "sum strategy")
+		for logN := 18; logN <= 30; logN += 2 {
+			limits := arboretum.DefaultLimits()
+			if budget > 0 {
+				limits.AggregatorCoreHours = budget
+			}
+			res, err := arboretum.Plan(arboretum.PlanRequest{
+				Name:       "top1",
+				Source:     top1,
+				N:          1 << logN,
+				Categories: 1 << 15,
+				Goal:       arboretum.MinimizeExpectedDeviceCPU,
+				Limits:     limits,
+			})
+			if err != nil {
+				fmt.Printf("%-6d %12s %12s %12s  infeasible (%v)\n", logN, "-", "-", "-", shortErr(err))
+				continue
+			}
+			fmt.Printf("%-6d %12.1f %12.1f %12.0f  %s\n",
+				logN, res.AggregatorCoreHours, res.DeviceExpectedCPU,
+				res.DeviceMaxCPU, res.Choices["sum"])
+		}
+		fmt.Println()
+	}
+	log.SetFlags(0)
+}
+
+func shortErr(err error) string {
+	s := err.Error()
+	if len(s) > 40 {
+		return s[:40] + "…"
+	}
+	return s
+}

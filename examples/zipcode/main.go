@@ -1,0 +1,74 @@
+// Zipcode: the paper's motivating scenario (Section 3.2) — "which zip code
+// in the United States contains the most participants?" with 10^8
+// participants and 41,683 possible zip codes. A categorical query at this
+// scale is exactly what prior systems cannot answer: this example plans it,
+// prints the winning strategy, and contrasts the analyst-visible costs under
+// different optimization goals.
+//
+//	go run ./examples/zipcode
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"arboretum"
+)
+
+const zipQuery = `
+perZip = sum(db);
+zip = em(perZip, 0.1);
+output(zip);
+`
+
+const usZipCodes = 41683
+
+func main() {
+	fmt.Println("Which zip code has the most participants? (N=10^8, 41,683 categories)")
+	fmt.Println()
+
+	goals := []arboretum.Goal{
+		arboretum.MinimizeExpectedDeviceCPU,
+		arboretum.MinimizeExpectedDeviceBytes,
+		arboretum.MinimizeAggregatorCPU,
+	}
+	for _, goal := range goals {
+		res, err := arboretum.Plan(arboretum.PlanRequest{
+			Name:       "zipcode",
+			Source:     zipQuery,
+			N:          1e8,
+			Categories: usZipCodes,
+			Goal:       goal,
+			Limits:     arboretum.DefaultLimits(),
+		})
+		if err != nil {
+			log.Fatalf("goal %s: %v", goal, err)
+		}
+		fmt.Printf("--- goal: %s ---\n", goal)
+		fmt.Printf("  aggregator: %8.0f core-hours, %6.1f TB sent\n",
+			res.AggregatorCoreHours, res.AggregatorTerabytes)
+		fmt.Printf("  device expected: %5.1f s, %6.2f MB\n",
+			res.DeviceExpectedCPU, res.DeviceExpectedMB)
+		fmt.Printf("  device worst:    %5.0f s, %6.2f GB (committee member)\n",
+			res.DeviceMaxCPU, res.DeviceMaxGB)
+		fmt.Printf("  committees: %d of size %d; key choices: sum=%s em=%s\n\n",
+			res.CommitteeCount, res.CommitteeSize,
+			res.Choices["sum"], res.Choices["em"])
+	}
+
+	// A tight aggregator budget forces Arboretum to recruit the devices
+	// themselves for the summation — the "organic scaling" of Section 3.4.
+	tight := arboretum.DefaultLimits()
+	tight.AggregatorCoreHours = 600
+	res, err := arboretum.Plan(arboretum.PlanRequest{
+		Name: "zipcode", Source: zipQuery, N: 1e8, Categories: usZipCodes,
+		Goal: arboretum.MinimizeExpectedDeviceCPU, Limits: tight,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("--- with a 600-core-hour aggregator budget ---")
+	fmt.Printf("  sum strategy: %s (work shifted onto the participants)\n", res.Choices["sum"])
+	fmt.Printf("  device expected cost rises to %.1f s / %.2f MB\n",
+		res.DeviceExpectedCPU, res.DeviceExpectedMB)
+}

@@ -1,0 +1,3 @@
+module arboretum
+
+go 1.22

@@ -1,0 +1,227 @@
+// Package ahe implements additively homomorphic encryption (Paillier).
+//
+// Arboretum inserts AHE for confidential values that are only ever added
+// (Section 4.5): in the common one-hot-encoded plans, each device encrypts
+// its input vector and the aggregator sums a billion ciphertexts without
+// learning anything. The paper's prototype uses the additive subset of BGV;
+// we provide Paillier here because it is a real AHE scheme implementable on
+// the standard library alone, with identical homomorphic semantics
+// (E(a) ⊞ E(b) = E(a+b)). The cost model charges AHE operations at the
+// paper's BGV-derived rates regardless of the concrete scheme, so the plan
+// costs are unaffected by this substitution (see DESIGN.md).
+package ahe
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+var one = big.NewInt(1)
+
+// PublicKey is a Paillier public key (n, g = n+1).
+type PublicKey struct {
+	N  *big.Int // modulus
+	N2 *big.Int // n^2, cached
+}
+
+// PrivateKey holds the factorization-derived decryption values.
+type PrivateKey struct {
+	PublicKey
+	lambda *big.Int // lcm(p-1, q-1)
+	mu     *big.Int // (L(g^lambda mod n^2))^-1 mod n
+}
+
+// Ciphertext is a Paillier ciphertext.
+type Ciphertext struct {
+	C *big.Int
+}
+
+// Bytes returns the serialized size, used by the cost model and the runtime's
+// traffic accounting.
+func (c *Ciphertext) Bytes() int {
+	if c == nil || c.C == nil {
+		return 0
+	}
+	return (c.C.BitLen() + 7) / 8
+}
+
+// GenerateKey creates a Paillier keypair with an n of the given bit length.
+// bits must be at least 128 (tests use small keys; deployments use ≥ 2048).
+func GenerateKey(random io.Reader, bits int) (*PrivateKey, error) {
+	if bits < 128 {
+		return nil, errors.New("ahe: key too small")
+	}
+	for {
+		p, err := rand.Prime(random, bits/2)
+		if err != nil {
+			return nil, err
+		}
+		q, err := rand.Prime(random, bits/2)
+		if err != nil {
+			return nil, err
+		}
+		if p.Cmp(q) == 0 {
+			continue
+		}
+		n := new(big.Int).Mul(p, q)
+		if n.BitLen() != bits {
+			continue
+		}
+		pm1 := new(big.Int).Sub(p, one)
+		qm1 := new(big.Int).Sub(q, one)
+		gcd := new(big.Int).GCD(nil, nil, pm1, qm1)
+		lambda := new(big.Int).Mul(pm1, qm1)
+		lambda.Div(lambda, gcd)
+		n2 := new(big.Int).Mul(n, n)
+		// g = n+1, so g^lambda mod n^2 = 1 + n·lambda mod n^2 and
+		// L(g^lambda) = lambda mod n; mu = lambda^-1 mod n.
+		mu := new(big.Int).ModInverse(new(big.Int).Mod(lambda, n), n)
+		if mu == nil {
+			continue
+		}
+		return &PrivateKey{
+			PublicKey: PublicKey{N: n, N2: n2},
+			lambda:    lambda,
+			mu:        mu,
+		}, nil
+	}
+}
+
+// Encrypt encrypts m ∈ [0, n) under pk. Negative messages are mapped to
+// n − |m| (two's-complement-style), which Decrypt undoes for small values.
+func (pk *PublicKey) Encrypt(random io.Reader, m *big.Int) (*Ciphertext, error) {
+	msg := new(big.Int).Mod(m, pk.N)
+	// r uniform in [1, n) with gcd(r, n) = 1 (overwhelmingly likely).
+	var r *big.Int
+	for {
+		var err error
+		r, err = rand.Int(random, pk.N)
+		if err != nil {
+			return nil, err
+		}
+		if r.Sign() != 0 && new(big.Int).GCD(nil, nil, r, pk.N).Cmp(one) == 0 {
+			break
+		}
+	}
+	// c = g^m · r^n mod n^2 with g = n+1: g^m = 1 + m·n mod n^2.
+	gm := new(big.Int).Mul(msg, pk.N)
+	gm.Add(gm, one)
+	gm.Mod(gm, pk.N2)
+	rn := new(big.Int).Exp(r, pk.N, pk.N2)
+	c := new(big.Int).Mul(gm, rn)
+	c.Mod(c, pk.N2)
+	return &Ciphertext{C: c}, nil
+}
+
+// Decrypt recovers the plaintext. Values above n/2 are returned negative,
+// matching Encrypt's handling of negative messages.
+func (sk *PrivateKey) Decrypt(ct *Ciphertext) (*big.Int, error) {
+	if ct == nil || ct.C == nil || ct.C.Sign() <= 0 || ct.C.Cmp(sk.N2) >= 0 {
+		return nil, errors.New("ahe: ciphertext out of range")
+	}
+	u := new(big.Int).Exp(ct.C, sk.lambda, sk.N2)
+	// L(u) = (u-1)/n
+	u.Sub(u, one)
+	u.Div(u, sk.N)
+	m := new(big.Int).Mul(u, sk.mu)
+	m.Mod(m, sk.N)
+	half := new(big.Int).Rsh(sk.N, 1)
+	if m.Cmp(half) > 0 {
+		m.Sub(m, sk.N)
+	}
+	return m, nil
+}
+
+// Add returns a ciphertext encrypting the sum of the two plaintexts: the ⊞
+// operator of Section 2.2.
+func (pk *PublicKey) Add(a, b *Ciphertext) (*Ciphertext, error) {
+	if a == nil || b == nil {
+		return nil, errors.New("ahe: nil ciphertext")
+	}
+	c := new(big.Int).Mul(a.C, b.C)
+	c.Mod(c, pk.N2)
+	return &Ciphertext{C: c}, nil
+}
+
+// AddPlain returns a ciphertext encrypting plaintext(a) + k.
+func (pk *PublicKey) AddPlain(a *Ciphertext, k *big.Int) (*Ciphertext, error) {
+	if a == nil {
+		return nil, errors.New("ahe: nil ciphertext")
+	}
+	gk := new(big.Int).Mul(new(big.Int).Mod(k, pk.N), pk.N)
+	gk.Add(gk, one)
+	gk.Mod(gk, pk.N2)
+	c := new(big.Int).Mul(a.C, gk)
+	c.Mod(c, pk.N2)
+	return &Ciphertext{C: c}, nil
+}
+
+// MulPlain returns a ciphertext encrypting plaintext(a) · k for public k.
+func (pk *PublicKey) MulPlain(a *Ciphertext, k *big.Int) (*Ciphertext, error) {
+	if a == nil {
+		return nil, errors.New("ahe: nil ciphertext")
+	}
+	kk := new(big.Int).Mod(k, pk.N)
+	c := new(big.Int).Exp(a.C, kk, pk.N2)
+	return &Ciphertext{C: c}, nil
+}
+
+// Sum folds Add over a slice of ciphertexts; this is the aggregator's inner
+// loop in AHE-sum plans (Figure 5).
+func (pk *PublicKey) Sum(cts []*Ciphertext) (*Ciphertext, error) {
+	if len(cts) == 0 {
+		return nil, errors.New("ahe: empty sum")
+	}
+	acc := cts[0]
+	var err error
+	for _, ct := range cts[1:] {
+		acc, err = pk.Add(acc, ct)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return acc, nil
+}
+
+// EncryptVector one-hot-encodes and encrypts: the returned slice has an
+// encryption of 1 at position hot and encryptions of 0 elsewhere. This is
+// the device-side input step for categorical queries (Section 5.3).
+func (pk *PublicKey) EncryptVector(random io.Reader, length, hot int) ([]*Ciphertext, error) {
+	if hot < 0 || hot >= length {
+		return nil, fmt.Errorf("ahe: hot index %d out of [0,%d)", hot, length)
+	}
+	out := make([]*Ciphertext, length)
+	for i := range out {
+		m := big.NewInt(0)
+		if i == hot {
+			m = big.NewInt(1)
+		}
+		ct, err := pk.Encrypt(random, m)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = ct
+	}
+	return out, nil
+}
+
+// Lambda exposes a copy of the decryption exponent for threshold-style
+// handoff to a committee (the runtime secret-shares it via internal/shamir,
+// mirroring how the real system would share a BGV key; see DESIGN.md).
+func (sk *PrivateKey) Lambda() *big.Int { return new(big.Int).Set(sk.lambda) }
+
+// Mu exposes a copy of the post-processing inverse, shared alongside Lambda.
+func (sk *PrivateKey) Mu() *big.Int { return new(big.Int).Set(sk.mu) }
+
+// FromSecrets reassembles a private key from redistributed secrets, used by
+// decryption committees after VSR hand-off.
+func FromSecrets(pk *PublicKey, lambda, mu *big.Int) *PrivateKey {
+	return &PrivateKey{
+		PublicKey: *pk,
+		lambda:    new(big.Int).Set(lambda),
+		mu:        new(big.Int).Set(mu),
+	}
+}

@@ -1,0 +1,209 @@
+// Package baseline models the comparison systems of the paper's evaluation:
+// the strawmen of Section 3.2 (FHE-only, all-to-all MPC, Böhler &
+// Kerschbaum's MPC committee) and the hand-optimized prior systems
+// (Honeycrisp, Orchard) whose queries Arboretum re-plans in Section 7.2.
+// Costs come from the same cost model Arboretum's planner uses, so the
+// comparisons in Table 1 and Figures 6–8 are apples to apples.
+package baseline
+
+import (
+	"arboretum/internal/costmodel"
+	"arboretum/internal/plan"
+)
+
+// System identifies a comparison system.
+type System int
+
+// The compared systems.
+const (
+	PureFHE System = iota
+	AllToAllMPC
+	Boehler
+	Orchard
+	Honeycrisp
+)
+
+var systemNames = map[System]string{
+	PureFHE: "FHE", AllToAllMPC: "All-to-all MPC", Boehler: "Böhler",
+	Orchard: "Orchard", Honeycrisp: "Honeycrisp",
+}
+
+func (s System) String() string { return systemNames[s] }
+
+// Estimate is a baseline's cost for one query shape, with the qualitative
+// notes Table 1 reports.
+type Estimate struct {
+	System System
+	Cost   costmodel.Vector
+	// Feasible is false when the approach cannot complete at this scale at
+	// all (the paper's "Years" / "PBs" entries).
+	Feasible bool
+	// Committee-member view for systems that have one (Figure 7 bars).
+	MemberCPU, MemberBytes float64
+	Note                   string
+}
+
+// Params fixes the deployment shape.
+type Params struct {
+	N          int64 // participants
+	Categories int64
+	Committee  int // committee size for committee-based systems
+	Model      *costmodel.Model
+}
+
+func (p Params) model() *costmodel.Model {
+	if p.Model != nil {
+		return p.Model
+	}
+	return costmodel.Default()
+}
+
+func (p Params) committee() int {
+	if p.Committee > 0 {
+		return p.Committee
+	}
+	return 40
+}
+
+// EstimateFHE models the FHE-only strawman: every participant uploads an
+// FHE ciphertext; the aggregator evaluates the entire quality-score circuit
+// homomorphically. The paper estimates a 40-trillion-gate circuit for 10^8
+// participants ("years to evaluate").
+func EstimateFHE(p Params) Estimate {
+	m := p.model()
+	// Gates ≈ 400k per participant-category pair at one-hot width C (the
+	// paper's 4e13 gates at N=1e8, C=41,683 back-solves to ~10 gates per
+	// pair); each FHE gate costs ~HEMulCt.
+	gates := float64(p.N) * float64(p.Categories) * 10
+	aggCPU := gates * m.HEMulCt
+	cts := float64((p.Categories + int64(m.Slots) - 1) / int64(m.Slots))
+	return Estimate{
+		System: PureFHE,
+		Cost: costmodel.Vector{
+			AggCPU:       aggCPU,
+			AggBytes:     float64(p.N) * m.CtBytes * 0.01, // results + control
+			PartExpCPU:   m.HEEnc * cts,
+			PartExpBytes: m.CtBytes * cts,
+			PartMaxCPU:   m.HEEnc * cts,
+			PartMaxBytes: m.CtBytes * cts,
+		},
+		Feasible: aggCPU < 10*365*24*3600, // under a decade of core-time? still no
+		Note:     "O(N) aggregator computation → years; aggregator holds the key",
+	}
+}
+
+// EstimateAllToAll models every participant joining one huge MPC: the
+// per-participant traffic scales at least linearly with N (the paper:
+// "PBs"; no practical protocol beyond a few hundred parties).
+func EstimateAllToAll(p Params) Estimate {
+	m := p.model()
+	// Evaluating a query circuit among N parties moves ~100 kB between each
+	// pair over the protocol's many rounds; per-participant traffic is
+	// therefore O(N) — tens of TB at 10^8 parties, PBs at 10^9.
+	perPart := float64(p.N) * 1e5
+	return Estimate{
+		System: AllToAllMPC,
+		Cost: costmodel.Vector{
+			AggCPU:       0,
+			AggBytes:     0,
+			PartExpCPU:   float64(p.N) * m.MPCPerMultCPU,
+			PartExpBytes: perPart,
+			PartMaxCPU:   float64(p.N) * m.MPCPerMultCPU,
+			PartMaxBytes: perPart,
+		},
+		Feasible: p.N <= 512,
+		Note:     "per-participant bandwidth O(N) → PBs at scale",
+	}
+}
+
+// EstimateBoehler models Böhler & Kerschbaum's single MPC committee that
+// downloads every participant's masked input and evaluates the query
+// circuit. Based on the paper's Section 7.1 extrapolation: m=10 members and
+// N=10^6 took 1.41 GB per member; scaling linearly in N and m, a 40-member
+// committee at N=1.3e9 needs > 7.3 TB — beyond a typical participant.
+func EstimateBoehler(p Params) Estimate {
+	mem := float64(p.committee())
+	// 1.41 GB per member at (m=10, N=1e6) → bytes ≈ 1410 × N × (m/10).
+	memberBytes := 1410.0 * float64(p.N) * (mem / 10)
+	memberCPU := float64(p.N) * 2e-5 * mem // circuit scales with N and m
+	return Estimate{
+		System: Boehler,
+		Cost: costmodel.Vector{
+			AggCPU:       0, // no aggregator computation: committee-only
+			AggBytes:     float64(p.N) * 1e3,
+			PartExpCPU:   memberCPU * mem / float64(p.N),
+			PartExpBytes: 1e3 + memberBytes*mem/float64(p.N),
+			PartMaxCPU:   memberCPU,
+			PartMaxBytes: memberBytes,
+		},
+		Feasible:    memberBytes < 4e9, // the participant traffic limit
+		MemberCPU:   memberCPU,
+		MemberBytes: memberBytes,
+		Note:        "single committee downloads all inputs: worst-case O(N) traffic",
+	}
+}
+
+// EstimateOrchard models Orchard's plan: the aggregator sums AHE ciphertexts
+// and verifies ZKPs; a single committee does key generation, noising, and
+// decryption. Expected participant costs match Arboretum's (the paper:
+// "almost identical in expectation"), but the single committee bears the
+// whole mechanism cost, which explodes for categorical queries.
+func EstimateOrchard(p Params) Estimate {
+	m := p.model()
+	cts := float64((p.Categories + int64(m.Slots) - 1) / int64(m.Slots))
+	msize := float64(p.committee())
+	scale := msize / 40.0
+	// The one committee: keygen + decrypt + one noise draw per category.
+	memberCPU := m.KeyGenCPU + cts*m.DecPerCtCPU + float64(p.Categories)*m.MPCNoiseCPU + m.MPCStartupCPU
+	memberBytes := m.KeyGenBytes*scale + cts*m.DecPerCtBytes*scale +
+		float64(p.Categories)*m.MPCNoiseBytes*scale + m.MPCStartupBytes
+	baseCPU := (m.HEEnc + m.ZKPGen) * cts
+	baseBytes := (m.CtBytes + m.ZKPBytes) * cts
+	expFrac := msize / float64(p.N)
+	agg := float64(p.N)*cts*(m.ZKPVerify+m.HEAdd) + float64(p.N)*2*cts*m.MerkleHash
+	return Estimate{
+		System: Orchard,
+		Cost: costmodel.Vector{
+			AggCPU:       agg,
+			AggBytes:     float64(p.N)*(m.AuditRespBytes+m.CertBytes) + memberBytes*msize,
+			PartExpCPU:   baseCPU + memberCPU*expFrac,
+			PartExpBytes: baseBytes + memberBytes*expFrac,
+			PartMaxCPU:   baseCPU + memberCPU,
+			PartMaxBytes: baseBytes + memberBytes,
+		},
+		Feasible:    memberCPU < 20*60 && memberBytes < 4e9,
+		MemberCPU:   memberCPU,
+		MemberBytes: memberBytes,
+		Note:        "single committee: keygen + noising + decryption",
+	}
+}
+
+// EstimateHoneycrisp models Honeycrisp's count-mean-sketch pipeline; it is
+// Orchard's single-committee structure specialized to one numeric query.
+func EstimateHoneycrisp(p Params) Estimate {
+	e := EstimateOrchard(p)
+	e.System = Honeycrisp
+	e.Note = "single committee, count-mean-sketch only"
+	return e
+}
+
+// ArboretumRow summarizes an Arboretum plan for Table 1 next to the
+// baselines.
+func ArboretumRow(p *plan.Plan) Estimate {
+	worstCPU, worstBytes := 0.0, 0.0
+	for _, rc := range p.ByRole {
+		if rc.CPU > worstCPU {
+			worstCPU = rc.CPU
+		}
+		if rc.Bytes > worstBytes {
+			worstBytes = rc.Bytes
+		}
+	}
+	return Estimate{
+		Cost:        p.Cost,
+		Feasible:    true,
+		MemberCPU:   worstCPU,
+		MemberBytes: worstBytes,
+		Note:        "automatic planning, multiple committees",
+	}
+}

@@ -1,0 +1,122 @@
+package baseline
+
+import (
+	"testing"
+
+	"arboretum/internal/costmodel"
+	"arboretum/internal/planner"
+	"arboretum/internal/queries"
+)
+
+// The paper's Table 1 setting: "which zip code contains the most
+// participants" with 10^8 participants and 41,683 zip codes.
+var zipcode = Params{N: 1e8, Categories: 41683}
+
+func TestFHEInfeasibleAtScale(t *testing.T) {
+	e := EstimateFHE(zipcode)
+	if e.Feasible {
+		t.Error("FHE-only should be infeasible at 10^8 participants")
+	}
+	// "Years": more than one year of aggregator core-time.
+	if e.Cost.AggCPU < 365*24*3600 {
+		t.Errorf("FHE aggregator time %g s, want years", e.Cost.AggCPU)
+	}
+	// Participant bandwidth stays MBs (Table 1's row).
+	if e.Cost.PartMaxBytes > 1e8 {
+		t.Errorf("FHE participant bytes %g, want MBs", e.Cost.PartMaxBytes)
+	}
+}
+
+func TestAllToAllInfeasibleAtScale(t *testing.T) {
+	e := EstimateAllToAll(zipcode)
+	if e.Feasible {
+		t.Error("all-to-all MPC should be infeasible at 10^8 participants")
+	}
+	// "PBs": per-participant traffic in the tens of TB or beyond.
+	if e.Cost.PartMaxBytes < 1e10 {
+		t.Errorf("all-to-all participant bytes %g, want ≥ 10 TB", e.Cost.PartMaxBytes)
+	}
+	small := EstimateAllToAll(Params{N: 100, Categories: 4})
+	if !small.Feasible {
+		t.Error("all-to-all should work for a few hundred parties")
+	}
+}
+
+func TestBoehlerScalesToMillionsNotBillions(t *testing.T) {
+	million := EstimateBoehler(Params{N: 1e6, Categories: 1024, Committee: 10})
+	if !million.Feasible {
+		t.Error("Böhler reaches a million participants in the paper")
+	}
+	// 1.41 GB per member at m=10, N=1e6 — match the paper's figure.
+	if million.MemberBytes < 1e9 || million.MemberBytes > 2e9 {
+		t.Errorf("Böhler member traffic = %g, want ~1.41 GB", million.MemberBytes)
+	}
+	billion := EstimateBoehler(Params{N: 13e8, Categories: 1024, Committee: 40})
+	if billion.Feasible {
+		t.Error("Böhler should not scale to 1.3 billion")
+	}
+	// "> 7.3 TB" per member.
+	if billion.MemberBytes < 7e12 {
+		t.Errorf("Böhler member traffic at 1.3e9 = %g, want > 7.3 TB", billion.MemberBytes)
+	}
+}
+
+func TestOrchardFeasibleForNumericNotCategorical(t *testing.T) {
+	numeric := EstimateOrchard(Params{N: 1e9, Categories: 10})
+	if !numeric.Feasible {
+		t.Error("Orchard handles small-category queries")
+	}
+	categorical := EstimateOrchard(Params{N: 1e9, Categories: 41683})
+	if categorical.Feasible {
+		t.Error("Orchard's single committee should choke on 41k categories")
+	}
+	if categorical.MemberCPU <= numeric.MemberCPU {
+		t.Error("more categories must cost the single committee more")
+	}
+}
+
+func TestHoneycrispMirrorsOrchard(t *testing.T) {
+	h := EstimateHoneycrisp(Params{N: 1e9, Categories: 1})
+	o := EstimateOrchard(Params{N: 1e9, Categories: 1})
+	if h.Cost != o.Cost {
+		t.Error("Honeycrisp should share Orchard's single-committee cost structure")
+	}
+	if h.System != Honeycrisp {
+		t.Error("system label wrong")
+	}
+}
+
+// Figure 6's comparison: Arboretum's expected participant costs for the
+// adapted queries match the original systems' (within small factors), while
+// committee-member costs are much lower because the work spreads across
+// committees.
+func TestArboretumMatchesOrchardExpectedCost(t *testing.T) {
+	n := int64(1 << 30)
+	res, err := planner.Plan(planner.Request{
+		Name: "bayes", Source: queries.Bayes.Source, N: n,
+		Categories: queries.Bayes.Categories,
+		Goal:       costmodel.PartExpCPU, Limits: planner.DefaultLimits,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	arb := ArboretumRow(res.Plan)
+	orch := EstimateOrchard(Params{N: n, Categories: queries.Bayes.Categories,
+		Committee: res.Plan.CommitteeSize})
+	ratio := arb.Cost.PartExpCPU / orch.Cost.PartExpCPU
+	if ratio < 0.3 || ratio > 3 {
+		t.Errorf("expected-cost ratio Arboretum/Orchard = %g, want ~1", ratio)
+	}
+	if arb.MemberBytes > orch.MemberBytes*2 {
+		t.Errorf("Arboretum committee member bytes %g should not exceed Orchard's %g",
+			arb.MemberBytes, orch.MemberBytes)
+	}
+}
+
+func TestSystemNames(t *testing.T) {
+	for _, s := range []System{PureFHE, AllToAllMPC, Boehler, Orchard, Honeycrisp} {
+		if s.String() == "" {
+			t.Errorf("system %d has no name", s)
+		}
+	}
+}

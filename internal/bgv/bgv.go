@@ -1,0 +1,424 @@
+// Package bgv implements a BGV-style leveled homomorphic encryption scheme
+// over the ring Z_q[x]/(x^n + 1).
+//
+// Arboretum's prototype uses BGV (Section 6) with a polynomial degree of 2^15
+// and a 135-bit ciphertext modulus. This package is a real, working RLWE
+// scheme — key generation, encryption, decryption, homomorphic addition,
+// plaintext multiplication, and one level of ciphertext multiplication with
+// gadget relinearization — implemented on the standard library alone with a
+// single 60-bit NTT-friendly prime modulus. Tests and the runtime use reduced
+// ring degrees (2^10–2^12); the cost model charges FHE operations at the
+// paper's 2^15-scale rates, so planner decisions are unaffected by the
+// smaller test parameters (see DESIGN.md for the substitution argument).
+//
+// Encoding is coefficient packing: a plaintext is a vector of up to n values
+// mod t placed in the polynomial's coefficients. Addition is slot-wise;
+// ciphertext multiplication is negacyclic convolution (use degree-0
+// plaintexts for scalar products).
+package bgv
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Q is the ciphertext modulus: 2^60 − 2^18 + 1, prime, with q ≡ 1 (mod 2^18),
+// so the negacyclic NTT works for every ring degree up to 2^17.
+const Q uint64 = 1152921504606830593
+
+// relinBase is the gadget decomposition base (2^relinLogBase) used by the
+// relinearization key.
+const relinLogBase = 10
+
+// Params fixes a ring degree and plaintext modulus.
+type Params struct {
+	N int    // ring degree, power of two
+	T uint64 // plaintext modulus, coprime with Q, T ≪ Q
+}
+
+// Validate checks the parameter set.
+func (p Params) Validate() error {
+	if p.N < 16 || p.N&(p.N-1) != 0 {
+		return fmt.Errorf("bgv: ring degree %d must be a power of two ≥ 16", p.N)
+	}
+	if p.N > 1<<17 {
+		return fmt.Errorf("bgv: ring degree %d exceeds 2^17 supported by Q", p.N)
+	}
+	if p.T < 2 || p.T >= 1<<20 {
+		return fmt.Errorf("bgv: plaintext modulus %d out of range [2, 2^20)", p.T)
+	}
+	if Q%p.T == 0 {
+		return errors.New("bgv: plaintext modulus divides Q")
+	}
+	return nil
+}
+
+// TestParams is a small parameter set for unit tests (one multiplication of
+// depth is supported at these sizes).
+var TestParams = Params{N: 1 << 10, T: 65537}
+
+// Poly is a polynomial with coefficients in [0, Q), length N.
+type Poly []uint64
+
+// Context carries the parameter set and NTT tables.
+type Context struct {
+	Params Params
+	ntt    *nttTables
+}
+
+// NewContext validates params and precomputes NTT tables.
+func NewContext(p Params) (*Context, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	tables, err := newNTTTables(p.N, Q)
+	if err != nil {
+		return nil, err
+	}
+	return &Context{Params: p, ntt: tables}, nil
+}
+
+func (c *Context) newPoly() Poly { return make(Poly, c.Params.N) }
+
+// --- sampling ---
+
+// sampleUniform fills a polynomial with uniform coefficients mod Q.
+func (c *Context) sampleUniform(r io.Reader) (Poly, error) {
+	p := c.newPoly()
+	buf := make([]byte, 8)
+	for i := range p {
+		for {
+			if _, err := io.ReadFull(r, buf); err != nil {
+				return nil, err
+			}
+			v := binary.LittleEndian.Uint64(buf)
+			// Rejection sampling to stay unbiased.
+			if v < Q*16 { // Q*16 < 2^64, multiple of Q region
+				p[i] = v % Q
+				break
+			}
+		}
+	}
+	return p, nil
+}
+
+// sampleTernary fills a polynomial with coefficients in {−1, 0, 1}; used for
+// secrets, encryption randomness, and errors. Small ternary errors keep one
+// multiplication within the noise budget at test parameters (documented
+// reduced-security test instantiation; see package comment).
+func (c *Context) sampleTernary(r io.Reader) (Poly, error) {
+	p := c.newPoly()
+	buf := make([]byte, 1)
+	for i := range p {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		switch buf[0] % 4 {
+		case 0:
+			p[i] = 1
+		case 1:
+			p[i] = Q - 1
+		default:
+			p[i] = 0
+		}
+	}
+	return p, nil
+}
+
+// --- polynomial arithmetic ---
+
+func (c *Context) polyAdd(a, b Poly) Poly {
+	out := c.newPoly()
+	for i := range out {
+		out[i] = addMod(a[i], b[i], Q)
+	}
+	return out
+}
+
+func (c *Context) polySub(a, b Poly) Poly {
+	out := c.newPoly()
+	for i := range out {
+		out[i] = subMod(a[i], b[i], Q)
+	}
+	return out
+}
+
+func (c *Context) polyNeg(a Poly) Poly {
+	out := c.newPoly()
+	for i := range out {
+		out[i] = negMod(a[i], Q)
+	}
+	return out
+}
+
+func (c *Context) polyScale(a Poly, k uint64) Poly {
+	out := c.newPoly()
+	for i := range out {
+		out[i] = mulMod(a[i], k, Q)
+	}
+	return out
+}
+
+// polyMul multiplies in the ring via NTT.
+func (c *Context) polyMul(a, b Poly) Poly {
+	ae := append(Poly(nil), a...)
+	be := append(Poly(nil), b...)
+	c.ntt.Forward(ae)
+	c.ntt.Forward(be)
+	for i := range ae {
+		ae[i] = mulMod(ae[i], be[i], Q)
+	}
+	c.ntt.Inverse(ae)
+	return ae
+}
+
+// --- keys ---
+
+// SecretKey is the RLWE secret (ternary polynomial).
+type SecretKey struct {
+	S Poly
+}
+
+// PublicKey is the RLWE public key (A, B = −A·S + T·E).
+type PublicKey struct {
+	A, B Poly
+}
+
+// RelinKey key-switches s² back to s after multiplication, one entry per
+// gadget digit: (A_i, B_i = −A_i·S + T·E_i + base^i·S²).
+type RelinKey struct {
+	A, B []Poly
+}
+
+// KeyPair bundles the keys a key-generation committee produces.
+type KeyPair struct {
+	SK  *SecretKey
+	PK  *PublicKey
+	RLK *RelinKey
+}
+
+// GenerateKeys produces a fresh keypair (Section 5.2 runs this inside a
+// committee MPC; the runtime calls it through the MPC engine).
+func (c *Context) GenerateKeys(r io.Reader) (*KeyPair, error) {
+	s, err := c.sampleTernary(r)
+	if err != nil {
+		return nil, err
+	}
+	a, err := c.sampleUniform(r)
+	if err != nil {
+		return nil, err
+	}
+	e, err := c.sampleTernary(r)
+	if err != nil {
+		return nil, err
+	}
+	// b = −a·s + t·e
+	b := c.polyAdd(c.polyNeg(c.polyMul(a, s)), c.polyScale(e, c.Params.T))
+	sk := &SecretKey{S: s}
+	pk := &PublicKey{A: a, B: b}
+	rlk, err := c.generateRelinKey(r, sk)
+	if err != nil {
+		return nil, err
+	}
+	return &KeyPair{SK: sk, PK: pk, RLK: rlk}, nil
+}
+
+func (c *Context) generateRelinKey(r io.Reader, sk *SecretKey) (*RelinKey, error) {
+	s2 := c.polyMul(sk.S, sk.S)
+	// Q < 2^60, so six 10-bit digits cover every coefficient.
+	digits := (60 + relinLogBase - 1) / relinLogBase
+	rlk := &RelinKey{A: make([]Poly, digits), B: make([]Poly, digits)}
+	pow := uint64(1)
+	for i := 0; i < digits; i++ {
+		a, err := c.sampleUniform(r)
+		if err != nil {
+			return nil, err
+		}
+		e, err := c.sampleTernary(r)
+		if err != nil {
+			return nil, err
+		}
+		b := c.polyAdd(c.polyNeg(c.polyMul(a, sk.S)), c.polyScale(e, c.Params.T))
+		b = c.polyAdd(b, c.polyScale(s2, pow))
+		rlk.A[i], rlk.B[i] = a, b
+		pow = mulMod(pow, 1<<relinLogBase, Q)
+	}
+	return rlk, nil
+}
+
+// --- ciphertexts ---
+
+// Ciphertext is a degree-1 BGV ciphertext (C0, C1) with
+// C0 + C1·S = m + T·noise (mod Q).
+type Ciphertext struct {
+	C0, C1 Poly
+}
+
+// Bytes returns the serialized size for traffic accounting.
+func (ct *Ciphertext) Bytes() int {
+	if ct == nil {
+		return 0
+	}
+	return 8 * (len(ct.C0) + len(ct.C1))
+}
+
+// Plaintext is a coefficient vector mod T, length ≤ N.
+type Plaintext []uint64
+
+// Encode places values (reduced mod T) into a polynomial's coefficients.
+func (c *Context) Encode(values []uint64) (Poly, error) {
+	if len(values) > c.Params.N {
+		return nil, fmt.Errorf("bgv: %d values exceed ring degree %d", len(values), c.Params.N)
+	}
+	p := c.newPoly()
+	for i, v := range values {
+		p[i] = v % c.Params.T
+	}
+	return p, nil
+}
+
+// Encrypt encrypts the encoded plaintext polynomial under pk.
+func (c *Context) Encrypt(r io.Reader, pk *PublicKey, m Poly) (*Ciphertext, error) {
+	if len(m) != c.Params.N {
+		return nil, errors.New("bgv: plaintext polynomial has wrong degree")
+	}
+	u, err := c.sampleTernary(r)
+	if err != nil {
+		return nil, err
+	}
+	e1, err := c.sampleTernary(r)
+	if err != nil {
+		return nil, err
+	}
+	e2, err := c.sampleTernary(r)
+	if err != nil {
+		return nil, err
+	}
+	t := c.Params.T
+	c0 := c.polyAdd(c.polyMul(pk.B, u), c.polyScale(e1, t))
+	c0 = c.polyAdd(c0, m)
+	c1 := c.polyAdd(c.polyMul(pk.A, u), c.polyScale(e2, t))
+	return &Ciphertext{C0: c0, C1: c1}, nil
+}
+
+// EncryptValues encodes and encrypts a value vector in one call.
+func (c *Context) EncryptValues(r io.Reader, pk *PublicKey, values []uint64) (*Ciphertext, error) {
+	m, err := c.Encode(values)
+	if err != nil {
+		return nil, err
+	}
+	return c.Encrypt(r, pk, m)
+}
+
+// Decrypt recovers the plaintext coefficient vector.
+func (c *Context) Decrypt(sk *SecretKey, ct *Ciphertext) (Plaintext, error) {
+	if ct == nil || len(ct.C0) != c.Params.N || len(ct.C1) != c.Params.N {
+		return nil, errors.New("bgv: malformed ciphertext")
+	}
+	phase := c.polyAdd(ct.C0, c.polyMul(ct.C1, sk.S))
+	out := make(Plaintext, c.Params.N)
+	t := c.Params.T
+	half := Q / 2
+	for i, v := range phase {
+		// Centered lift: values near Q represent small negatives.
+		if v > half {
+			// (v − Q) mod t, computed without going negative.
+			diff := Q - v // |negative value|
+			out[i] = (t - diff%t) % t
+		} else {
+			out[i] = v % t
+		}
+	}
+	return out, nil
+}
+
+// Add homomorphically adds (slot-wise): the ⊞ operator.
+func (c *Context) Add(a, b *Ciphertext) (*Ciphertext, error) {
+	if a == nil || b == nil {
+		return nil, errors.New("bgv: nil ciphertext")
+	}
+	return &Ciphertext{C0: c.polyAdd(a.C0, b.C0), C1: c.polyAdd(a.C1, b.C1)}, nil
+}
+
+// Sub homomorphically subtracts.
+func (c *Context) Sub(a, b *Ciphertext) (*Ciphertext, error) {
+	if a == nil || b == nil {
+		return nil, errors.New("bgv: nil ciphertext")
+	}
+	return &Ciphertext{C0: c.polySub(a.C0, b.C0), C1: c.polySub(a.C1, b.C1)}, nil
+}
+
+// AddPlain adds an encoded plaintext to a ciphertext.
+func (c *Context) AddPlain(a *Ciphertext, m Poly) (*Ciphertext, error) {
+	if a == nil {
+		return nil, errors.New("bgv: nil ciphertext")
+	}
+	return &Ciphertext{C0: c.polyAdd(a.C0, m), C1: append(Poly(nil), a.C1...)}, nil
+}
+
+// MulPlain multiplies a ciphertext by an encoded plaintext polynomial
+// (negacyclic convolution in coefficient encoding; scalar for degree-0 m).
+func (c *Context) MulPlain(a *Ciphertext, m Poly) (*Ciphertext, error) {
+	if a == nil {
+		return nil, errors.New("bgv: nil ciphertext")
+	}
+	return &Ciphertext{C0: c.polyMul(a.C0, m), C1: c.polyMul(a.C1, m)}, nil
+}
+
+// MulScalar multiplies by a public integer scalar.
+func (c *Context) MulScalar(a *Ciphertext, k uint64) (*Ciphertext, error) {
+	if a == nil {
+		return nil, errors.New("bgv: nil ciphertext")
+	}
+	kk := k % c.Params.T
+	return &Ciphertext{C0: c.polyScale(a.C0, kk), C1: c.polyScale(a.C1, kk)}, nil
+}
+
+// Mul multiplies two ciphertexts and relinearizes back to degree 1: the ⊠
+// operator. One multiplication level is supported at the default parameters.
+func (c *Context) Mul(a, b *Ciphertext, rlk *RelinKey) (*Ciphertext, error) {
+	if a == nil || b == nil {
+		return nil, errors.New("bgv: nil ciphertext")
+	}
+	if rlk == nil {
+		return nil, errors.New("bgv: relinearization key required")
+	}
+	// Tensor: (a0 + a1 s)(b0 + b1 s) = d0 + d1 s + d2 s².
+	d0 := c.polyMul(a.C0, b.C0)
+	d1 := c.polyAdd(c.polyMul(a.C0, b.C1), c.polyMul(a.C1, b.C0))
+	d2 := c.polyMul(a.C1, b.C1)
+	// Relinearize d2 via gadget decomposition.
+	digits := len(rlk.A)
+	mask := uint64(1<<relinLogBase) - 1
+	c0 := d0
+	c1 := d1
+	rem := append(Poly(nil), d2...)
+	for i := 0; i < digits; i++ {
+		digit := c.newPoly()
+		for j := range rem {
+			digit[j] = rem[j] & mask
+			rem[j] >>= relinLogBase
+		}
+		c0 = c.polyAdd(c0, c.polyMul(digit, rlk.B[i]))
+		c1 = c.polyAdd(c1, c.polyMul(digit, rlk.A[i]))
+	}
+	return &Ciphertext{C0: c0, C1: c1}, nil
+}
+
+// Sum folds Add over ciphertexts (the aggregator's AHE/FHE sum loop).
+func (c *Context) Sum(cts []*Ciphertext) (*Ciphertext, error) {
+	if len(cts) == 0 {
+		return nil, errors.New("bgv: empty sum")
+	}
+	acc := cts[0]
+	var err error
+	for _, ct := range cts[1:] {
+		acc, err = c.Add(acc, ct)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return acc, nil
+}

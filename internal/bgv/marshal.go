@@ -1,0 +1,65 @@
+package bgv
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// Wire format for ciphertexts: a 4-byte coefficient count followed by the
+// two polynomials' little-endian 8-byte coefficients. Device uploads and
+// committee hand-offs use this.
+
+// MarshalBinary serializes the ciphertext.
+func (ct *Ciphertext) MarshalBinary() ([]byte, error) {
+	if ct == nil || len(ct.C0) == 0 || len(ct.C0) != len(ct.C1) {
+		return nil, errors.New("bgv: malformed ciphertext")
+	}
+	n := len(ct.C0)
+	out := make([]byte, 4+16*n)
+	binary.LittleEndian.PutUint32(out[:4], uint32(n))
+	off := 4
+	for _, c := range ct.C0 {
+		binary.LittleEndian.PutUint64(out[off:], c)
+		off += 8
+	}
+	for _, c := range ct.C1 {
+		binary.LittleEndian.PutUint64(out[off:], c)
+		off += 8
+	}
+	return out, nil
+}
+
+// UnmarshalBinary deserializes a ciphertext and validates its coefficients.
+func (ct *Ciphertext) UnmarshalBinary(data []byte) error {
+	if len(data) < 4 {
+		return errors.New("bgv: truncated ciphertext")
+	}
+	n := int(binary.LittleEndian.Uint32(data[:4]))
+	if n < 16 || n > 1<<17 || n&(n-1) != 0 {
+		return errors.New("bgv: implausible ring degree")
+	}
+	if len(data) != 4+16*n {
+		return errors.New("bgv: ciphertext length mismatch")
+	}
+	c0 := make(Poly, n)
+	c1 := make(Poly, n)
+	off := 4
+	for i := 0; i < n; i++ {
+		v := binary.LittleEndian.Uint64(data[off:])
+		if v >= Q {
+			return errors.New("bgv: coefficient out of range")
+		}
+		c0[i] = v
+		off += 8
+	}
+	for i := 0; i < n; i++ {
+		v := binary.LittleEndian.Uint64(data[off:])
+		if v >= Q {
+			return errors.New("bgv: coefficient out of range")
+		}
+		c1[i] = v
+		off += 8
+	}
+	ct.C0, ct.C1 = c0, c1
+	return nil
+}

@@ -1,0 +1,57 @@
+package bgv
+
+import "math/bits"
+
+// Modular arithmetic over the fixed 60-bit NTT-friendly ciphertext modulus.
+// All values are kept reduced in [0, q).
+
+func addMod(a, b, q uint64) uint64 {
+	s := a + b
+	if s >= q {
+		s -= q
+	}
+	return s
+}
+
+func subMod(a, b, q uint64) uint64 {
+	if a >= b {
+		return a - b
+	}
+	return a + q - b
+}
+
+// mulMod returns a·b mod q using a 128-bit intermediate product. Both inputs
+// must be < q < 2^60, so the high word of the product is < q and
+// bits.Div64's precondition holds.
+func mulMod(a, b, q uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	_, rem := bits.Div64(hi, lo, q)
+	return rem
+}
+
+// powMod returns a^e mod q by square-and-multiply.
+func powMod(a, e, q uint64) uint64 {
+	result := uint64(1 % q)
+	base := a % q
+	for e > 0 {
+		if e&1 == 1 {
+			result = mulMod(result, base, q)
+		}
+		base = mulMod(base, base, q)
+		e >>= 1
+	}
+	return result
+}
+
+// invMod returns a^-1 mod q for prime q (Fermat).
+func invMod(a, q uint64) uint64 {
+	return powMod(a, q-2, q)
+}
+
+// negMod returns -a mod q.
+func negMod(a, q uint64) uint64 {
+	if a == 0 {
+		return 0
+	}
+	return q - a
+}

@@ -1,0 +1,126 @@
+package bgv
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+)
+
+// Negacyclic number-theoretic transform over Z_q[x]/(x^n + 1).
+//
+// Polynomial multiplication in the BGV ring is a negacyclic convolution; the
+// NTT makes it O(n log n). We use the textbook formulation: pre-multiply the
+// coefficients by powers of ψ (a primitive 2n-th root of unity), run a cyclic
+// NTT with ω = ψ², multiply point-wise, and undo on the way back.
+
+// nttTables holds the precomputed roots for one ring degree.
+type nttTables struct {
+	n       int
+	q       uint64
+	psi     []uint64 // ψ^i, i = 0..n-1
+	psiInv  []uint64 // ψ^-i
+	omega   []uint64 // ω^i for the cyclic transform
+	omegaI  []uint64 // ω^-i
+	nInv    uint64   // n^-1 mod q
+	bitRevs []int    // bit-reversal permutation
+}
+
+// findPsi locates a primitive 2n-th root of unity mod q by random search:
+// ψ = x^((q−1)/2n) is a 2n-th root; it is primitive iff ψ^n = −1.
+func findPsi(n int, q uint64) (uint64, error) {
+	if (q-1)%uint64(2*n) != 0 {
+		return 0, fmt.Errorf("bgv: q−1 not divisible by 2n=%d", 2*n)
+	}
+	exp := (q - 1) / uint64(2*n)
+	var buf [8]byte
+	for tries := 0; tries < 4096; tries++ {
+		if _, err := rand.Read(buf[:]); err != nil {
+			return 0, err
+		}
+		x := binary.LittleEndian.Uint64(buf[:]) % q
+		if x < 2 {
+			continue
+		}
+		psi := powMod(x, exp, q)
+		if powMod(psi, uint64(n), q) == q-1 {
+			return psi, nil
+		}
+	}
+	return 0, fmt.Errorf("bgv: no primitive 2n-th root found for n=%d", n)
+}
+
+func newNTTTables(n int, q uint64) (*nttTables, error) {
+	if n < 2 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("bgv: ring degree %d is not a power of two ≥ 2", n)
+	}
+	psi, err := findPsi(n, q)
+	if err != nil {
+		return nil, err
+	}
+	t := &nttTables{n: n, q: q}
+	t.psi = make([]uint64, n)
+	t.psiInv = make([]uint64, n)
+	t.omega = make([]uint64, n)
+	t.omegaI = make([]uint64, n)
+	psiInv := invMod(psi, q)
+	omega := mulMod(psi, psi, q)
+	omegaInv := invMod(omega, q)
+	p, pi, w, wi := uint64(1), uint64(1), uint64(1), uint64(1)
+	for i := 0; i < n; i++ {
+		t.psi[i], t.psiInv[i], t.omega[i], t.omegaI[i] = p, pi, w, wi
+		p = mulMod(p, psi, q)
+		pi = mulMod(pi, psiInv, q)
+		w = mulMod(w, omega, q)
+		wi = mulMod(wi, omegaInv, q)
+	}
+	t.nInv = invMod(uint64(n), q)
+	t.bitRevs = make([]int, n)
+	logN := bits.TrailingZeros(uint(n))
+	for i := 0; i < n; i++ {
+		t.bitRevs[i] = int(bits.Reverse64(uint64(i)) >> (64 - logN))
+	}
+	return t, nil
+}
+
+// cyclicNTT runs an in-place iterative Cooley-Tukey transform using the given
+// root powers (omega for forward, omegaI for inverse).
+func (t *nttTables) cyclicNTT(a []uint64, roots []uint64) {
+	n, q := t.n, t.q
+	for i := 0; i < n; i++ {
+		j := t.bitRevs[i]
+		if i < j {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		step := n / length
+		half := length / 2
+		for start := 0; start < n; start += length {
+			for k := 0; k < half; k++ {
+				w := roots[k*step]
+				u := a[start+k]
+				v := mulMod(a[start+k+half], w, q)
+				a[start+k] = addMod(u, v, q)
+				a[start+k+half] = subMod(u, v, q)
+			}
+		}
+	}
+}
+
+// Forward transforms a coefficient-domain polynomial to the evaluation
+// domain (in place).
+func (t *nttTables) Forward(a []uint64) {
+	for i := range a {
+		a[i] = mulMod(a[i], t.psi[i], t.q)
+	}
+	t.cyclicNTT(a, t.omega)
+}
+
+// Inverse transforms back to the coefficient domain (in place).
+func (t *nttTables) Inverse(a []uint64) {
+	t.cyclicNTT(a, t.omegaI)
+	for i := range a {
+		a[i] = mulMod(mulMod(a[i], t.nInv, t.q), t.psiInv[i], t.q)
+	}
+}

@@ -1,0 +1,59 @@
+package costmodel
+
+import "testing"
+
+func TestCalibrateProducesUsableModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration benchmarks real crypto")
+	}
+	m, err := Calibrate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Structural orderings the planner relies on.
+	if m.HEMulCt < m.HEAdd {
+		t.Error("HE multiplication should cost more than addition")
+	}
+	if m.MPCPerCmpCPU < m.MPCPerMultCPU {
+		t.Error("MPC comparison should cost more than multiplication")
+	}
+	if m.HEEnc <= 0 || m.HEAdd <= 0 || m.ZKPGen <= 0 || m.MerkleHash <= 0 {
+		t.Errorf("non-positive calibrated costs: %+v", m)
+	}
+	// Wire sizes and composite committee costs keep deployment defaults.
+	d := Default()
+	if m.CtBytes != d.CtBytes || m.KeyGenBytes != d.KeyGenBytes {
+		t.Error("calibration should not touch wire sizes / composite costs")
+	}
+	if err := m.sanity(); err != nil {
+		t.Errorf("sanity: %v", err)
+	}
+}
+
+func TestRingWorkScale(t *testing.T) {
+	// 2^10 → 2^15: (2^15·15)/(2^10·10) = 48.
+	if got := ringWorkScale(1<<10, 1<<15); got != 48 {
+		t.Errorf("ringWorkScale = %g, want 48", got)
+	}
+	if got := ringWorkScale(1<<12, 1<<12); got != 1 {
+		t.Errorf("identity scale = %g", got)
+	}
+}
+
+func TestSanityRejectsBrokenModels(t *testing.T) {
+	m := Default()
+	m.HEAdd = 0
+	if err := m.sanity(); err == nil {
+		t.Error("zero HEAdd accepted")
+	}
+	m = Default()
+	m.HEMulCt = m.HEAdd / 2
+	if err := m.sanity(); err == nil {
+		t.Error("mult < add accepted")
+	}
+	m = Default()
+	m.MPCPerCmpCPU = m.MPCPerMultCPU / 2
+	if err := m.sanity(); err == nil {
+		t.Error("cmp < mult accepted")
+	}
+}

@@ -1,0 +1,97 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"arboretum/internal/costmodel"
+	"arboretum/internal/planner"
+	"arboretum/internal/queries"
+)
+
+// DesignRow prices one pinned design choice at deployment scale — the
+// ablations behind the planner's decisions: how much each alternative
+// implementation of an operator actually costs (Section 4.3's tradeoffs,
+// e.g. "larger degrees will require fewer committees ... lower degrees
+// require each committee to do less work").
+type DesignRow struct {
+	Dimension string // which operator is pinned
+	Choice    string // the pinned implementation (prefix)
+	Chosen    string // the full choice the search settled on
+	Feasible  bool
+
+	AggCoreHours float64
+	ExpCPU       float64 // expected participant seconds
+	ExpMB        float64
+	MaxCPU       float64 // worst-case participant seconds
+	MaxGB        float64
+	Committees   int
+}
+
+// DesignAblations prices the main alternatives for the sum operator, the em
+// variant, and the Laplace noising slice width, with everything else free.
+func DesignAblations() ([]DesignRow, error) {
+	var rows []DesignRow
+	pin := func(q queries.Query, dim, prefix string) error {
+		res, err := planner.Plan(planner.Request{
+			Name: q.Name, Source: q.Source, N: PaperN, Categories: q.Categories,
+			Goal: costmodel.PartExpCPU, Limits: planner.DefaultLimits,
+			ForceChoices: map[string]string{dim: prefix},
+		})
+		row := DesignRow{Dimension: dim, Choice: prefix}
+		if err == nil {
+			p := res.Plan
+			row.Feasible = true
+			row.Chosen = p.Choices[dim]
+			row.AggCoreHours = p.Cost.AggCPU / 3600
+			row.ExpCPU = p.Cost.PartExpCPU
+			row.ExpMB = p.Cost.PartExpBytes / 1e6
+			row.MaxCPU = p.Cost.PartMaxCPU
+			row.MaxGB = p.Cost.PartMaxBytes / 1e9
+			row.Committees = p.CommitteeCount
+		}
+		rows = append(rows, row)
+		return nil
+	}
+	// Sum: the aggregator loop vs. device trees of different fanouts
+	// (Section 4.3's first example of operator instantiation).
+	for _, choice := range []string{
+		"aggregator-loop", "device-tree-fanout-2", "device-tree-fanout-8", "device-tree-fanout-64",
+	} {
+		if err := pin(queries.Top1, "sum", choice); err != nil {
+			return nil, err
+		}
+	}
+	// em: the two instantiations of Figure 4.
+	for _, choice := range []string{"gumbel", "exponentiate-mpc", "exponentiate-fhe"} {
+		if err := pin(queries.Top1, "em", choice); err != nil {
+			return nil, err
+		}
+	}
+	// Laplace noising: values per committee (bayes, C=115).
+	for _, choice := range []string{
+		"committee-slice-1", "committee-slice-16", "committee-slice-64",
+	} {
+		if err := pin(queries.Bayes, "noise", choice); err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+// RenderDesignAblations formats the design-choice table.
+func RenderDesignAblations(rows []DesignRow) string {
+	var sb strings.Builder
+	sb.WriteString("Design-choice ablations (top1 for sum/em, bayes for noise; N=2^30)\n")
+	fmt.Fprintf(&sb, "%-6s %-22s %10s %9s %8s %9s %8s %10s\n",
+		"dim", "pinned choice", "agg h", "exp s", "exp MB", "max s", "max GB", "committees")
+	for _, r := range rows {
+		if !r.Feasible {
+			fmt.Fprintf(&sb, "%-6s %-22s %s\n", r.Dimension, r.Choice, "infeasible")
+			continue
+		}
+		fmt.Fprintf(&sb, "%-6s %-22s %10.0f %9.1f %8.2f %9.0f %8.2f %10d\n",
+			r.Dimension, r.Choice, r.AggCoreHours, r.ExpCPU, r.ExpMB, r.MaxCPU, r.MaxGB, r.Committees)
+	}
+	return sb.String()
+}

@@ -1,0 +1,90 @@
+package eval
+
+import (
+	"encoding/csv"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"arboretum/internal/plan"
+)
+
+// CSV exports let the figures be re-plotted outside Go. Each experiment's
+// rows serialize to one file; cmd/experiments -out <dir> writes them all.
+
+func writeCSV(header []string, rows [][]string) (string, error) {
+	var sb strings.Builder
+	w := csv.NewWriter(&sb)
+	if err := w.Write(header); err != nil {
+		return "", err
+	}
+	if err := w.WriteAll(rows); err != nil {
+		return "", err
+	}
+	w.Flush()
+	return sb.String(), w.Error()
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+func d(v int64) string   { return strconv.FormatInt(v, 10) }
+
+// CSVQueryCosts serializes the Figure 6–8 data.
+func CSVQueryCosts(rows []QueryCost) (string, error) {
+	header := []string{
+		"query", "exp_encverify_cpu_s", "exp_mpc_cpu_s",
+		"exp_encverify_bytes", "exp_mpc_bytes",
+		"agg_forward_bytes", "agg_ops_cpu_s", "agg_verify_cpu_s",
+		"committees", "committee_size", "serving_fraction",
+		"keygen_member_bytes", "decrypt_member_bytes", "ops_member_bytes",
+		"keygen_member_cpu_s", "decrypt_member_cpu_s", "ops_member_cpu_s",
+	}
+	var out [][]string
+	for _, r := range rows {
+		role := func(ro plan.Role) plan.RoleCost { return r.ByRole[ro] }
+		out = append(out, []string{
+			r.Query,
+			f(r.ExpEncVerifyCPU), f(r.ExpMPCCPU),
+			f(r.ExpEncVerifyBytes), f(r.ExpMPCBytes),
+			f(r.AggForwardBytes), f(r.AggOpsCPU), f(r.AggVerifyCPU),
+			d(int64(r.CommitteeCount)), d(int64(r.CommitteeSize)), f(r.ServingFrac),
+			f(role(plan.RoleKeyGen).Bytes), f(role(plan.RoleDecrypt).Bytes), f(role(plan.RoleOps).Bytes),
+			f(role(plan.RoleKeyGen).CPU), f(role(plan.RoleDecrypt).CPU), f(role(plan.RoleOps).CPU),
+		})
+	}
+	return writeCSV(header, out)
+}
+
+// CSVFigure9 serializes the planner-runtime data.
+func CSVFigure9(rows []PlannerRun) (string, error) {
+	header := []string{"query", "time_ns", "prefixes", "candidates", "pruned"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Query, d(r.Time.Nanoseconds()), d(r.Prefixes), d(r.Candidates), d(r.Pruned),
+		})
+	}
+	return writeCSV(header, out)
+}
+
+// CSVFigure10 serializes the scalability sweep.
+func CSVFigure10(rows []ScalePoint) (string, error) {
+	header := []string{"logN", "limit_hours", "feasible", "agg_hours", "exp_cpu_min", "max_cpu_min", "sum_choice"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			d(int64(r.LogN)), f(r.LimitHours), fmt.Sprintf("%t", r.Feasible),
+			f(r.AggHours), f(r.ExpCPUMin), f(r.MaxCPUMin), r.SumChoice,
+		})
+	}
+	return writeCSV(header, out)
+}
+
+// CSVFigure11 serializes the power data.
+func CSVFigure11(rows []PowerRow) (string, error) {
+	header := []string{"query", "role", "mah", "battery_percent"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{r.Query, r.Role, f(r.MAh), f(r.Percent)})
+	}
+	return writeCSV(header, out)
+}

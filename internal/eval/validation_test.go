@@ -1,0 +1,48 @@
+package eval
+
+import "testing"
+
+func TestValidationMatches(t *testing.T) {
+	if testing.Short() {
+		t.Skip("validation runs real deployments")
+	}
+	rows, err := Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Match() {
+			t.Errorf("%s: predicted %d, measured %d", r.Program, r.Predicted, r.Measured)
+		}
+	}
+	if RenderValidation(rows) == "" {
+		t.Error("empty rendering")
+	}
+}
+
+// The utility curve must be monotone in ε: more budget, better answers; at
+// large ε the system is near-deterministic.
+func TestAccuracyMonotoneInEpsilon(t *testing.T) {
+	if testing.Short() {
+		t.Skip("accuracy sweep runs real deployments")
+	}
+	rows, err := Accuracy(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	if rows[2].HitRate < rows[0].HitRate {
+		t.Errorf("hit rate fell with ε: %v", rows)
+	}
+	if rows[2].HitRate < 0.99 {
+		t.Errorf("ε=2 over a 32-vote margin should be near-certain: %v", rows[2])
+	}
+	if RenderAccuracy(rows) == "" {
+		t.Error("empty rendering")
+	}
+}

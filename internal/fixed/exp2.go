@@ -1,0 +1,117 @@
+package fixed
+
+// Base-2 exponentials and logarithms for the exponential mechanism.
+//
+// Ilvento ("Implementing the exponential mechanism with base-2 differential
+// privacy", CCS 2020) observes that working in base 2 lets an implementation
+// compute exact powers for integer exponents and well-controlled
+// approximations for fractional ones, avoiding the floating-point attacks of
+// Mironov. The paper adopts this (Section 6); so do we.
+
+// log2e is log2(e) in Q30.16: used to convert natural-log scales to base 2.
+var log2e = FromFloat(1.4426950408889634)
+
+// ln2 is ln(2) in Q30.16.
+var ln2 = FromFloat(0.6931471805599453)
+
+// Exp2 returns 2^f in fixed point, saturating at the representable range.
+// The integer part is an exact shift; the fractional part uses a minimax
+// polynomial accurate to well below one ulp of Q30.16.
+func Exp2(f Fixed) Fixed {
+	if f >= FromInt(IntBits) {
+		return Max
+	}
+	if f <= FromInt(-(FracBits + 1)) {
+		return 0
+	}
+	// Split into integer and fractional parts with frac in [0, 1).
+	ip := f.Int()
+	fp := f.Sub(FromInt(ip))
+	if fp < 0 {
+		ip--
+		fp = fp.Add(One)
+	}
+	// 2^fp for fp in [0,1) via degree-5 polynomial (Taylor about ln 2 base).
+	// 2^x = 1 + x ln2 + (x ln2)^2/2! + ... ; x ln2 < 0.6932 so convergence is
+	// fast and every term is exactly representable in the 128-bit products.
+	x := fp.Mul(ln2)
+	term := One
+	sum := One
+	for k := int64(1); k <= 6; k++ {
+		term = term.Mul(x).Div(FromInt(k))
+		sum = sum.Add(term)
+	}
+	// Apply the exact integer shift.
+	if ip >= 0 {
+		return saturate(int64(sum) << uint(ip))
+	}
+	return Fixed(int64(sum) >> uint(-ip))
+}
+
+// Exp returns e^f using Exp2(f · log2 e).
+func Exp(f Fixed) Fixed { return Exp2(f.Mul(log2e)) }
+
+// Log2 returns log2(f) for f > 0. It panics on f ≤ 0.
+func Log2(f Fixed) Fixed {
+	if f <= 0 {
+		panic("fixed: Log2 of non-positive value")
+	}
+	// Normalize f to m in [1, 2) and count the shift.
+	var e int64
+	m := f
+	for m >= FromInt(2) {
+		m = Fixed(int64(m) >> 1)
+		e++
+	}
+	for m < One {
+		m = Fixed(int64(m) << 1)
+		e--
+	}
+	// log2(m) by repeated squaring, one output bit per iteration.
+	var frac Fixed
+	bit := One >> 1
+	for i := 0; i < FracBits; i++ {
+		m = m.Mul(m)
+		if m >= FromInt(2) {
+			m = Fixed(int64(m) >> 1)
+			frac |= bit
+		}
+		bit >>= 1
+	}
+	return FromInt(e).Add(frac)
+}
+
+// Ln returns the natural logarithm of f for f > 0.
+func Ln(f Fixed) Fixed { return Log2(f).Mul(ln2) }
+
+// Sqrt returns the square root of f for f ≥ 0 by Newton's method on the
+// scaled integer, so query evaluation never round-trips through floats
+// (Section 6's rationale for fixed point applies to roots as much as to
+// exponentials). It panics on negative input.
+func Sqrt(f Fixed) Fixed {
+	if f < 0 {
+		panic("fixed: Sqrt of negative value")
+	}
+	if f == 0 {
+		return 0
+	}
+	// sqrt(v / 2^16) · 2^16 = sqrt(v · 2^16) on the raw representation.
+	// Numbers stay below 2^62, within uint64 Newton iteration range.
+	target := uint64(f) << FracBits
+	x := target
+	// A good initial guess: 2^(ceil(bits/2)).
+	for guessBits := 0; guessBits < 64; guessBits += 2 {
+		if target>>uint(guessBits) == 0 {
+			x = uint64(1) << uint(guessBits/2)
+			break
+		}
+	}
+	for i := 0; i < 64; i++ {
+		nx := (x + target/x) / 2
+		if nx >= x {
+			break
+		}
+		x = nx
+	}
+	return Fixed(x)
+}

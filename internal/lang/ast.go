@@ -1,0 +1,173 @@
+package lang
+
+// Program is a parsed query: a statement sequence.
+type Program struct {
+	Stmts []Stmt
+}
+
+// Stmt is a statement node.
+type Stmt interface {
+	stmtNode()
+	Position() Pos
+}
+
+// Expr is an expression node.
+type Expr interface {
+	exprNode()
+	Position() Pos
+}
+
+// AssignStmt is `var = exp` or `var[exp] = exp` (Index non-nil).
+type AssignStmt struct {
+	Pos   Pos
+	Name  string
+	Index Expr // nil for plain assignment
+	Value Expr
+}
+
+// ExprStmt is a bare expression statement, e.g. output(x).
+type ExprStmt struct {
+	Pos Pos
+	X   Expr
+}
+
+// ForStmt is `for var = from to to do body endfor`. Bounds are inclusive.
+type ForStmt struct {
+	Pos      Pos
+	Var      string
+	From, To Expr
+	Body     []Stmt
+}
+
+// IfStmt is `if cond then then [else else] endif`.
+type IfStmt struct {
+	Pos  Pos
+	Cond Expr
+	Then []Stmt
+	Else []Stmt // nil when absent
+}
+
+func (*AssignStmt) stmtNode() {}
+func (*ExprStmt) stmtNode()   {}
+func (*ForStmt) stmtNode()    {}
+func (*IfStmt) stmtNode()     {}
+
+// Position implements Stmt.
+func (s *AssignStmt) Position() Pos { return s.Pos }
+
+// Position implements Stmt.
+func (s *ExprStmt) Position() Pos { return s.Pos }
+
+// Position implements Stmt.
+func (s *ForStmt) Position() Pos { return s.Pos }
+
+// Position implements Stmt.
+func (s *IfStmt) Position() Pos { return s.Pos }
+
+// Ident is a variable reference.
+type Ident struct {
+	NamePos Pos
+	Name    string
+}
+
+// IndexExpr is x[i]; db[i][j] nests two of these.
+type IndexExpr struct {
+	X     Expr
+	Index Expr
+}
+
+// CallExpr invokes a built-in function.
+type CallExpr struct {
+	NamePos Pos
+	Func    string
+	Args    []Expr
+}
+
+// BinaryExpr is `x op y`.
+type BinaryExpr struct {
+	Op   Token
+	X, Y Expr
+}
+
+// UnaryExpr is `!x` or `-x`.
+type UnaryExpr struct {
+	OpPos Pos
+	Op    Token
+	X     Expr
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	LitPos Pos
+	Value  int64
+}
+
+// FloatLit is a fractional literal (becomes fixed-point downstream).
+type FloatLit struct {
+	LitPos Pos
+	Value  float64
+}
+
+// BoolLit is true/false.
+type BoolLit struct {
+	LitPos Pos
+	Value  bool
+}
+
+func (*Ident) exprNode()      {}
+func (*IndexExpr) exprNode()  {}
+func (*CallExpr) exprNode()   {}
+func (*BinaryExpr) exprNode() {}
+func (*UnaryExpr) exprNode()  {}
+func (*IntLit) exprNode()     {}
+func (*FloatLit) exprNode()   {}
+func (*BoolLit) exprNode()    {}
+
+// Position implements Expr.
+func (e *Ident) Position() Pos { return e.NamePos }
+
+// Position implements Expr.
+func (e *IndexExpr) Position() Pos { return e.X.Position() }
+
+// Position implements Expr.
+func (e *CallExpr) Position() Pos { return e.NamePos }
+
+// Position implements Expr.
+func (e *BinaryExpr) Position() Pos { return e.X.Position() }
+
+// Position implements Expr.
+func (e *UnaryExpr) Position() Pos { return e.OpPos }
+
+// Position implements Expr.
+func (e *IntLit) Position() Pos { return e.LitPos }
+
+// Position implements Expr.
+func (e *FloatLit) Position() Pos { return e.LitPos }
+
+// Position implements Expr.
+func (e *BoolLit) Position() Pos { return e.LitPos }
+
+// Builtins is the set of built-in functions of Section 4.1 plus the helpers
+// the evaluation queries use. The planner expands the high-level operators
+// (sum, max, argmax, em, topk) into concrete implementations.
+var Builtins = map[string]struct {
+	MinArgs, MaxArgs int
+}{
+	"sum":           {1, 1}, // aggregate an array (or db) element-wise
+	"max":           {1, 1},
+	"argmax":        {1, 1},
+	"em":            {1, 2}, // exponential mechanism: em(scores[, epsilon])
+	"topk":          {2, 3}, // topk(scores, k[, epsilon])
+	"laplace":       {1, 2}, // laplace(value[, epsilon])
+	"gumbel":        {1, 1}, // explicit Gumbel noise, scale argument
+	"exp":           {1, 1},
+	"log2":          {1, 1},
+	"clip":          {3, 3}, // clip(x, lo, hi)
+	"sampleUniform": {1, 1}, // secrecy of the sample, rate argument
+	"len":           {1, 1},
+	"output":        {1, 1},
+	"declassify":    {1, 1},
+	"abs":           {1, 1},
+	"sqrt":          {1, 1},
+	"array":         {1, 1}, // array(n): fresh zero array of length n
+}

@@ -1,0 +1,187 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// lexer turns query source into tokens.
+type lexer struct {
+	src  []rune
+	pos  int
+	line int
+	col  int
+}
+
+type lexeme struct {
+	tok Token
+	lit string
+	pos Pos
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: []rune(src), line: 1, col: 1}
+}
+
+func (l *lexer) peek() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) peek2() rune {
+	if l.pos+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+1]
+}
+
+func (l *lexer) advance() rune {
+	r := l.src[l.pos]
+	l.pos++
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func (l *lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		r := l.peek()
+		switch {
+		case unicode.IsSpace(r):
+			l.advance()
+		case r == '/' && l.peek2() == '/':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case r == '/' && l.peek2() == '*':
+			start := Pos{l.line, l.col}
+			l.advance()
+			l.advance()
+			closed := false
+			for l.pos < len(l.src) {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return fmt.Errorf("%v: unterminated block comment", start)
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func (l *lexer) next() (lexeme, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return lexeme{}, err
+	}
+	pos := Pos{l.line, l.col}
+	if l.pos >= len(l.src) {
+		return lexeme{tok: EOF, pos: pos}, nil
+	}
+	r := l.peek()
+	switch {
+	case unicode.IsLetter(r) || r == '_':
+		var sb strings.Builder
+		for l.pos < len(l.src) && (unicode.IsLetter(l.peek()) || unicode.IsDigit(l.peek()) || l.peek() == '_') {
+			sb.WriteRune(l.advance())
+		}
+		word := sb.String()
+		if kw, ok := keywords[word]; ok {
+			return lexeme{tok: kw, lit: word, pos: pos}, nil
+		}
+		return lexeme{tok: IDENT, lit: word, pos: pos}, nil
+	case unicode.IsDigit(r):
+		var sb strings.Builder
+		isFloat := false
+		for l.pos < len(l.src) && (unicode.IsDigit(l.peek()) || l.peek() == '.') {
+			if l.peek() == '.' {
+				if isFloat || !unicode.IsDigit(l.peek2()) {
+					break
+				}
+				isFloat = true
+			}
+			sb.WriteRune(l.advance())
+		}
+		tok := INT
+		if isFloat {
+			tok = FLOAT
+		}
+		return lexeme{tok: tok, lit: sb.String(), pos: pos}, nil
+	}
+	l.advance()
+	two := func(second rune, with, without Token) (lexeme, error) {
+		if l.peek() == second {
+			l.advance()
+			return lexeme{tok: with, lit: tokenNames[with], pos: pos}, nil
+		}
+		if without == ILLEGAL {
+			return lexeme{}, fmt.Errorf("%v: unexpected character %q", pos, string(r))
+		}
+		return lexeme{tok: without, lit: tokenNames[without], pos: pos}, nil
+	}
+	switch r {
+	case ';':
+		return lexeme{tok: SEMI, lit: ";", pos: pos}, nil
+	case ',':
+		return lexeme{tok: COMMA, lit: ",", pos: pos}, nil
+	case '(':
+		return lexeme{tok: LPAREN, lit: "(", pos: pos}, nil
+	case ')':
+		return lexeme{tok: RPAREN, lit: ")", pos: pos}, nil
+	case '[':
+		return lexeme{tok: LBRACK, lit: "[", pos: pos}, nil
+	case ']':
+		return lexeme{tok: RBRACK, lit: "]", pos: pos}, nil
+	case '+':
+		return lexeme{tok: ADD, lit: "+", pos: pos}, nil
+	case '-':
+		return lexeme{tok: SUB, lit: "-", pos: pos}, nil
+	case '*':
+		return lexeme{tok: MUL, lit: "*", pos: pos}, nil
+	case '/':
+		return lexeme{tok: QUO, lit: "/", pos: pos}, nil
+	case '&':
+		return two('&', LAND, ILLEGAL)
+	case '|':
+		return two('|', LOR, ILLEGAL)
+	case '<':
+		return two('=', LEQ, LSS)
+	case '>':
+		return two('=', GEQ, GTR)
+	case '=':
+		return two('=', EQL, ASSIGN)
+	case '!':
+		return two('=', NEQ, NOT)
+	}
+	return lexeme{}, fmt.Errorf("%v: unexpected character %q", pos, string(r))
+}
+
+// lexAll tokenizes the whole source.
+func lexAll(src string) ([]lexeme, error) {
+	l := newLexer(src)
+	var out []lexeme
+	for {
+		lx, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, lx)
+		if lx.tok == EOF {
+			return out, nil
+		}
+	}
+}

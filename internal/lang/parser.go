@@ -1,0 +1,368 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parse parses query source into a Program.
+func Parse(src string) (*Program, error) {
+	lexemes, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{lexemes: lexemes}
+	stmts, err := p.stmtList(EOF)
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().tok != EOF {
+		return nil, p.errorf("unexpected %v after program end", p.cur().tok)
+	}
+	return &Program{Stmts: stmts}, nil
+}
+
+// MustParse parses and panics on error; for compile-time-known queries.
+func MustParse(src string) *Program {
+	prog, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+type parser struct {
+	lexemes []lexeme
+	pos     int
+}
+
+func (p *parser) cur() lexeme { return p.lexemes[p.pos] }
+
+func (p *parser) advance() lexeme {
+	lx := p.lexemes[p.pos]
+	if lx.tok != EOF {
+		p.pos++
+	}
+	return lx
+}
+
+func (p *parser) expect(tok Token) (lexeme, error) {
+	if p.cur().tok != tok {
+		return lexeme{}, p.errorf("expected %v, found %v", tok, p.cur().tok)
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("%v: %s", p.cur().pos, fmt.Sprintf(format, args...))
+}
+
+// stmtList parses statements until one of the closing tokens (which is not
+// consumed). Semicolons separate statements; trailing semicolons are fine.
+func (p *parser) stmtList(closers ...Token) ([]Stmt, error) {
+	isCloser := func(t Token) bool {
+		for _, c := range closers {
+			if t == c {
+				return true
+			}
+		}
+		return false
+	}
+	var stmts []Stmt
+	for {
+		for p.cur().tok == SEMI {
+			p.advance()
+		}
+		if isCloser(p.cur().tok) {
+			return stmts, nil
+		}
+		if p.cur().tok == EOF {
+			return nil, p.errorf("unexpected end of input (missing %v?)", closers[0])
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+		// A statement is followed by a separator or a closer.
+		if p.cur().tok != SEMI && !isCloser(p.cur().tok) && p.cur().tok != EOF {
+			return nil, p.errorf("expected ';' after statement, found %v", p.cur().tok)
+		}
+	}
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	switch p.cur().tok {
+	case FOR:
+		return p.forStmt()
+	case IF:
+		return p.ifStmt()
+	case IDENT:
+		return p.identStmt()
+	default:
+		// Bare expression statement (rare; output(...) goes through IDENT).
+		pos := p.cur().pos
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &ExprStmt{Pos: pos, X: x}, nil
+	}
+}
+
+// identStmt disambiguates assignment, indexed assignment, and expression
+// statements that start with an identifier (calls).
+func (p *parser) identStmt() (Stmt, error) {
+	pos := p.cur().pos
+	name := p.advance().lit
+	switch p.cur().tok {
+	case ASSIGN:
+		p.advance()
+		v, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &AssignStmt{Pos: pos, Name: name, Value: v}, nil
+	case LBRACK:
+		p.advance()
+		idx, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RBRACK); err != nil {
+			return nil, err
+		}
+		if p.cur().tok == ASSIGN {
+			p.advance()
+			v, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			return &AssignStmt{Pos: pos, Name: name, Index: idx, Value: v}, nil
+		}
+		// Not an assignment: it was an index expression; keep parsing it.
+		var x Expr = &IndexExpr{X: &Ident{NamePos: pos, Name: name}, Index: idx}
+		x, err = p.continueExpr(x, 0)
+		if err != nil {
+			return nil, err
+		}
+		return &ExprStmt{Pos: pos, X: x}, nil
+	case LPAREN:
+		call, err := p.callExpr(pos, name)
+		if err != nil {
+			return nil, err
+		}
+		x, err := p.continueExpr(call, 0)
+		if err != nil {
+			return nil, err
+		}
+		return &ExprStmt{Pos: pos, X: x}, nil
+	default:
+		x, err := p.continueExpr(&Ident{NamePos: pos, Name: name}, 0)
+		if err != nil {
+			return nil, err
+		}
+		return &ExprStmt{Pos: pos, X: x}, nil
+	}
+}
+
+func (p *parser) forStmt() (Stmt, error) {
+	pos := p.cur().pos
+	p.advance() // for
+	v, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(ASSIGN); err != nil {
+		return nil, err
+	}
+	from, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TO); err != nil {
+		return nil, err
+	}
+	to, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(DO); err != nil {
+		return nil, err
+	}
+	body, err := p.stmtList(ENDFOR)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(ENDFOR); err != nil {
+		return nil, err
+	}
+	return &ForStmt{Pos: pos, Var: v.lit, From: from, To: to, Body: body}, nil
+}
+
+func (p *parser) ifStmt() (Stmt, error) {
+	pos := p.cur().pos
+	p.advance() // if
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(THEN); err != nil {
+		return nil, err
+	}
+	then, err := p.stmtList(ELSE, ENDIF)
+	if err != nil {
+		return nil, err
+	}
+	var els []Stmt
+	if p.cur().tok == ELSE {
+		p.advance()
+		els, err = p.stmtList(ENDIF)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(ENDIF); err != nil {
+		return nil, err
+	}
+	return &IfStmt{Pos: pos, Cond: cond, Then: then, Else: els}, nil
+}
+
+// expr parses a full expression with precedence climbing.
+func (p *parser) expr() (Expr, error) {
+	x, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	return p.continueExpr(x, 0)
+}
+
+// continueExpr extends a parsed left operand with binary operators of
+// at least the given precedence.
+func (p *parser) continueExpr(x Expr, minPrec int) (Expr, error) {
+	for {
+		op := p.cur().tok
+		prec := op.Precedence()
+		if prec == 0 || prec < minPrec {
+			return x, nil
+		}
+		p.advance()
+		y, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		// Bind tighter operators on the right first.
+		y, err = p.continueExpr(y, prec+1)
+		if err != nil {
+			return nil, err
+		}
+		x = &BinaryExpr{Op: op, X: x, Y: y}
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	switch p.cur().tok {
+	case NOT, SUB:
+		lx := p.advance()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{OpPos: lx.pos, Op: lx.tok, X: x}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	lx := p.cur()
+	switch lx.tok {
+	case INT:
+		p.advance()
+		v, err := strconv.ParseInt(lx.lit, 10, 64)
+		if err != nil {
+			return nil, p.errorf("bad integer literal %q", lx.lit)
+		}
+		return p.suffix(&IntLit{LitPos: lx.pos, Value: v})
+	case FLOAT:
+		p.advance()
+		v, err := strconv.ParseFloat(lx.lit, 64)
+		if err != nil {
+			return nil, p.errorf("bad float literal %q", lx.lit)
+		}
+		return p.suffix(&FloatLit{LitPos: lx.pos, Value: v})
+	case TRUE:
+		p.advance()
+		return p.suffix(&BoolLit{LitPos: lx.pos, Value: true})
+	case FALSE:
+		p.advance()
+		return p.suffix(&BoolLit{LitPos: lx.pos, Value: false})
+	case LPAREN:
+		p.advance()
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return nil, err
+		}
+		return p.suffix(x)
+	case IDENT:
+		p.advance()
+		if p.cur().tok == LPAREN {
+			call, err := p.callExpr(lx.pos, lx.lit)
+			if err != nil {
+				return nil, err
+			}
+			return p.suffix(call)
+		}
+		return p.suffix(&Ident{NamePos: lx.pos, Name: lx.lit})
+	default:
+		return nil, p.errorf("unexpected %v in expression", lx.tok)
+	}
+}
+
+// suffix applies indexing suffixes: x[i][j]...
+func (p *parser) suffix(x Expr) (Expr, error) {
+	for p.cur().tok == LBRACK {
+		p.advance()
+		idx, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RBRACK); err != nil {
+			return nil, err
+		}
+		x = &IndexExpr{X: x, Index: idx}
+	}
+	return x, nil
+}
+
+func (p *parser) callExpr(pos Pos, name string) (Expr, error) {
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	var args []Expr
+	if p.cur().tok != RPAREN {
+		for {
+			a, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, a)
+			if p.cur().tok != COMMA {
+				break
+			}
+			p.advance()
+		}
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	if b, ok := Builtins[name]; ok {
+		if len(args) < b.MinArgs || len(args) > b.MaxArgs {
+			return nil, fmt.Errorf("%v: %s takes %d..%d arguments, got %d",
+				pos, name, b.MinArgs, b.MaxArgs, len(args))
+		}
+	}
+	return &CallExpr{NamePos: pos, Func: name, Args: args}, nil
+}

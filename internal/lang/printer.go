@@ -1,0 +1,159 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format pretty-prints a program back to query-language source.
+func Format(p *Program) string {
+	var sb strings.Builder
+	printStmts(&sb, p.Stmts, 0)
+	return sb.String()
+}
+
+// LineCount returns the number of source lines of the formatted program;
+// Table 2 reports this per query.
+func LineCount(p *Program) int {
+	s := strings.TrimRight(Format(p), "\n")
+	if s == "" {
+		return 0
+	}
+	return strings.Count(s, "\n") + 1
+}
+
+func printStmts(sb *strings.Builder, stmts []Stmt, depth int) {
+	for _, s := range stmts {
+		printStmt(sb, s, depth)
+	}
+}
+
+func indent(sb *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		sb.WriteString("  ")
+	}
+}
+
+func printStmt(sb *strings.Builder, s Stmt, depth int) {
+	indent(sb, depth)
+	switch st := s.(type) {
+	case *AssignStmt:
+		if st.Index != nil {
+			fmt.Fprintf(sb, "%s[%s] = %s;\n", st.Name, FormatExpr(st.Index), FormatExpr(st.Value))
+		} else {
+			fmt.Fprintf(sb, "%s = %s;\n", st.Name, FormatExpr(st.Value))
+		}
+	case *ExprStmt:
+		fmt.Fprintf(sb, "%s;\n", FormatExpr(st.X))
+	case *ForStmt:
+		fmt.Fprintf(sb, "for %s = %s to %s do\n", st.Var, FormatExpr(st.From), FormatExpr(st.To))
+		printStmts(sb, st.Body, depth+1)
+		indent(sb, depth)
+		sb.WriteString("endfor;\n")
+	case *IfStmt:
+		fmt.Fprintf(sb, "if %s then\n", FormatExpr(st.Cond))
+		printStmts(sb, st.Then, depth+1)
+		if st.Else != nil {
+			indent(sb, depth)
+			sb.WriteString("else\n")
+			printStmts(sb, st.Else, depth+1)
+		}
+		indent(sb, depth)
+		sb.WriteString("endif;\n")
+	default:
+		fmt.Fprintf(sb, "/* unknown statement %T */\n", s)
+	}
+}
+
+// FormatExpr renders one expression.
+func FormatExpr(e Expr) string {
+	switch ex := e.(type) {
+	case *Ident:
+		return ex.Name
+	case *IntLit:
+		return fmt.Sprintf("%d", ex.Value)
+	case *FloatLit:
+		return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%f", ex.Value), "0"), ".")
+	case *BoolLit:
+		if ex.Value {
+			return "true"
+		}
+		return "false"
+	case *IndexExpr:
+		return fmt.Sprintf("%s[%s]", FormatExpr(ex.X), FormatExpr(ex.Index))
+	case *CallExpr:
+		args := make([]string, len(ex.Args))
+		for i, a := range ex.Args {
+			args[i] = FormatExpr(a)
+		}
+		return fmt.Sprintf("%s(%s)", ex.Func, strings.Join(args, ", "))
+	case *UnaryExpr:
+		return fmt.Sprintf("%s%s", ex.Op, maybeParen(ex.X))
+	case *BinaryExpr:
+		return fmt.Sprintf("%s %s %s", maybeParen(ex.X), ex.Op, maybeParen(ex.Y))
+	default:
+		return fmt.Sprintf("/* unknown expr %T */", e)
+	}
+}
+
+// maybeParen wraps nested binary expressions so the printed form re-parses
+// with identical structure.
+func maybeParen(e Expr) string {
+	if _, ok := e.(*BinaryExpr); ok {
+		return "(" + FormatExpr(e) + ")"
+	}
+	return FormatExpr(e)
+}
+
+// Walk calls fn for every statement (pre-order), descending into bodies.
+func Walk(stmts []Stmt, fn func(Stmt)) {
+	for _, s := range stmts {
+		fn(s)
+		switch st := s.(type) {
+		case *ForStmt:
+			Walk(st.Body, fn)
+		case *IfStmt:
+			Walk(st.Then, fn)
+			Walk(st.Else, fn)
+		}
+	}
+}
+
+// WalkExprs calls fn for every expression in the statement list (pre-order).
+func WalkExprs(stmts []Stmt, fn func(Expr)) {
+	var walkExpr func(Expr)
+	walkExpr = func(e Expr) {
+		if e == nil {
+			return
+		}
+		fn(e)
+		switch ex := e.(type) {
+		case *IndexExpr:
+			walkExpr(ex.X)
+			walkExpr(ex.Index)
+		case *CallExpr:
+			for _, a := range ex.Args {
+				walkExpr(a)
+			}
+		case *BinaryExpr:
+			walkExpr(ex.X)
+			walkExpr(ex.Y)
+		case *UnaryExpr:
+			walkExpr(ex.X)
+		}
+	}
+	Walk(stmts, func(s Stmt) {
+		switch st := s.(type) {
+		case *AssignStmt:
+			walkExpr(st.Index)
+			walkExpr(st.Value)
+		case *ExprStmt:
+			walkExpr(st.X)
+		case *ForStmt:
+			walkExpr(st.From)
+			walkExpr(st.To)
+		case *IfStmt:
+			walkExpr(st.Cond)
+		}
+	})
+}

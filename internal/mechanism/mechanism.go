@@ -1,0 +1,289 @@
+// Package mechanism implements the differential-privacy mechanisms Arboretum
+// plans around (Section 2.1): the Laplace mechanism for numerical queries,
+// the exponential mechanism for categorical queries — in both the textbook
+// exponentiation form and the Gumbel-noise form of Figure 4 — top-k
+// selection, and the secrecy-of-the-sample amplification bound.
+//
+// Samplers work in the Q30.16 fixed-point arithmetic of internal/fixed,
+// matching the paper's MP-SPDZ sfix programs (Section 6): base-2
+// exponentials per Ilvento, and tails clipped to the representable range
+// (which is what adds the small δ the paper mentions).
+package mechanism
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"arboretum/internal/fixed"
+)
+
+// Rand is the randomness source for the samplers. Deterministic seeding is
+// used by tests and the simulation runtime; a deployment would draw from the
+// committee's joint randomness.
+type Rand interface {
+	// Uniform returns a uniform value in (0, 1) as fixed point, never 0.
+	Uniform() fixed.Fixed
+	// Intn returns a uniform integer in [0, n).
+	Intn(n int) int
+}
+
+// mathRand adapts math/rand; the MPC committee's joint coin replaces this in
+// a deployment.
+type mathRand struct{ r *rand.Rand }
+
+// NewRand returns a seeded randomness source.
+func NewRand(seed int64) Rand { return &mathRand{r: rand.New(rand.NewSource(seed))} }
+
+func (m *mathRand) Uniform() fixed.Fixed {
+	for {
+		f := fixed.FromFloat(m.r.Float64())
+		if f > 0 {
+			return f
+		}
+	}
+}
+
+func (m *mathRand) Intn(n int) int { return m.r.Intn(n) }
+
+// Laplace draws Lap(scale) noise: the paper's laplace(s/ε) for a sensitivity-s
+// sum (Section 2.1). Sampled by inverse CDF in fixed point.
+func Laplace(rng Rand, scale fixed.Fixed) fixed.Fixed {
+	if scale <= 0 {
+		return 0
+	}
+	// u uniform in (0,1); x = -scale * sign(u-1/2) * ln(1 - 2|u - 1/2|).
+	u := rng.Uniform()
+	half := fixed.One >> 1
+	d := u.Sub(fixed.Fixed(half))
+	neg := d < 0
+	if neg {
+		d = d.Neg()
+	}
+	inner := fixed.One.Sub(d.Add(d))
+	if inner <= 0 {
+		inner = 1 // clip to the smallest representable positive value
+	}
+	x := fixed.Ln(inner).Mul(scale).Neg()
+	if neg {
+		x = x.Neg()
+	}
+	return x
+}
+
+// Gumbel draws Gumbel(scale) noise: −scale · ln(−ln u). Used by the em
+// variant on the right of Figure 4 (noise 2·sens/ε per score).
+func Gumbel(rng Rand, scale fixed.Fixed) fixed.Fixed {
+	if scale <= 0 {
+		return 0
+	}
+	u := rng.Uniform()
+	l := fixed.Ln(u).Neg() // −ln u > 0
+	if l <= 0 {
+		l = 1
+	}
+	return fixed.Ln(l).Mul(scale).Neg()
+}
+
+// EMVariant selects one of the two instantiations of the em operator
+// (Figure 4); the planner tries both and scores each.
+type EMVariant int
+
+const (
+	// EMExponentiate is the textbook CDF-inversion form (Figure 4, left):
+	// exponentiate scores, draw r in [0, Σ), return the bracketing index.
+	EMExponentiate EMVariant = iota
+	// EMGumbel adds Gumbel noise to every score and returns the argmax
+	// (Figure 4, right).
+	EMGumbel
+)
+
+func (v EMVariant) String() string {
+	switch v {
+	case EMExponentiate:
+		return "exponentiate"
+	case EMGumbel:
+		return "gumbel"
+	default:
+		return fmt.Sprintf("EMVariant(%d)", int(v))
+	}
+}
+
+// normalizationBits is the paper's L = max(s) − 11 window ("16 bits"): scores
+// further than this below the maximum round to probability zero, which is
+// what introduces the δ term.
+const normalizationBits = 11
+
+// Exponential runs the exponential mechanism over integer quality scores with
+// the given sensitivity and ε, using the requested variant. It returns the
+// selected index.
+func Exponential(rng Rand, scores []int64, sensitivity int64, epsilon float64, v EMVariant) (int, error) {
+	if len(scores) == 0 {
+		return 0, errors.New("mechanism: empty score vector")
+	}
+	if sensitivity <= 0 || epsilon <= 0 {
+		return 0, fmt.Errorf("mechanism: sensitivity %d and epsilon %g must be positive", sensitivity, epsilon)
+	}
+	switch v {
+	case EMExponentiate:
+		return emExponentiate(rng, scores, sensitivity, epsilon)
+	case EMGumbel:
+		return emGumbel(rng, scores, sensitivity, epsilon)
+	default:
+		return 0, fmt.Errorf("mechanism: unknown variant %v", v)
+	}
+}
+
+// emExponentiate mirrors Figure 4 (left): normalize to [max−L, max], weight
+// w_i = exp((s_i − L)·ε/(2·sens)), draw r ∈ [0, Σw), return the bracket.
+func emExponentiate(rng Rand, scores []int64, sensitivity int64, epsilon float64) (int, error) {
+	maxScore := scores[0]
+	for _, s := range scores[1:] {
+		if s > maxScore {
+			maxScore = s
+		}
+	}
+	low := maxScore - normalizationBits*2*sensitivity // scores below contribute ~0
+	epsFix := fixed.FromFloat(epsilon)
+	denom := fixed.FromInt(2 * sensitivity)
+	weights := make([]fixed.Fixed, len(scores))
+	var total fixed.Fixed
+	for i, s := range scores {
+		if s < low {
+			weights[i] = 0
+			continue
+		}
+		exponent := fixed.FromInt(s - low).Mul(epsFix).Div(denom)
+		w := fixed.Exp(exponent)
+		weights[i] = w
+		total = total.Add(w)
+	}
+	if total <= 0 {
+		return 0, errors.New("mechanism: all weights underflowed")
+	}
+	r := rng.Uniform().Mul(total)
+	var cum fixed.Fixed
+	for i, w := range weights {
+		cum = cum.Add(w)
+		if r < cum {
+			return i, nil
+		}
+	}
+	return len(scores) - 1, nil
+}
+
+// emGumbel mirrors Figure 4 (right): s_i + Gumbel(2·sens/ε), return argmax.
+func emGumbel(rng Rand, scores []int64, sensitivity int64, epsilon float64) (int, error) {
+	scale := fixed.FromFloat(2 * float64(sensitivity) / epsilon)
+	best := 0
+	var bestVal fixed.Fixed
+	for i, s := range scores {
+		noised := fixed.FromInt(s).Add(Gumbel(rng, scale))
+		if i == 0 || noised > bestVal {
+			best = i
+			bestVal = noised
+		}
+	}
+	return best, nil
+}
+
+// TopK returns the k indices with the highest Gumbel-noised scores
+// (Durfee-Rogers pay-what-you-get top-k, the paper's topK query). Per
+// Section 2.1, noising once and releasing the k best costs (√k·ε, 0)-DP;
+// noising k times costs (k·ε, 0)-DP — the OneShot flag selects which.
+func TopK(rng Rand, scores []int64, k int, sensitivity int64, epsilon float64, oneShot bool) ([]int, error) {
+	if k <= 0 || k > len(scores) {
+		return nil, fmt.Errorf("mechanism: k=%d out of range (1..%d)", k, len(scores))
+	}
+	if sensitivity <= 0 || epsilon <= 0 {
+		return nil, errors.New("mechanism: sensitivity and epsilon must be positive")
+	}
+	scale := fixed.FromFloat(2 * float64(sensitivity) / epsilon)
+	type noised struct {
+		idx int
+		val fixed.Fixed
+	}
+	ns := make([]noised, len(scores))
+	for i, s := range scores {
+		ns[i] = noised{idx: i, val: fixed.FromInt(s).Add(Gumbel(rng, scale))}
+	}
+	if !oneShot {
+		// Peeling: re-noise after each selection (k independent draws).
+		out := make([]int, 0, k)
+		taken := make(map[int]bool, k)
+		for round := 0; round < k; round++ {
+			best := -1
+			var bestVal fixed.Fixed
+			for i, s := range scores {
+				if taken[i] {
+					continue
+				}
+				v := fixed.FromInt(s).Add(Gumbel(rng, scale))
+				if best == -1 || v > bestVal {
+					best, bestVal = i, v
+				}
+			}
+			taken[best] = true
+			out = append(out, best)
+		}
+		return out, nil
+	}
+	// One-shot: sort by the single noised draw, take k best.
+	for i := 1; i < len(ns); i++ {
+		for j := i; j > 0 && ns[j].val > ns[j-1].val; j-- {
+			ns[j], ns[j-1] = ns[j-1], ns[j]
+		}
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = ns[i].idx
+	}
+	return out, nil
+}
+
+// AmplifyBySampling returns the effective ε after running an (ε, 0)-DP query
+// on a φ-sample with secrecy of the sample (Section 2.1):
+// ε' = ln(1 + φ(e^ε − 1)).
+func AmplifyBySampling(epsilon, phi float64) (float64, error) {
+	if phi <= 0 || phi > 1 {
+		return 0, fmt.Errorf("mechanism: sampling rate %g out of (0,1]", phi)
+	}
+	if epsilon <= 0 {
+		return 0, errors.New("mechanism: epsilon must be positive")
+	}
+	return math.Log1p(phi * (math.Expm1(epsilon))), nil
+}
+
+// SampleBins implements the bin protocol from Section 6: given b bins and a
+// target sample size fraction x/b, the committee draws a starting bin j and
+// decrypts only bins j..j+x−1 (mod b). Devices independently place their
+// input in a uniform bin via DeviceBin.
+type SampleBins struct {
+	B int // total bins in a ciphertext
+	X int // bins sampled
+	J int // committee's secret starting bin
+}
+
+// NewSampleBins draws the committee's secret window start.
+func NewSampleBins(rng Rand, b, x int) (*SampleBins, error) {
+	if b <= 0 || x <= 0 || x > b {
+		return nil, fmt.Errorf("mechanism: invalid bins b=%d x=%d", b, x)
+	}
+	return &SampleBins{B: b, X: x, J: rng.Intn(b)}, nil
+}
+
+// DeviceBin returns the uniform bin a device places its contribution in.
+func (s *SampleBins) DeviceBin(rng Rand) int { return rng.Intn(s.B) }
+
+// Included reports whether a bin falls inside the sampled window.
+func (s *SampleBins) Included(bin int) bool {
+	d := bin - s.J
+	if d < 0 {
+		d += s.B
+	}
+	return d < s.X
+}
+
+// Rate returns the effective sampling probability x/b.
+func (s *SampleBins) Rate() float64 { return float64(s.X) / float64(s.B) }

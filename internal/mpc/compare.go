@@ -1,0 +1,192 @@
+package mpc
+
+import (
+	"errors"
+	"fmt"
+
+	"arboretum/internal/fixed"
+)
+
+// Comparison protocols in the Catrina–de Hoogh style: the value is shifted
+// non-negative, masked with dealer-provided random bits plus a statistical
+// mask, opened, and the masked low bits are compared against the shared
+// random bits with a borrow-scan of Beaver multiplications. The paper notes
+// that "the first comparison is more expensive than subsequent comparisons
+// because it requires the generation of multiplication triples"
+// (Section 6) — here that shows up as DealerBytes preprocessing.
+
+// bitLTPublic computes the shared bit [c < r] where c is public and r is
+// given by its shared bits rBits (LSB first). Uses the most-significant
+// differing bit: [c < r] = Σ_i r_i(1−c_i) · Π_{j>i} (1 − f_j) with
+// f_j = r_j ⊕ c_j. The prefix products take len−1 sequential
+// multiplications.
+func (e *Engine) bitLTPublic(c uint64, rBits []Secret) Secret {
+	n := len(rBits)
+	// f_j = r_j ⊕ c_j is affine in the shared bit: c_j=0 → r_j; c_j=1 → 1−r_j.
+	f := make([]Secret, n)
+	for j := 0; j < n; j++ {
+		if (c>>uint(j))&1 == 0 {
+			f[j] = rBits[j]
+		} else {
+			f[j] = e.AddConst(e.MulConst(rBits[j], -1), 1)
+		}
+	}
+	// prefix[i] = Π_{j>i} (1 − f_j), scanning from the MSB.
+	prefix := make([]Secret, n)
+	one := e.shareValue(1) // public constant sharing (deterministic poly not needed for correctness)
+	prefix[n-1] = one
+	for i := n - 2; i >= 0; i-- {
+		notF := e.AddConst(e.MulConst(f[i+1], -1), 1)
+		prefix[i] = e.Mul(prefix[i+1], notF)
+	}
+	// term_i = r_i(1−c_i) · prefix_i ; r_i(1−c_i) is local.
+	var acc Secret
+	first := true
+	for i := 0; i < n; i++ {
+		if (c>>uint(i))&1 == 1 {
+			continue // (1−c_i) = 0
+		}
+		term := e.Mul(rBits[i], prefix[i])
+		if first {
+			acc = term
+			first = false
+		} else {
+			acc = e.Add(acc, term)
+		}
+	}
+	if first {
+		// c had all bits set: c ≥ r always.
+		return e.shareValue(0)
+	}
+	return acc
+}
+
+// Mod2m returns a mod 2^m for a signed value a in
+// (−2^(ValueBits−1), 2^(ValueBits−1)).
+func (e *Engine) Mod2m(a Secret, m int) (Secret, error) {
+	if m <= 0 || m >= ValueBits {
+		return Secret{}, fmt.Errorf("mpc: Mod2m with m=%d out of (0,%d)", m, ValueBits)
+	}
+	// Dealer randomness: m shared bits and a statistical mask.
+	rBits := make([]Secret, m)
+	var rLow Secret
+	rLowSet := false
+	for i := 0; i < m; i++ {
+		bit, _ := e.randomBit()
+		rBits[i] = bit
+		shifted := e.mulConstField(bit, uint64(1)<<uint(i))
+		if !rLowSet {
+			rLow = shifted
+			rLowSet = true
+		} else {
+			rLow = e.Add(rLow, shifted)
+		}
+	}
+	rHigh := e.randomBounded(ValueBits + kappaStat - m)
+	// c = a + 2^(ValueBits−1) + r_low + 2^m·r_high, opened.
+	shiftA := e.AddConst(a, 1<<(ValueBits-1))
+	masked := e.Add(shiftA, rLow)
+	masked = e.Add(masked, e.mulConstField(rHigh, uint64(1)<<uint(m)))
+	c := e.reconstruct(masked)
+	e.stats.Opens++
+	e.chargeBroadcastRound(1)
+	cLow := c & ((uint64(1) << uint(m)) - 1)
+	// u = [cLow < r_low]: a borrow from the low bits.
+	u := e.bitLTPublic(cLow, rBits)
+	// a mod 2^m = cLow − r_low + 2^m·u.
+	res := e.AddConst(e.MulConst(rLow, -1), int64(cLow))
+	res = e.Add(res, e.mulConstField(u, uint64(1)<<uint(m)))
+	return res, nil
+}
+
+// Trunc returns ⌊a / 2^m⌋ (arithmetic shift) for signed a within range.
+func (e *Engine) Trunc(a Secret, m int) (Secret, error) {
+	low, err := e.Mod2m(a, m)
+	if err != nil {
+		return Secret{}, err
+	}
+	diff := e.Sub(a, low)
+	return e.mulConstField(diff, finv(uint64(1)<<uint(m))), nil
+}
+
+// LTZ returns the shared bit [a < 0] for a in
+// (−2^(ValueBits−1), 2^(ValueBits−1)).
+func (e *Engine) LTZ(a Secret) (Secret, error) {
+	e.stats.Comparisons++
+	t, err := e.Trunc(a, ValueBits-1)
+	if err != nil {
+		return Secret{}, err
+	}
+	// ⌊a/2^(k−1)⌋ is −1 for negative a, 0 otherwise.
+	return e.MulConst(t, -1), nil
+}
+
+// Less returns the shared bit [a < b]. Operands must satisfy
+// |a|, |b| < 2^(ValueBits−2) so the difference stays in range.
+func (e *Engine) Less(a, b Secret) (Secret, error) {
+	return e.LTZ(e.Sub(a, b))
+}
+
+// Max returns the maximum of the values and the shared one-hot... rather, the
+// shared maximum value, by a sequential tournament of Less+Select.
+func (e *Engine) Max(vals []Secret) (Secret, error) {
+	if len(vals) == 0 {
+		return Secret{}, errors.New("mpc: empty max")
+	}
+	best := vals[0]
+	for _, v := range vals[1:] {
+		lt, err := e.Less(best, v)
+		if err != nil {
+			return Secret{}, err
+		}
+		best = e.Select(lt, v, best)
+	}
+	return best, nil
+}
+
+// Argmax returns the (shared) index of the maximum value: the em operator's
+// inner loop (Figure 4, right; Figure 5's final committee vignette).
+func (e *Engine) Argmax(vals []Secret) (Secret, error) {
+	if len(vals) == 0 {
+		return Secret{}, errors.New("mpc: empty argmax")
+	}
+	best := vals[0]
+	bestIdx := e.shareValue(0)
+	for i, v := range vals[1:] {
+		lt, err := e.Less(best, v)
+		if err != nil {
+			return Secret{}, err
+		}
+		best = e.Select(lt, v, best)
+		idx := e.shareValue(uint64(i + 1))
+		bestIdx = e.Select(lt, idx, bestIdx)
+	}
+	return bestIdx, nil
+}
+
+// --- fixed-point layer ---
+
+// InputFixed shares a Q30.16 fixed-point value from one party.
+func (e *Engine) InputFixed(owner int, v fixed.Fixed) (Secret, error) {
+	return e.Input(owner, int64(v))
+}
+
+// JointFixed shares a fixed-point value on behalf of the committee
+// (joint noise sampling).
+func (e *Engine) JointFixed(v fixed.Fixed) Secret {
+	return e.JointSecret(int64(v))
+}
+
+// OpenFixed opens a secret as a fixed-point value.
+func (e *Engine) OpenFixed(s Secret) fixed.Fixed {
+	return fixed.Fixed(e.Open(s))
+}
+
+// FixedMul multiplies two shared fixed-point values and rescales by
+// truncation. The product before truncation must stay within
+// (−2^(ValueBits−1), 2^(ValueBits−1)); callers keep real magnitudes small
+// (|a·b| < 2^15 in real terms at the default parameters).
+func (e *Engine) FixedMul(a, b Secret) (Secret, error) {
+	prod := e.Mul(a, b)
+	return e.Trunc(prod, fixed.FracBits)
+}

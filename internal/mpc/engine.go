@@ -1,0 +1,344 @@
+// Package mpc implements the honest-majority multi-party computation engine
+// Arboretum's committees run (Sections 5.4 and 6).
+//
+// The engine simulates an m-party Shamir-sharing MPC in one process with
+// faithful protocol structure and communication accounting: linear operations
+// are local; multiplications consume Beaver triples and cost one round of
+// openings; comparisons run the Catrina–de Hoogh bit-decomposition protocols
+// on dealer-provided random bits. The paper's prototype uses MP-SPDZ
+// (SPDZ-wise Shamir); as in MP-SPDZ, the preprocessing (triples, random
+// bits) is generated ahead of the online phase — here by an in-process
+// dealer, which is the documented substitution for MP-SPDZ's offline phase
+// (DESIGN.md). Round and byte counts drive the cost model and the
+// heterogeneity experiments.
+//
+// Values are field elements of the same 60-bit prime field as internal/bgv
+// (the paper sets the MPC modulus to BGV's ciphertext modulus). Signed
+// integers up to ValueBits bits are embedded centered; fixed-point values
+// reuse internal/fixed's Q30.16 scaling.
+package mpc
+
+import (
+	"errors"
+	"fmt"
+)
+
+const (
+	// ValueBits bounds the magnitude of signed values used in comparisons:
+	// inputs to LTZ must lie in (−2^(ValueBits−1), 2^(ValueBits−1)).
+	ValueBits = 48
+	// kappaStat is the statistical masking parameter of the comparison
+	// protocols. ValueBits + kappaStat must stay below the 60-bit field.
+	// (A deployment would use ≥ 40; the paper's MP-SPDZ programs use 40.
+	// The reduced test value keeps everything inside one word — documented
+	// simulation parameter, DESIGN.md.)
+	kappaStat = 10
+)
+
+// Stats records the communication and computation of one MPC execution;
+// the cost model and the runtime consume these.
+type Stats struct {
+	Rounds      int   // sequential communication rounds
+	TotalBytes  int64 // bytes sent across all parties (online phase)
+	Opens       int   // values opened
+	Triples     int   // Beaver triples consumed
+	RandBits    int   // dealer random bits consumed
+	DealerBytes int64 // preprocessing material distributed (offline phase)
+	LocalMults  int64 // field multiplications (per-party compute proxy)
+	Comparisons int   // comparison protocols executed (LTZ invocations)
+	perParty    []int64
+}
+
+// MaxPartyBytes returns the largest per-party traffic (what a committee
+// member actually sends), the quantity behind Figure 7a.
+func (s *Stats) MaxPartyBytes() int64 {
+	var m int64
+	for _, b := range s.perParty {
+		if b > m {
+			m = b
+		}
+	}
+	return m
+}
+
+// Secret is a secret-shared field element: shares[i] is party i's share
+// (evaluation point x = i+1).
+type Secret struct {
+	shares []uint64
+}
+
+// Engine coordinates one committee's MPC.
+type Engine struct {
+	M int // parties
+	T int // reconstruction threshold (strict majority)
+
+	stats    Stats
+	lagrange []uint64 // Lagrange coefficients at 0 for points 1..T
+}
+
+// NewEngine creates an engine for an m-party committee (m ≥ 3). The
+// threshold is the strict majority ⌊m/2⌋+1, the honest-majority setting.
+func NewEngine(m int) (*Engine, error) {
+	if m < 3 {
+		return nil, fmt.Errorf("mpc: committee of %d is too small", m)
+	}
+	e := &Engine{M: m, T: m/2 + 1}
+	e.stats.perParty = make([]int64, m)
+	e.lagrange = lagrangeAtZero(e.T)
+	return e, nil
+}
+
+// Stats returns a copy of the execution statistics.
+func (e *Engine) Stats() Stats {
+	s := e.stats
+	s.perParty = append([]int64(nil), e.stats.perParty...)
+	return s
+}
+
+// lagrangeAtZero precomputes ℓ_i(0) for evaluation points 1..t.
+func lagrangeAtZero(t int) []uint64 {
+	out := make([]uint64, t)
+	for i := 0; i < t; i++ {
+		num, den := uint64(1), uint64(1)
+		xi := uint64(i + 1)
+		for j := 0; j < t; j++ {
+			if j == i {
+				continue
+			}
+			xj := uint64(j + 1)
+			num = fmul(num, xj)
+			den = fmul(den, fsub(xj, xi))
+		}
+		out[i] = fmul(num, finv(den))
+	}
+	return out
+}
+
+// shareValue creates a fresh degree-(T−1) sharing of v.
+func (e *Engine) shareValue(v uint64) Secret {
+	coeffs := make([]uint64, e.T)
+	coeffs[0] = v
+	for i := 1; i < e.T; i++ {
+		coeffs[i] = randField()
+	}
+	shares := make([]uint64, e.M)
+	for p := 0; p < e.M; p++ {
+		x := uint64(p + 1)
+		acc := uint64(0)
+		for i := e.T - 1; i >= 0; i-- {
+			acc = fadd(fmul(acc, x), coeffs[i])
+		}
+		shares[p] = acc
+	}
+	return Secret{shares: shares}
+}
+
+// Input shares a value known to one party (the owner distributes shares to
+// the other m−1 parties; one round).
+func (e *Engine) Input(owner int, v int64) (Secret, error) {
+	if owner < 0 || owner >= e.M {
+		return Secret{}, fmt.Errorf("mpc: owner %d out of range", owner)
+	}
+	s := e.shareValue(toField(v))
+	e.stats.Rounds++
+	sent := int64(8 * (e.M - 1))
+	e.stats.TotalBytes += sent
+	e.stats.perParty[owner] += sent
+	return s, nil
+}
+
+// JointSecret shares a value sampled by the simulation on behalf of the
+// whole committee (joint noise, dealer-assisted randomness): no single party
+// learns it. One distribution round is charged. This models the committee's
+// joint sampling step; see the package comment for the substitution note.
+func (e *Engine) JointSecret(v int64) Secret {
+	s := e.shareValue(toField(v))
+	e.chargeBroadcastRound(1)
+	return s
+}
+
+// chargeBroadcastRound charges k all-to-all broadcast values in one round.
+func (e *Engine) chargeBroadcastRound(k int) {
+	e.stats.Rounds++
+	per := int64(8 * k * (e.M - 1))
+	for p := 0; p < e.M; p++ {
+		e.stats.perParty[p] += per
+	}
+	e.stats.TotalBytes += per * int64(e.M)
+}
+
+// reconstruct recovers the secret from the first T shares.
+func (e *Engine) reconstruct(s Secret) uint64 {
+	acc := uint64(0)
+	for i := 0; i < e.T; i++ {
+		acc = fadd(acc, fmul(e.lagrange[i], s.shares[i]))
+		e.stats.LocalMults++
+	}
+	return acc
+}
+
+// Open reveals a secret to all parties (one broadcast round).
+func (e *Engine) Open(s Secret) int64 {
+	e.stats.Opens++
+	e.chargeBroadcastRound(1)
+	return fromField(e.reconstruct(s))
+}
+
+// openMany reveals several secrets in a single round.
+func (e *Engine) openMany(ss []Secret) []uint64 {
+	e.stats.Opens += len(ss)
+	e.chargeBroadcastRound(len(ss))
+	out := make([]uint64, len(ss))
+	for i, s := range ss {
+		out[i] = e.reconstruct(s)
+	}
+	return out
+}
+
+// Add returns a+b (local).
+func (e *Engine) Add(a, b Secret) Secret {
+	out := Secret{shares: make([]uint64, e.M)}
+	for i := range out.shares {
+		out.shares[i] = fadd(a.shares[i], b.shares[i])
+	}
+	return out
+}
+
+// Sub returns a−b (local).
+func (e *Engine) Sub(a, b Secret) Secret {
+	out := Secret{shares: make([]uint64, e.M)}
+	for i := range out.shares {
+		out.shares[i] = fsub(a.shares[i], b.shares[i])
+	}
+	return out
+}
+
+// AddConst returns a+k for public k (local).
+func (e *Engine) AddConst(a Secret, k int64) Secret {
+	kk := toField(k)
+	out := Secret{shares: make([]uint64, e.M)}
+	for i := range out.shares {
+		out.shares[i] = fadd(a.shares[i], kk)
+	}
+	return out
+}
+
+// MulConst returns a·k for public k (local).
+func (e *Engine) MulConst(a Secret, k int64) Secret {
+	kk := toField(k)
+	out := Secret{shares: make([]uint64, e.M)}
+	for i := range out.shares {
+		out.shares[i] = fmul(a.shares[i], kk)
+		e.stats.LocalMults++
+	}
+	return out
+}
+
+// mulConstField is MulConst for a raw field constant.
+func (e *Engine) mulConstField(a Secret, k uint64) Secret {
+	out := Secret{shares: make([]uint64, e.M)}
+	for i := range out.shares {
+		out.shares[i] = fmul(a.shares[i], k)
+		e.stats.LocalMults++
+	}
+	return out
+}
+
+// --- dealer (preprocessing) ---
+
+// triple produces a fresh Beaver triple (a, b, ab).
+func (e *Engine) triple() (Secret, Secret, Secret) {
+	a := randField()
+	b := randField()
+	e.stats.Triples++
+	e.stats.DealerBytes += int64(3 * 8 * e.M)
+	return e.shareValue(a), e.shareValue(b), e.shareValue(fmul(a, b))
+}
+
+// randomBit produces a shared uniform bit with its cleartext retained by the
+// dealer only (preprocessing).
+func (e *Engine) randomBit() (Secret, uint64) {
+	b := randField() & 1
+	e.stats.RandBits++
+	e.stats.DealerBytes += int64(8 * e.M)
+	return e.shareValue(b), b
+}
+
+// randomBounded produces a shared uniform value in [0, 2^bits).
+func (e *Engine) randomBounded(bitsN int) Secret {
+	v := uint64(0)
+	for i := 0; i < bitsN; i++ {
+		v |= (randField() & 1) << uint(i)
+	}
+	e.stats.DealerBytes += int64(8 * e.M)
+	return e.shareValue(v)
+}
+
+// --- multiplication ---
+
+// Mul returns a·b via a Beaver triple (one communication round: the two
+// maskings open together).
+func (e *Engine) Mul(a, b Secret) Secret {
+	ta, tb, tc := e.triple()
+	d := e.Sub(a, ta)
+	f := e.Sub(b, tb)
+	opened := e.openMany([]Secret{d, f})
+	dv, fv := opened[0], opened[1]
+	// z = c + d·b + f·a + d·f
+	z := e.Add(tc, e.mulConstField(tb, dv))
+	z = e.Add(z, e.mulConstField(ta, fv))
+	df := fmul(dv, fv)
+	out := Secret{shares: make([]uint64, e.M)}
+	for i := range out.shares {
+		out.shares[i] = fadd(z.shares[i], df)
+	}
+	return out
+}
+
+// Select returns x if bit=1 else y: y + bit·(x−y), one multiplication.
+// bit must be a sharing of 0 or 1.
+func (e *Engine) Select(bit, x, y Secret) Secret {
+	return e.Add(y, e.Mul(bit, e.Sub(x, y)))
+}
+
+// Sum adds a slice of secrets (local).
+func (e *Engine) Sum(vals []Secret) (Secret, error) {
+	if len(vals) == 0 {
+		return Secret{}, errors.New("mpc: empty sum")
+	}
+	acc := vals[0]
+	for _, v := range vals[1:] {
+		acc = e.Add(acc, v)
+	}
+	return acc, nil
+}
+
+// Transfer re-shares a secret held by one committee into another committee's
+// MPC — the share-level core of the verifiable secret redistribution that
+// Arboretum uses between consecutive MPC vignettes (Section 5.4): each
+// member of the sending committee re-shares its share into the receiving
+// committee, and the receivers combine the sub-shares with the senders'
+// Lagrange coefficients. (The commitment-verification layer lives in
+// internal/vsr; the runtime uses it for key material, and this for
+// in-protocol values.) Both engines record the communication.
+func Transfer(from *Engine, s Secret, to *Engine) Secret {
+	// Lagrange coefficients for the sending committee's first T points.
+	lambda := from.lagrange
+	out := Secret{shares: make([]uint64, to.M)}
+	for i := 0; i < from.T; i++ {
+		sub := to.shareValue(s.shares[i])
+		for j := range out.shares {
+			out.shares[j] = fadd(out.shares[j], fmul(lambda[i], sub.shares[j]))
+		}
+	}
+	// Each sender distributes sub-shares to every receiver (one round);
+	// receivers combine locally.
+	from.stats.Rounds++
+	sent := int64(8 * to.M)
+	for i := 0; i < from.T && i < from.M; i++ {
+		from.stats.perParty[i] += sent
+	}
+	from.stats.TotalBytes += sent * int64(from.T)
+	to.stats.LocalMults += int64(from.T * to.M)
+	return out
+}

@@ -1,0 +1,86 @@
+package mpc
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"math/bits"
+)
+
+// The MPC field. Following the paper (Section 6: "the encryption, decryption,
+// and key generation MPCs set the prime modulus to BGV's ciphertext
+// modulus"), we compute over the same 60-bit prime as internal/bgv.
+const fieldPrime uint64 = 1152921504606830593 // 2^60 − 2^18 + 1
+
+func fadd(a, b uint64) uint64 {
+	s := a + b
+	if s >= fieldPrime {
+		s -= fieldPrime
+	}
+	return s
+}
+
+func fsub(a, b uint64) uint64 {
+	if a >= b {
+		return a - b
+	}
+	return a + fieldPrime - b
+}
+
+func fmul(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	_, rem := bits.Div64(hi, lo, fieldPrime)
+	return rem
+}
+
+func fpow(a, e uint64) uint64 {
+	result := uint64(1)
+	base := a % fieldPrime
+	for e > 0 {
+		if e&1 == 1 {
+			result = fmul(result, base)
+		}
+		base = fmul(base, base)
+		e >>= 1
+	}
+	return result
+}
+
+func finv(a uint64) uint64 { return fpow(a, fieldPrime-2) }
+
+func fneg(a uint64) uint64 {
+	if a == 0 {
+		return 0
+	}
+	return fieldPrime - a
+}
+
+// toField maps a signed integer into the field (negative values wrap).
+func toField(v int64) uint64 {
+	if v >= 0 {
+		return uint64(v) % fieldPrime
+	}
+	return fieldPrime - (uint64(-v) % fieldPrime)
+}
+
+// fromField maps a field element back to a centered signed integer.
+func fromField(v uint64) int64 {
+	if v > fieldPrime/2 {
+		return -int64(fieldPrime - v)
+	}
+	return int64(v)
+}
+
+// randField returns a uniform field element from crypto/rand.
+func randField() uint64 {
+	var buf [8]byte
+	for {
+		if _, err := rand.Read(buf[:]); err != nil {
+			panic("mpc: randomness unavailable: " + err.Error())
+		}
+		v := binary.LittleEndian.Uint64(buf[:])
+		// Rejection sampling over a multiple of the prime keeps it unbiased.
+		if v < fieldPrime*16 {
+			return v % fieldPrime
+		}
+	}
+}

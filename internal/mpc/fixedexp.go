@@ -1,0 +1,47 @@
+package mpc
+
+import (
+	"fmt"
+
+	"arboretum/internal/fixed"
+)
+
+// FixedExp computes e^x on a shared fixed-point value, for the
+// exponentiation-based em variant (Figure 4, left) running inside a
+// committee. The input must lie in [0, 5] (the runtime normalizes scores
+// into this window before exponentiating — a narrower window than the
+// paper's 16-bit one, sized to the Q30.16 multiplication range).
+//
+// Range reduction: y = x/4, a degree-7 Taylor polynomial of e^y on
+// [0, 1.25] with public coefficients, then two squarings. All intermediate
+// magnitudes stay below 2^15 in real terms, within FixedMul's contract.
+func (e *Engine) FixedExp(x Secret) (Secret, error) {
+	// y = x/4 (exact: divide by shifting the public reciprocal).
+	quarter := fixed.FromRatio(1, 4)
+	y := e.mulConstField(x, toField(int64(quarter)))
+	y, err := e.Trunc(y, fixed.FracBits)
+	if err != nil {
+		return Secret{}, fmt.Errorf("mpc: FixedExp range reduction: %w", err)
+	}
+	// Horner evaluation of Σ y^k/k!, k = 0..7, coefficients public.
+	coeffs := make([]fixed.Fixed, 8)
+	f := 1.0
+	for k := 0; k < 8; k++ {
+		coeffs[k] = fixed.FromFloat(1.0 / f)
+		f *= float64(k + 1)
+	}
+	h := e.shareValue(toField(int64(coeffs[7])))
+	for k := 6; k >= 0; k-- {
+		hy, err := e.FixedMul(h, y)
+		if err != nil {
+			return Secret{}, err
+		}
+		h = e.AddConst(hy, int64(coeffs[k]))
+	}
+	// Square twice: e^x = ((e^{x/4})^2)^2.
+	h2, err := e.FixedMul(h, h)
+	if err != nil {
+		return Secret{}, err
+	}
+	return e.FixedMul(h2, h2)
+}

@@ -1,0 +1,132 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"arboretum/internal/costmodel"
+)
+
+func TestStringers(t *testing.T) {
+	for _, l := range []Location{Aggregator, Committee, Device, Location(99)} {
+		if l.String() == "" {
+			t.Errorf("location %d unnamed", l)
+		}
+	}
+	for _, r := range []Role{RoleNone, RoleKeyGen, RoleDecrypt, RoleOps, Role(99)} {
+		if r.String() == "" {
+			t.Errorf("role %d unnamed", r)
+		}
+	}
+	for _, c := range []Crypto{CryptoNone, CryptoAHE, CryptoFHE, CryptoMPC, Crypto(99)} {
+		if c.String() == "" {
+			t.Errorf("crypto %d unnamed", c)
+		}
+	}
+}
+
+func TestWorkAdd(t *testing.T) {
+	a := Work{HEAdds: 1, MPCCmps: 2, ZKPGens: 3, CtsOut: 4, Shares: 5}
+	b := Work{HEAdds: 10, MPCCmps: 20, ZKPGens: 30, CtsOut: 40, Shares: 50}
+	a.Add(b)
+	if a.HEAdds != 11 || a.MPCCmps != 22 || a.ZKPGens != 33 || a.CtsOut != 44 || a.Shares != 55 {
+		t.Errorf("Add result %+v", a)
+	}
+}
+
+func TestCommittees(t *testing.T) {
+	v := Vignette{Loc: Committee, Count: 7}
+	if v.Committees() != 7 {
+		t.Errorf("Committees() = %d", v.Committees())
+	}
+	v.Loc = Device
+	if v.Committees() != 0 {
+		t.Error("device vignette consumed committees")
+	}
+}
+
+func TestMemberCostPricesCounters(t *testing.T) {
+	m := costmodel.Default()
+	// A pure HE vignette: no MPC overhead.
+	he := Vignette{Loc: Aggregator, Crypto: CryptoAHE, Work: Work{HEAdds: 1000}}
+	cpu, bytes := he.MemberCost(m, 40)
+	if cpu != 1000*m.HEAdd {
+		t.Errorf("HE cpu = %g, want %g", cpu, 1000*m.HEAdd)
+	}
+	if bytes != 0 {
+		t.Errorf("HE-only vignette sent %g bytes", bytes)
+	}
+	// An MPC vignette pays startup plus per-op costs, scaled by the
+	// committee size.
+	mpcV := Vignette{Loc: Committee, Crypto: CryptoMPC, Work: Work{MPCCmps: 10}}
+	cpu40, bytes40 := mpcV.MemberCost(m, 40)
+	wantCPU := m.MPCStartupCPU + 10*m.MPCPerCmpCPU + m.MPCFirstCmpPen
+	if cpu40 != wantCPU {
+		t.Errorf("MPC cpu = %g, want %g", cpu40, wantCPU)
+	}
+	_, bytes80 := mpcV.MemberCost(m, 80)
+	if bytes80 <= bytes40 {
+		t.Error("MPC traffic should grow with the committee size")
+	}
+	// The first-comparison penalty applies once, not per comparison.
+	one := Vignette{Crypto: CryptoMPC, Work: Work{MPCCmps: 1}}
+	many := Vignette{Crypto: CryptoMPC, Work: Work{MPCCmps: 100}}
+	cpuOne, _ := one.MemberCost(m, 40)
+	cpuMany, _ := many.MemberCost(m, 40)
+	if cpuMany-cpuOne != 99*m.MPCPerCmpCPU {
+		t.Errorf("first-comparison penalty applied more than once: Δ=%g", cpuMany-cpuOne)
+	}
+}
+
+// Property: MemberCost is monotone in every work counter.
+func TestQuickMemberCostMonotone(t *testing.T) {
+	m := costmodel.Default()
+	f := func(adds, cmps uint8) bool {
+		a := Vignette{Crypto: CryptoMPC, Work: Work{HEAdds: int64(adds), MPCCmps: int64(cmps)}}
+		b := a
+		b.Work.HEAdds++
+		b.Work.MPCCmps++
+		ca, ba := a.MemberCost(m, 40)
+		cb, bb := b.MemberCost(m, 40)
+		return cb >= ca && bb >= ba
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlanString(t *testing.T) {
+	p := &Plan{
+		Query: "demo", N: 1 << 20, Categories: 16,
+		CommitteeCount: 3, CommitteeSize: 5,
+		Vignettes: []*Vignette{
+			{ID: 0, Desc: "keygen", Loc: Committee, Role: RoleKeyGen, Count: 1, Crypto: CryptoMPC},
+			{ID: 1, Desc: "encrypt", Loc: Device, Parallel: true, Count: 1 << 20, Crypto: CryptoAHE},
+			{ID: 2, Desc: "sum", Loc: Aggregator, Count: 1, Crypto: CryptoAHE},
+		},
+	}
+	s := p.String()
+	for _, want := range []string{"demo", "keygen", "x1048576", "aggregator", "committee/keygen"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestDetailString(t *testing.T) {
+	m := costmodel.Default()
+	p := &Plan{
+		Query: "demo", N: 1 << 20, Categories: 16, CommitteeSize: 40,
+		Vignettes: []*Vignette{
+			{ID: 0, Desc: "keygen", Loc: Committee, Role: RoleKeyGen, Count: 1,
+				Crypto: CryptoMPC, Work: Work{KeyGens: 1}},
+			{ID: 1, Desc: "sum", Loc: Aggregator, Count: 1, Crypto: CryptoAHE,
+				Work: Work{HEAdds: 100}},
+		},
+	}
+	s := p.DetailString(m)
+	if !strings.Contains(s, "per-vignette") || !strings.Contains(s, "keygen") {
+		t.Errorf("DetailString missing sections:\n%s", s)
+	}
+}

@@ -1,0 +1,184 @@
+package planner
+
+import (
+	"fmt"
+	"time"
+
+	"arboretum/internal/costmodel"
+	"arboretum/internal/lang"
+	"arboretum/internal/plan"
+	"arboretum/internal/privacy"
+	"arboretum/internal/sortition"
+	"arboretum/internal/types"
+)
+
+// Request describes one planning task: the query, the deployment, the
+// analyst's optimization goal, and optional limits (Section 4.2's example:
+// "the aggregator must not spend more than 1,000 core-hours and user devices
+// must not be asked to send more than 500 MB, and ... the plan with the
+// lowest expected computation time on participant devices").
+type Request struct {
+	Name    string
+	Source  string // query text; Program wins if both set
+	Program *lang.Program
+
+	N          int64       // participants
+	Categories int64       // db row width (one-hot categories)
+	ElemRange  types.Range // db element range; default [0,1]
+
+	Goal   costmodel.Metric
+	Limits costmodel.Limits
+
+	Model      *costmodel.Model      // nil → costmodel.Default()
+	SizeParams *sortition.SizeParams // nil → sortition.DefaultSizeParams
+	Privacy    *privacy.Options      // nil → privacy.DefaultOptions
+
+	// DisableBranchAndBound turns off pruning (the ablation of Section 7.3).
+	DisableBranchAndBound bool
+	// NodeCap bounds the search when pruning is disabled (0 = default).
+	NodeCap int64
+
+	// ForceChoices pins steps to implementations whose choice value starts
+	// with the given prefix (e.g. {"sum": "device-tree"} forces a sum tree,
+	// {"em": "gumbel"} forces the Gumbel variant). Used by the design-choice
+	// ablations and by `arboretum explain` to price the roads not taken.
+	ForceChoices map[string]string
+}
+
+// DefaultLimits matches the evaluation setup (Section 7.2): participants may
+// send up to 4 GB and compute up to 20 minutes. The aggregator budget is set
+// to 10,000 core-hours — consistent with Figure 8b, which shows runs of up
+// to ~15 hours on 1,000 cores (Figure 10 separately sweeps tighter budgets
+// of 1,000 and 5,000 core-hours).
+var DefaultLimits = costmodel.Limits{
+	PartMaxBytes: 4e9,
+	PartMaxCPU:   20 * 60,
+	AggCPU:       10000 * 3600,
+}
+
+// Result is the planning outcome.
+type Result struct {
+	Plan         *plan.Plan
+	Certificate  *privacy.Certificate
+	Stats        Stats
+	PlanningTime time.Duration
+}
+
+// Plan runs the whole pipeline of Section 4: certify, expand, place, encrypt,
+// score, and select.
+func Plan(req Request) (*Result, error) {
+	start := time.Now()
+	if req.N <= 0 {
+		return nil, fmt.Errorf("planner: invalid participant count %d", req.N)
+	}
+	if req.Categories <= 0 {
+		req.Categories = 1
+	}
+	prog := req.Program
+	if prog == nil {
+		var err error
+		prog, err = lang.Parse(req.Source)
+		if err != nil {
+			return nil, fmt.Errorf("planner: parse: %w", err)
+		}
+	}
+	elem := req.ElemRange
+	if elem.Lo == 0 && elem.Hi == 0 {
+		elem = types.Range{Lo: 0, Hi: 1}
+	}
+	db := types.DBInfo{N: req.N, Width: req.Categories, ElemRange: elem}
+	info, err := types.Infer(prog, db)
+	if err != nil {
+		return nil, fmt.Errorf("planner: type inference: %w", err)
+	}
+	popts := privacy.DefaultOptions
+	if req.Privacy != nil {
+		popts = *req.Privacy
+	}
+	cert, err := privacy.Certify(prog, info, popts)
+	if err != nil {
+		return nil, fmt.Errorf("planner: certification: %w", err)
+	}
+
+	steps, err := decompose(prog, info)
+	if err != nil {
+		return nil, err
+	}
+
+	model := req.Model
+	if model == nil {
+		model = costmodel.Default()
+	}
+	size := sortition.DefaultSizeParams
+	if req.SizeParams != nil {
+		size = *req.SizeParams
+	}
+	sp := defaultSpace(req.N, model)
+	sc := newScorer(req.N, model, size)
+	cfg := searchConfig{
+		goal:      req.Goal,
+		limits:    req.Limits,
+		noBB:      req.DisableBranchAndBound,
+		nodeCap:   req.NodeCap,
+		orderOpts: !req.DisableBranchAndBound,
+		force:     req.ForceChoices,
+	}
+	chosen, cost, bd, m, stats, err := search(steps, sp, sc, cfg)
+	if err != nil {
+		return &Result{Stats: *stats, PlanningTime: time.Since(start)}, err
+	}
+
+	p := assemble(req, chosen, cost, bd, m)
+	return &Result{
+		Plan:         p,
+		Certificate:  cert,
+		Stats:        *stats,
+		PlanningTime: time.Since(start),
+	}, nil
+}
+
+// assemble builds the final Plan object from the winning options.
+func assemble(req Request, chosen []option, cost costmodel.Vector, bd breakdown, m int) *plan.Plan {
+	p := &plan.Plan{
+		Query:           req.Name,
+		N:               req.N,
+		Categories:      req.Categories,
+		Choices:         map[string]string{},
+		Cost:            cost,
+		ByRole:          bd.byRole,
+		BaseCPU:         bd.baseCPU,
+		BaseBytes:       bd.baseBytes,
+		AggOpsCPU:       bd.aggOpsCPU,
+		AggVerifyCPU:    bd.aggVerifyCPU,
+		AggForwardBytes: bd.aggForwardBytes,
+		CommitteeSize:   m,
+	}
+	id := 0
+	add := func(v plan.Vignette) {
+		v.ID = id
+		id++
+		p.Vignettes = append(p.Vignettes, &v)
+	}
+	add(keygenVignette())
+	var committees int64 = 1
+	var prev *plan.Vignette
+	for _, o := range chosen {
+		p.Choices[o.choiceKey] = o.choiceVal
+		for _, v := range o.vignettes {
+			committees += v.Committees()
+			// Merge heuristic (Section 4.4): consecutive vignettes in the
+			// same location might as well be one — unless both run on
+			// committees, where splitting respects per-member work limits.
+			if prev != nil && prev.Loc == v.Loc && v.Loc != plan.Committee &&
+				prev.Parallel == v.Parallel && prev.Count == v.Count && prev.Crypto == v.Crypto {
+				prev.Work.Add(v.Work)
+				prev.Desc = prev.Desc + "; " + v.Desc
+				continue
+			}
+			add(v)
+			prev = p.Vignettes[len(p.Vignettes)-1]
+		}
+	}
+	p.CommitteeCount = int(committees)
+	return p
+}

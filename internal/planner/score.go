@@ -1,0 +1,152 @@
+package planner
+
+import (
+	"math"
+
+	"arboretum/internal/costmodel"
+	"arboretum/internal/plan"
+	"arboretum/internal/sortition"
+)
+
+// scorer turns vignette lists into six-metric cost vectors (Section 4.6).
+// Committee sizes depend on the number of committees, so it memoizes the
+// MinCommitteeSize solver per committee count.
+type scorer struct {
+	n      int64
+	model  *costmodel.Model
+	size   sortition.SizeParams
+	mCache map[int]int
+}
+
+func newScorer(n int64, model *costmodel.Model, size sortition.SizeParams) *scorer {
+	return &scorer{n: n, model: model, size: size, mCache: map[int]int{}}
+}
+
+// committeeSize returns the minimum committee size for c committees;
+// failures (absurd parameter corners) saturate at the search cap.
+func (sc *scorer) committeeSize(c int) int {
+	if c < 1 {
+		c = 1
+	}
+	// Bucket the count so the memo stays small and monotone: round up to
+	// the next power of two (conservative: more committees need bigger m).
+	bucket := 1
+	for bucket < c {
+		bucket <<= 1
+	}
+	if m, ok := sc.mCache[bucket]; ok {
+		return m
+	}
+	m, err := sortition.MinCommitteeSize(bucket, sc.size)
+	if err != nil {
+		m = sc.size.Max
+		if m == 0 {
+			m = 2048
+		}
+	}
+	sc.mCache[bucket] = m
+	return m
+}
+
+// breakdown carries the figure-oriented split alongside the vector.
+type breakdown struct {
+	byRole             map[plan.Role]plan.RoleCost
+	baseCPU, baseBytes float64
+	deviceExtraCPU     float64
+	deviceExtraBytes   float64
+	aggOpsCPU          float64
+	aggVerifyCPU       float64
+	aggForwardBytes    float64
+}
+
+// score prices a (possibly partial) vignette list. Partial lists use the
+// committee size implied by the committees seen so far, which underestimates
+// the final cost — exactly the admissible lower bound branch-and-bound needs.
+func (sc *scorer) score(vs []plan.Vignette) (costmodel.Vector, breakdown, int) {
+	committees := int64(0)
+	for i := range vs {
+		committees += vs[i].Committees()
+	}
+	m := sc.committeeSize(int(committees))
+
+	var v costmodel.Vector
+	bd := breakdown{byRole: map[plan.Role]plan.RoleCost{}}
+	n := float64(sc.n)
+
+	for i := range vs {
+		vig := &vs[i]
+		cpu, bytes := vig.MemberCost(sc.model, m)
+		switch vig.Loc {
+		case plan.Aggregator:
+			total := cpu * float64(vig.Count)
+			v.AggCPU += total
+			verify := float64(vig.Work.ZKPVerifies)*sc.model.ZKPVerify +
+				float64(vig.Work.SigVerifies)*sc.model.SigVerify +
+				float64(vig.Work.MerkleOps)*sc.model.MerkleHash
+			verify *= float64(vig.Count)
+			bd.aggVerifyCPU += verify
+			bd.aggOpsCPU += total - verify
+			sent := bytes * float64(vig.Count)
+			// Audit responses and certificates go to every device.
+			sent += float64(vig.Work.Audits) * (sc.model.AuditRespBytes + sc.model.CertBytes) * float64(vig.Count)
+			v.AggBytes += sent
+		case plan.Device:
+			frac := float64(vig.Count) / n
+			if frac > 1 {
+				frac = 1
+			}
+			v.PartExpCPU += cpu * frac
+			v.PartExpBytes += bytes * frac
+			if vig.Count >= sc.n {
+				// Work every device does (encryption, proofs).
+				bd.baseCPU += cpu
+				bd.baseBytes += bytes
+			} else {
+				// Outsourced work only some devices do (sum-tree vertices).
+				if cpu > bd.deviceExtraCPU {
+					bd.deviceExtraCPU = cpu
+				}
+				if bytes > bd.deviceExtraBytes {
+					bd.deviceExtraBytes = bytes
+				}
+			}
+		case plan.Committee:
+			members := float64(vig.Count) * float64(m)
+			frac := members / n
+			if frac > 1 {
+				frac = 1
+			}
+			v.PartExpCPU += cpu * frac
+			v.PartExpBytes += bytes * frac
+			rc := bd.byRole[vig.Role]
+			// A device serves on at most one committee, so the role's
+			// worst case is the most expensive single vignette.
+			rc.CPU = math.Max(rc.CPU, cpu)
+			rc.Bytes = math.Max(rc.Bytes, bytes)
+			rc.Count += vig.Count
+			bd.byRole[vig.Role] = rc
+			// Committee traffic transits the aggregator's mailbox
+			// (Section 5.4), so the aggregator forwards it all.
+			fwd := bytes * members
+			bd.aggForwardBytes += fwd
+			v.AggBytes += fwd
+		}
+	}
+
+	// Maximum participant cost: every device pays the base; the unlucky one
+	// additionally serves on the most expensive committee (or sum-tree
+	// vertex, whichever is worse).
+	worstCPU, worstBytes := bd.deviceExtraCPU, bd.deviceExtraBytes
+	for _, rc := range bd.byRole {
+		if rc.CPU > worstCPU {
+			worstCPU = rc.CPU
+		}
+		if rc.Bytes > worstBytes {
+			worstBytes = rc.Bytes
+		}
+	}
+	v.PartMaxCPU = bd.baseCPU + worstCPU
+	v.PartMaxBytes = bd.baseBytes + worstBytes
+
+	return v, bd, m
+}

@@ -1,0 +1,185 @@
+package planner
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"arboretum/internal/costmodel"
+	"arboretum/internal/plan"
+)
+
+// Stats reports what the search did (Figure 9 and the branch-and-bound
+// ablation of Section 7.3 read these).
+type Stats struct {
+	PrefixesExplored int64 // DFS nodes visited ("plan prefixes")
+	FullCandidates   int64 // complete plans scored exactly
+	Pruned           int64 // prefixes cut by a limit or the incumbent
+	Aborted          bool  // hit the node cap with pruning disabled
+}
+
+// searchConfig tunes the planner search.
+type searchConfig struct {
+	goal      costmodel.Metric
+	limits    costmodel.Limits
+	noBB      bool              // disable branch-and-bound (ablation, Section 7.3)
+	nodeCap   int64             // safety net for the ablation (0 = default)
+	orderOpts bool              // order options cheapest-first so pruning bites early
+	force     map[string]string // pin steps to choice-value prefixes
+}
+
+const defaultNodeCap = 50_000_000
+
+// betterPlan orders candidate plans: primarily by the analyst's goal, and —
+// when two plans are within rounding error on the goal — by total system
+// cost, so that ties never pick a plan that wastes another entity's
+// resources (e.g. an astronomically expensive FHE circuit on an unlimited
+// aggregator when a committee plan costs participants the same).
+func betterPlan(a, b costmodel.Vector, goal costmodel.Metric) bool {
+	ga, gb := a.Get(goal), b.Get(goal)
+	const relTol = 1e-6
+	if gb > 0 && (gb-ga)/gb > relTol {
+		return true
+	}
+	if ga > 0 && (ga-gb)/ga > relTol {
+		return false
+	}
+	// Tie on the goal: prefer the plan with the smaller total footprint.
+	return totalFootprint(a) < totalFootprint(b)
+}
+
+// totalFootprint is a single scalar mixing all six metrics for tie-breaking
+// (seconds plus bytes at a nominal 100 MB/s).
+func totalFootprint(v costmodel.Vector) float64 {
+	const bytesPerSecond = 1e8
+	return v.AggCPU + v.PartExpCPU + v.PartMaxCPU +
+		(v.AggBytes+v.PartExpBytes+v.PartMaxBytes)/bytesPerSecond
+}
+
+// search runs DFS over the per-step options with branch-and-bound pruning.
+// It returns the winning option per step, its exact cost, and breakdowns.
+func search(steps []step, sp searchSpace, sc *scorer, cfg searchConfig) ([]option, costmodel.Vector, breakdown, int, *Stats, error) {
+	stats := &Stats{}
+	opts := make([][]option, len(steps))
+	for i, st := range steps {
+		os := sp.optionsFor(st)
+		if len(os) == 0 {
+			return nil, costmodel.Vector{}, breakdown{}, 0, stats, fmt.Errorf("planner: no implementation for step %v", st.kind)
+		}
+		// Pinned steps keep only the options matching the forced prefix.
+		if len(cfg.force) > 0 {
+			if prefix, pinned := cfg.force[os[0].choiceKey]; pinned {
+				kept := os[:0]
+				for _, o := range os {
+					if strings.HasPrefix(o.choiceVal, prefix) {
+						kept = append(kept, o)
+					}
+				}
+				if len(kept) == 0 {
+					return nil, costmodel.Vector{}, breakdown{}, 0, stats,
+						fmt.Errorf("planner: no %s implementation matches forced choice %q", os[0].choiceKey, prefix)
+				}
+				os = kept
+			}
+		}
+		if cfg.orderOpts {
+			// Heuristic order: score each option in isolation and try the
+			// cheapest first, so a good incumbent appears early and the
+			// bound prunes aggressively.
+			type scored struct {
+				o option
+				v float64
+			}
+			ss := make([]scored, len(os))
+			for j, o := range os {
+				v, _, _ := sc.score(o.vignettes)
+				ss[j] = scored{o: o, v: v.Get(cfg.goal)}
+			}
+			sort.SliceStable(ss, func(a, b int) bool { return ss[a].v < ss[b].v })
+			for j := range ss {
+				os[j] = ss[j].o
+			}
+		}
+		opts[i] = os
+	}
+
+	cap := cfg.nodeCap
+	if cap == 0 {
+		cap = defaultNodeCap
+	}
+
+	var (
+		bestChoice []option
+		bestCost   costmodel.Vector
+		bestBD     breakdown
+		bestM      int
+		haveBest   bool
+	)
+
+	prefix := make([]plan.Vignette, 0, 64)
+	prefix = append(prefix, keygenVignette())
+	choice := make([]option, len(steps))
+
+	var dfs func(depth int) bool // returns false when aborted
+	dfs = func(depth int) bool {
+		stats.PrefixesExplored++
+		if stats.PrefixesExplored > cap {
+			stats.Aborted = true
+			return false
+		}
+		partial, _, _ := sc.score(prefix)
+		if !cfg.noBB {
+			// Prune on hard limits: a prefix above a limit can only get
+			// worse (all work counters are non-negative).
+			if _, bad := cfg.limits.Violated(partial); bad {
+				stats.Pruned++
+				return true
+			}
+			// Prune on the incumbent. Partial costs only grow, so a prefix
+			// already worse than the incumbent (goal-first, footprint on
+			// ties — the same order betterPlan uses) cannot win.
+			if haveBest && !betterPlan(partial, bestCost, cfg.goal) {
+				stats.Pruned++
+				return true
+			}
+		}
+		if depth == len(steps) {
+			stats.FullCandidates++
+			full, bd, m := sc.score(prefix)
+			if _, bad := cfg.limits.Violated(full); bad {
+				return true
+			}
+			if !haveBest || betterPlan(full, bestCost, cfg.goal) {
+				haveBest = true
+				bestCost = full
+				bestBD = bd
+				bestM = m
+				bestChoice = append([]option(nil), choice...)
+			}
+			return true
+		}
+		for _, o := range opts[depth] {
+			mark := len(prefix)
+			prefix = append(prefix, o.vignettes...)
+			choice[depth] = o
+			ok := dfs(depth + 1)
+			prefix = prefix[:mark]
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	dfs(0)
+
+	if stats.Aborted {
+		return nil, costmodel.Vector{}, breakdown{}, 0, stats,
+			errors.New("planner: search exceeded the node cap (branch-and-bound disabled?)")
+	}
+	if !haveBest {
+		return nil, costmodel.Vector{}, breakdown{}, 0, stats,
+			errors.New("planner: no plan satisfies the limits")
+	}
+	return bestChoice, bestCost, bestBD, bestM, stats, nil
+}

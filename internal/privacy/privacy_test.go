@@ -1,0 +1,337 @@
+package privacy
+
+import (
+	"math"
+	"testing"
+
+	"arboretum/internal/lang"
+	"arboretum/internal/types"
+)
+
+var db = types.DBInfo{N: 1 << 20, Width: 8, ElemRange: types.Range{Lo: 0, Hi: 1}}
+
+func certify(t *testing.T, src string) (*Certificate, error) {
+	t.Helper()
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := types.Infer(prog, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Certify(prog, info, DefaultOptions)
+}
+
+func mustCertify(t *testing.T, src string) *Certificate {
+	t.Helper()
+	c, err := certify(t, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestTop1Certifies(t *testing.T) {
+	c := mustCertify(t, `
+aggr = sum(db);
+result = em(aggr);
+output(result);
+`)
+	if c.Epsilon != DefaultOptions.DefaultEpsilon {
+		t.Errorf("ε = %g, want %g", c.Epsilon, DefaultOptions.DefaultEpsilon)
+	}
+	if c.Sensitivity != 1 {
+		t.Errorf("sensitivity = %d, want 1", c.Sensitivity)
+	}
+	if len(c.Mechanisms) != 1 || c.Mechanisms[0].Func != "em" {
+		t.Errorf("mechanisms = %+v", c.Mechanisms)
+	}
+	if c.Delta <= 0 {
+		t.Error("finite-precision δ should be positive")
+	}
+}
+
+func TestExplicitEpsilon(t *testing.T) {
+	c := mustCertify(t, `
+aggr = sum(db);
+result = em(aggr, 0.5);
+output(result);
+`)
+	if c.Epsilon != 0.5 {
+		t.Errorf("ε = %g, want 0.5", c.Epsilon)
+	}
+}
+
+func TestRawOutputRejected(t *testing.T) {
+	if _, err := certify(t, `
+aggr = sum(db);
+output(aggr);
+`); err == nil {
+		t.Fatal("raw aggregate output certified")
+	}
+	if _, err := certify(t, `
+output(db[0][0]);
+`); err == nil {
+		t.Fatal("raw db output certified")
+	}
+}
+
+func TestDeclassifyOfSensitiveRejected(t *testing.T) {
+	if _, err := certify(t, `
+aggr = sum(db);
+x = declassify(aggr);
+output(x);
+`); err == nil {
+		t.Fatal("declassify of unmechanized value certified")
+	}
+}
+
+func TestDeclassifyOfNoisedAccepted(t *testing.T) {
+	c := mustCertify(t, `
+aggr = sum(db);
+n = laplace(aggr[0], 0.1);
+x = declassify(n);
+output(x);
+`)
+	if len(c.Mechanisms) != 1 || c.Mechanisms[0].Func != "laplace" {
+		t.Errorf("mechanisms = %+v", c.Mechanisms)
+	}
+}
+
+// Implicit flows (the Figure 4 exponentiation variant): a loop index chosen
+// by comparing against a noised threshold is itself noised, so declassify is
+// allowed; a loop index chosen by comparing raw data is not.
+func TestImplicitFlowThroughNoised(t *testing.T) {
+	mustCertify(t, `
+aggr = sum(db);
+r = laplace(aggr[0], 0.1);
+result = 0;
+for i = 0 to 7 do
+  if r >= i then
+    result = declassify(i);
+  endif;
+endfor;
+output(result);
+`)
+}
+
+func TestImplicitFlowFromRawRejected(t *testing.T) {
+	if _, err := certify(t, `
+aggr = sum(db);
+result = 0;
+for i = 0 to 7 do
+  if aggr[i] >= 100 then
+    result = i;
+  endif;
+endfor;
+output(result);
+`); err == nil {
+		t.Fatal("implicit flow from raw data certified")
+	}
+}
+
+func TestLoopMultipliesEpsilon(t *testing.T) {
+	c := mustCertify(t, `
+aggr = sum(db);
+total = 0;
+for i = 0 to 4 do
+  n = laplace(aggr[i], 0.1);
+  total = total + declassify(n);
+endfor;
+output(total);
+`)
+	want := 0.5 // 5 iterations × 0.1
+	if math.Abs(c.Epsilon-want) > 1e-9 {
+		t.Errorf("ε = %g, want %g", c.Epsilon, want)
+	}
+}
+
+func TestTopKComposition(t *testing.T) {
+	oneShot := mustCertify(t, `
+aggr = sum(db);
+best = topk(aggr, 4, 0.1);
+output(declassify(best[0]));
+`)
+	// One-shot: √4 × 0.1 = 0.2.
+	if math.Abs(oneShot.Epsilon-0.2) > 1e-9 {
+		t.Errorf("one-shot topk ε = %g, want 0.2", oneShot.Epsilon)
+	}
+	// Peeling: 4 × 0.1 = 0.4.
+	prog := lang.MustParse(`
+aggr = sum(db);
+best = topk(aggr, 4, 0.1);
+output(declassify(best[0]));
+`)
+	info, err := types.Infer(prog, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions
+	opts.OneShotTopK = false
+	peel, err := Certify(prog, info, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(peel.Epsilon-0.4) > 1e-9 {
+		t.Errorf("peeling topk ε = %g, want 0.4", peel.Epsilon)
+	}
+}
+
+func TestSamplingAmplification(t *testing.T) {
+	c := mustCertify(t, `
+sampled = sampleUniform(0.01);
+aggr = sum(db);
+n = laplace(aggr[0], 1.0);
+output(declassify(n));
+`)
+	if c.SampleRate != 0.01 {
+		t.Errorf("sample rate = %g", c.SampleRate)
+	}
+	want := math.Log1p(0.01 * math.Expm1(1.0))
+	if math.Abs(c.Epsilon-want) > 1e-9 {
+		t.Errorf("amplified ε = %g, want %g", c.Epsilon, want)
+	}
+}
+
+func TestClipSensitivity(t *testing.T) {
+	// A product of two sensitive values has unbounded sensitivity; clipping
+	// caps it at the clip width, which the Laplace mechanism then uses.
+	c := mustCertify(t, `
+aggr = sum(db);
+v = clip(aggr[0] * aggr[1], 0, 50);
+n = laplace(v, 0.1);
+output(declassify(n));
+`)
+	if c.Sensitivity != 50 {
+		t.Errorf("sensitivity = %d, want 50 (clip width)", c.Sensitivity)
+	}
+	// Clipping a sensitivity-1 count cannot increase its sensitivity.
+	c2 := mustCertify(t, `
+aggr = sum(db);
+v = clip(aggr[0], 0, 50);
+n = laplace(v, 0.1);
+output(declassify(n));
+`)
+	if c2.Sensitivity != 1 {
+		t.Errorf("clipped count sensitivity = %d, want 1", c2.Sensitivity)
+	}
+}
+
+func TestNoOutputRejected(t *testing.T) {
+	if _, err := certify(t, `aggr = sum(db);`); err == nil {
+		t.Fatal("query without output certified")
+	}
+}
+
+func TestBadOptions(t *testing.T) {
+	prog := lang.MustParse(`output(1);`)
+	info, _ := types.Infer(prog, db)
+	if _, err := Certify(prog, info, Options{DefaultEpsilon: 0}); err == nil {
+		t.Fatal("zero default epsilon accepted")
+	}
+}
+
+func TestPublicOutputOK(t *testing.T) {
+	mustCertify(t, `x = 1 + 2; output(x);`)
+}
+
+func TestBudgetChargeAndExhaustion(t *testing.T) {
+	b, err := NewBudget(1.0, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert := &Certificate{Epsilon: 0.4, Delta: 1e-9}
+	if err := b.Charge(cert); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Charge(cert); err != nil {
+		t.Fatal(err)
+	}
+	// Third charge exceeds ε=1.0.
+	if err := b.Charge(cert); err == nil {
+		t.Fatal("over-budget query accepted")
+	}
+	eps, _ := b.Remaining()
+	if math.Abs(eps-0.2) > 1e-9 {
+		t.Errorf("remaining ε = %g, want 0.2", eps)
+	}
+	if b.Queries() != 2 {
+		t.Errorf("queries = %d, want 2", b.Queries())
+	}
+}
+
+func TestBudgetDeltaExhaustion(t *testing.T) {
+	b, _ := NewBudget(10, 1e-12)
+	cert := &Certificate{Epsilon: 0.1, Delta: 1e-9}
+	if err := b.Charge(cert); err == nil {
+		t.Fatal("δ-exceeding query accepted")
+	}
+}
+
+func TestBadBudget(t *testing.T) {
+	if _, err := NewBudget(0, 1e-6); err == nil {
+		t.Fatal("ε=0 budget accepted")
+	}
+	if _, err := NewBudget(1, -1); err == nil {
+		t.Fatal("negative δ budget accepted")
+	}
+}
+
+// Nested composition: a mechanism inside a conditional inside a loop
+// multiplies by the loop count (the branch may run every iteration).
+func TestMechanismInConditionalLoop(t *testing.T) {
+	c := mustCertify(t, `
+aggr = sum(db);
+total = 0;
+for i = 0 to 9 do
+  n = laplace(aggr[0], 0.1);
+  p = declassify(n);
+  if p > 5 then
+    total = total + 1;
+  endif;
+endfor;
+output(total);
+`)
+	if math.Abs(c.Epsilon-1.0) > 1e-9 {
+		t.Errorf("ε = %g, want 1.0 (10 iterations × 0.1)", c.Epsilon)
+	}
+}
+
+// Multiple mechanisms compose sequentially.
+func TestSequentialComposition(t *testing.T) {
+	c := mustCertify(t, `
+aggr = sum(db);
+a = laplace(aggr[0], 0.2);
+b = em(aggr, 0.3);
+output(declassify(a));
+output(b);
+`)
+	if math.Abs(c.Epsilon-0.5) > 1e-9 {
+		t.Errorf("ε = %g, want 0.5", c.Epsilon)
+	}
+	if len(c.Mechanisms) != 2 {
+		t.Errorf("mechanisms = %d, want 2", len(c.Mechanisms))
+	}
+}
+
+// len() of a sensitive array is public metadata.
+func TestLenIsPublic(t *testing.T) {
+	mustCertify(t, `
+aggr = sum(db);
+n = len(aggr);
+output(n);
+`)
+}
+
+// A mechanism output used as an array index keeps the array's taint: the
+// element is still sensitive.
+func TestIndexByNoisedValueKeepsTaint(t *testing.T) {
+	if _, err := certify(t, `
+aggr = sum(db);
+i = em(aggr, 0.1);
+output(aggr[i]);
+`); err == nil {
+		t.Fatal("outputting a raw element selected by a noised index certified")
+	}
+}

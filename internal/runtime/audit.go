@@ -1,0 +1,157 @@
+package runtime
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"math/big"
+
+	"arboretum/internal/ahe"
+	"arboretum/internal/merkle"
+)
+
+// auditedSum is the aggregator's Merkle-audited summation (Section 5.3):
+// the aggregator sums the input ciphertexts in chunks, commits to every
+// partial result in a Merkle tree, and participant devices challenge random
+// chunks — re-running the chunk's homomorphic additions — to catch a
+// Byzantine aggregator that reports a wrong intermediate value.
+type auditedSum struct {
+	pub      *ahe.PublicKey
+	chunks   [][]*ahe.Ciphertext // inputs per chunk, per category
+	partials [][]*ahe.Ciphertext // claimed running sums after each chunk
+	tree     *merkle.Tree
+}
+
+const auditChunk = 16 // inputs per audited chunk
+
+// aggregateWithAudit sums accepted input vectors column-wise. When byz is
+// set, the aggregator corrupts one partial result (and carries the
+// corruption forward, as a cheating aggregator would).
+func aggregateWithAudit(pub *ahe.PublicKey, inputs [][]*ahe.Ciphertext, byz bool) (*auditedSum, []*ahe.Ciphertext, error) {
+	if len(inputs) == 0 {
+		return nil, nil, fmt.Errorf("runtime: nothing to aggregate")
+	}
+	categories := len(inputs[0])
+	as := &auditedSum{pub: pub}
+	var running []*ahe.Ciphertext
+	corruptAt := -1
+	if byz {
+		corruptAt = (len(inputs) / auditChunk) / 2 // corrupt a middle chunk
+	}
+	for start := 0; start < len(inputs); start += auditChunk {
+		end := start + auditChunk
+		if end > len(inputs) {
+			end = len(inputs)
+		}
+		chunkIdx := start / auditChunk
+		// Record the chunk's input ciphertexts (flattened per category for
+		// the audit replay).
+		var chunkInputs []*ahe.Ciphertext
+		for _, vec := range inputs[start:end] {
+			chunkInputs = append(chunkInputs, vec...)
+		}
+		as.chunks = append(as.chunks, chunkInputs)
+		// Fold the chunk into the running sums.
+		for _, vec := range inputs[start:end] {
+			if running == nil {
+				running = append([]*ahe.Ciphertext(nil), vec...)
+				continue
+			}
+			for c := 0; c < categories; c++ {
+				sum, err := pub.Add(running[c], vec[c])
+				if err != nil {
+					return nil, nil, err
+				}
+				running[c] = sum
+			}
+		}
+		if chunkIdx == corruptAt {
+			// Byzantine aggregator: silently shift category 0's count.
+			bad, err := pub.AddPlain(running[0], big.NewInt(1000))
+			if err != nil {
+				return nil, nil, err
+			}
+			running[0] = bad
+		}
+		snapshot := append([]*ahe.Ciphertext(nil), running...)
+		as.partials = append(as.partials, snapshot)
+	}
+	// Commit to every partial in a Merkle tree.
+	leaves := make([][]byte, len(as.partials))
+	for i, p := range as.partials {
+		leaves[i] = hashCts(p)
+	}
+	tree, err := merkle.New(leaves)
+	if err != nil {
+		return nil, nil, err
+	}
+	as.tree = tree
+	return as, running, nil
+}
+
+func hashCts(cts []*ahe.Ciphertext) []byte {
+	h := sha256.New()
+	for _, ct := range cts {
+		h.Write(ct.C.Bytes())
+	}
+	return h.Sum(nil)
+}
+
+// audit replays chunk k: it verifies the inclusion proof for the claimed
+// partial and recomputes partial[k] = partial[k−1] + Σ chunk inputs. It
+// returns an error when the aggregator's claim is wrong.
+func (as *auditedSum) audit(k int) error {
+	if k < 0 || k >= len(as.partials) {
+		return fmt.Errorf("runtime: audit index %d out of range", k)
+	}
+	proof, err := as.tree.Prove(k)
+	if err != nil {
+		return err
+	}
+	if !merkle.Verify(as.tree.Root(), hashCts(as.partials[k]), proof) {
+		return fmt.Errorf("runtime: inclusion proof for step %d failed", k)
+	}
+	categories := len(as.partials[k])
+	// Recompute from the previous partial (or from scratch for chunk 0).
+	var running []*ahe.Ciphertext
+	if k > 0 {
+		running = append([]*ahe.Ciphertext(nil), as.partials[k-1]...)
+	}
+	chunk := as.chunks[k]
+	for i := 0; i < len(chunk); i += categories {
+		vec := chunk[i : i+categories]
+		if running == nil {
+			running = append([]*ahe.Ciphertext(nil), vec...)
+			continue
+		}
+		for c := 0; c < categories; c++ {
+			sum, err := as.pub.Add(running[c], vec[c])
+			if err != nil {
+				return err
+			}
+			running[c] = sum
+		}
+	}
+	for c := 0; c < categories; c++ {
+		if running[c].C.Cmp(as.partials[k][c].C) != 0 {
+			return fmt.Errorf("runtime: step %d does not recompute: aggregator misbehavior", k)
+		}
+	}
+	return nil
+}
+
+// runAudits has devices challenge random chunks until every chunk has been
+// covered (a small deployment can afford full coverage; at scale the
+// per-device audit count comes from merkle.AuditsPerDevice).
+func (d *Deployment) runAudits(as *auditedSum) error {
+	var firstErr error
+	for k := 0; k < as.tree.Size(); k++ {
+		d.Metrics.AuditsServed++
+		if err := as.audit(k); err != nil {
+			d.Metrics.AuditFailures++
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}

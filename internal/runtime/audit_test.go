@@ -1,0 +1,91 @@
+package runtime
+
+import (
+	"crypto/rand"
+	"strings"
+	"testing"
+
+	"arboretum/internal/ahe"
+)
+
+func auditFixture(t *testing.T, devices, categories int, byz bool) (*auditedSum, []*ahe.Ciphertext, *ahe.PrivateKey) {
+	t.Helper()
+	sk, err := ahe.GenerateKey(rand.Reader, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := make([][]*ahe.Ciphertext, devices)
+	for i := range inputs {
+		vec, err := sk.EncryptVector(rand.Reader, categories, i%categories)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inputs[i] = vec
+	}
+	as, sums, err := aggregateWithAudit(&sk.PublicKey, inputs, byz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return as, sums, sk
+}
+
+func TestAuditedSumCorrectTotals(t *testing.T) {
+	const devices, categories = 40, 4
+	as, sums, sk := auditFixture(t, devices, categories, false)
+	// Column sums must match the data distribution (devices i%4).
+	for c := 0; c < categories; c++ {
+		got, err := sk.Decrypt(sums[c])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Int64() != devices/categories {
+			t.Errorf("category %d sum = %v, want %d", c, got, devices/categories)
+		}
+	}
+	// Chunks: ceil(40/16) = 3 partials committed.
+	if as.tree.Size() != 3 {
+		t.Errorf("tree has %d leaves, want 3", as.tree.Size())
+	}
+	// Every honest chunk audits clean.
+	for k := 0; k < as.tree.Size(); k++ {
+		if err := as.audit(k); err != nil {
+			t.Errorf("honest chunk %d failed audit: %v", k, err)
+		}
+	}
+}
+
+func TestAuditedSumDetectsCorruption(t *testing.T) {
+	as, _, _ := auditFixture(t, 48, 4, true)
+	failures := 0
+	for k := 0; k < as.tree.Size(); k++ {
+		if err := as.audit(k); err != nil {
+			failures++
+			if !strings.Contains(err.Error(), "misbehavior") {
+				t.Errorf("unexpected audit error: %v", err)
+			}
+		}
+	}
+	// Exactly the corrupted chunk fails (the corruption carries forward so
+	// later chunks recompute consistently from the bad partial — the audit
+	// localizes the lie to where it was told).
+	if failures != 1 {
+		t.Errorf("%d chunks failed audit, want exactly 1", failures)
+	}
+}
+
+func TestAuditIndexValidation(t *testing.T) {
+	as, _, _ := auditFixture(t, 20, 2, false)
+	if err := as.audit(-1); err == nil {
+		t.Error("negative audit index accepted")
+	}
+	if err := as.audit(99); err == nil {
+		t.Error("out-of-range audit index accepted")
+	}
+}
+
+func TestAggregateWithAuditEmpty(t *testing.T) {
+	sk, _ := ahe.GenerateKey(rand.Reader, 512)
+	if _, _, err := aggregateWithAudit(&sk.PublicKey, nil, false); err == nil {
+		t.Error("empty aggregation accepted")
+	}
+}

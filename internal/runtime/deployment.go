@@ -1,0 +1,419 @@
+// Package runtime implements Arboretum's execution phase (Section 5): it
+// materializes a (scaled-down) deployment of participant devices and an
+// aggregator, selects committees by sortition, generates keys in the first
+// committee, collects ZKP-validated encrypted inputs, executes the query's
+// vignettes with real cryptography (Paillier AHE for aggregation, the
+// honest-majority MPC engine for committee vignettes, VSR for hand-offs),
+// audits the aggregator with Merkle challenges, and releases the final
+// result.
+//
+// The paper's methodology is to benchmark building blocks and extrapolate to
+// 10^9 devices; likewise, the runtime executes deployments of hundreds to
+// thousands of real devices end-to-end and the eval package extrapolates
+// with the cost model.
+package runtime
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"fmt"
+	mrand "math/rand"
+
+	"arboretum/internal/ahe"
+	"arboretum/internal/mechanism"
+	"arboretum/internal/merkle"
+	"arboretum/internal/privacy"
+	"arboretum/internal/shamir"
+	"arboretum/internal/sortition"
+	"arboretum/internal/vsr"
+	"arboretum/internal/zkp"
+)
+
+// Config shapes a simulated deployment.
+type Config struct {
+	N             int   // participant devices
+	Categories    int   // one-hot width of each device's input
+	CommitteeSize int   // committee size (tests use small committees)
+	Seed          int64 // deterministic device data and noise
+	KeyBits       int   // Paillier modulus size (default 512 for tests)
+
+	// MaliciousFrac of devices submit malformed inputs (without valid
+	// proofs); the aggregator must reject them (Section 5.3).
+	MaliciousFrac float64
+
+	// ByzantineAggregator makes the aggregator corrupt one intermediate
+	// step; device audits must detect it (Section 5.3).
+	ByzantineAggregator bool
+
+	// OfflineFrac of devices are unreachable during the query. Committees
+	// that lose too many members have their tasks reassigned to the next
+	// committee (Section 5.1's churn handling; the tolerated fraction is
+	// OfflineTolerance, the paper's g, default 0.15).
+	OfflineFrac      float64
+	OfflineTolerance float64
+
+	// Data assigns each device its category; nil uses a Zipf-like default.
+	Data func(device int) int
+
+	// BudgetEpsilon is the deployment's total privacy budget (default 10).
+	BudgetEpsilon float64
+}
+
+// Device is one participant.
+type Device struct {
+	ID        int
+	Key       []byte // sortition + proof signing key
+	Category  int    // the sensitive input
+	Malicious bool
+	Offline   bool // unreachable during this query (churn)
+}
+
+// Deployment is a running simulated system.
+type Deployment struct {
+	cfg     Config
+	Devices []*Device
+	Budget  *privacy.Budget
+
+	block    []byte       // sortition randomness B_i
+	registry *merkle.Tree // registered devices (M_i)
+	queryID  uint64
+
+	rng *mrand.Rand
+
+	// execs tracks every committee engine created for the current query so
+	// their traffic can be flushed into the metrics at the end.
+	execs []*committeeExec
+
+	// Measured totals (the simulation's "ground truth" next to the cost
+	// model's estimates).
+	Metrics Metrics
+}
+
+// Metrics accumulates measured costs during execution.
+type Metrics struct {
+	DeviceBytesSent  int64
+	AggregatorBytes  int64
+	CommitteeBytes   int64
+	MPCRounds        int
+	ZKPsVerified     int
+	ZKPsRejected     int
+	AuditsServed     int
+	AuditFailures    int
+	CommitteesFormed int
+	MPCComparisons   int // comparison protocols run inside committee MPCs
+	VSRTransfers     int
+	Reassignments    int // committee tasks moved to the next committee (churn)
+}
+
+// NewDeployment registers N devices and runs the trusted setup (Section 5.1:
+// the initial random block B_0 is chosen while the aggregator is still
+// trusted).
+func NewDeployment(cfg Config) (*Deployment, error) {
+	if cfg.N < 8 {
+		return nil, fmt.Errorf("runtime: need at least 8 devices, have %d", cfg.N)
+	}
+	if cfg.Categories < 1 {
+		return nil, fmt.Errorf("runtime: need at least one category")
+	}
+	if cfg.CommitteeSize == 0 {
+		cfg.CommitteeSize = 5
+	}
+	if cfg.CommitteeSize < 3 || cfg.CommitteeSize > cfg.N/2 {
+		return nil, fmt.Errorf("runtime: committee size %d out of range for N=%d", cfg.CommitteeSize, cfg.N)
+	}
+	if cfg.KeyBits == 0 {
+		cfg.KeyBits = 512
+	}
+	if cfg.BudgetEpsilon == 0 {
+		cfg.BudgetEpsilon = 10
+	}
+	d := &Deployment{cfg: cfg, rng: mrand.New(mrand.NewSource(cfg.Seed))}
+	budget, err := privacy.NewBudget(cfg.BudgetEpsilon, 1e-6)
+	if err != nil {
+		return nil, err
+	}
+	d.Budget = budget
+
+	data := cfg.Data
+	if data == nil {
+		data = d.defaultData
+	}
+	leaves := make([][]byte, cfg.N)
+	nMal := int(float64(cfg.N) * cfg.MaliciousFrac)
+	for i := 0; i < cfg.N; i++ {
+		key := make([]byte, 32)
+		if _, err := rand.Read(key); err != nil {
+			return nil, err
+		}
+		cat := data(i)
+		if cat < 0 || cat >= cfg.Categories {
+			return nil, fmt.Errorf("runtime: device %d category %d out of range", i, cat)
+		}
+		d.Devices = append(d.Devices, &Device{
+			ID: i, Key: key, Category: cat, Malicious: i < nMal,
+		})
+		leaves[i] = append([]byte(fmt.Sprintf("device-%d:", i)), key...)
+	}
+	d.registry, err = merkle.New(leaves)
+	if err != nil {
+		return nil, err
+	}
+	d.block = make([]byte, sha256.Size)
+	if _, err := rand.Read(d.block); err != nil {
+		return nil, err
+	}
+	// Churn: mark a fraction of devices unreachable, with a dedicated RNG
+	// stream so the data distribution stays stable across configs.
+	if cfg.OfflineFrac > 0 {
+		if cfg.OfflineFrac >= 0.5 {
+			return nil, fmt.Errorf("runtime: offline fraction %g too high", cfg.OfflineFrac)
+		}
+		churn := mrand.New(mrand.NewSource(cfg.Seed ^ 0x5eed0ff1))
+		for _, dev := range d.Devices {
+			dev.Offline = churn.Float64() < cfg.OfflineFrac
+		}
+	}
+	return d, nil
+}
+
+// onlineMembers filters a committee to its reachable members.
+func (d *Deployment) onlineMembers(c sortition.Committee) sortition.Committee {
+	var out sortition.Committee
+	for _, id := range c {
+		if !d.Devices[id].Offline {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// viableCommittee reports whether enough members are online: the paper
+// tolerates up to g·m offline members without extra cost, and in any case a
+// strict majority of the original size must remain so reconstruction
+// thresholds hold.
+func (d *Deployment) viableCommittee(c sortition.Committee) bool {
+	g := d.cfg.OfflineTolerance
+	if g == 0 {
+		g = 0.15
+	}
+	online := len(d.onlineMembers(c))
+	if online < len(c)/2+1 || online < 3 {
+		return false
+	}
+	return float64(len(c)-online) <= g*float64(len(c))
+}
+
+// pickViable returns the first viable committees from the sortition output,
+// reassigning the tasks of broken ones to the next committee (Section 5.1:
+// "Arboretum can reassign i's tasks to committee i+1 mod c").
+func (d *Deployment) pickViable(all []sortition.Committee, need int) ([]sortition.Committee, error) {
+	var out []sortition.Committee
+	for _, c := range all {
+		if len(out) == need {
+			break
+		}
+		if d.viableCommittee(c) {
+			out = append(out, d.onlineMembers(c))
+			continue
+		}
+		d.Metrics.Reassignments++
+	}
+	if len(out) < need {
+		return nil, fmt.Errorf("runtime: only %d of %d committees viable under churn", len(out), need)
+	}
+	return out, nil
+}
+
+// defaultData is a Zipf-like category distribution: category 0 is the mode.
+func (d *Deployment) defaultData(device int) int {
+	r := d.rng.Float64()
+	c := 0
+	p := 0.5
+	for r > p && c < d.cfg.Categories-1 {
+		r -= p
+		p /= 2
+		c++
+	}
+	return c
+}
+
+// selectCommittees runs sortition (Section 5.1) for the current query:
+// every device computes its deterministic ticket over (B_i, queryID, 0) and
+// the lowest hashes form the committees.
+func (d *Deployment) selectCommittees(count int) ([]sortition.Committee, error) {
+	tickets := make([]sortition.Ticket, len(d.Devices))
+	for i, dev := range d.Devices {
+		tickets[i] = sortition.MakeTicket(dev.Key, dev.ID, d.block, d.queryID)
+	}
+	cs, err := sortition.Select(tickets, count, d.cfg.CommitteeSize)
+	if err != nil {
+		return nil, err
+	}
+	d.Metrics.CommitteesFormed += len(cs)
+	return cs, nil
+}
+
+// keyMaterial is the deployment's per-query key state: the public key is
+// published in the query authorization certificate; the private key exists
+// only as shares held by the current key committee (Section 5.2).
+type keyMaterial struct {
+	pub          *ahe.PublicKey
+	group        *vsr.Group
+	lambdaShares []shamir.Share
+	muShares     []shamir.Share
+	threshold    int
+	holder       sortition.Committee
+}
+
+// keygen runs the key-generation committee: a fresh Paillier keypair whose
+// private values are immediately secret-shared among the committee; the
+// clear private key is discarded (the simulation's stand-in for generating
+// the key inside the MPC — see DESIGN.md). It also advances the sortition
+// block with the committee's joint randomness.
+func (d *Deployment) keygen(committee sortition.Committee) (*keyMaterial, error) {
+	sk, err := ahe.GenerateKey(rand.Reader, d.cfg.KeyBits)
+	if err != nil {
+		return nil, err
+	}
+	group := vsr.DefaultGroup()
+	field := group.Field()
+	m := len(committee)
+	t := m/2 + 1
+	lambdaShares, err := field.Split(sk.Lambda(), m, t)
+	if err != nil {
+		return nil, err
+	}
+	muShares, err := field.Split(sk.Mu(), m, t)
+	if err != nil {
+		return nil, err
+	}
+	// New random block from member contributions (Section 5.2).
+	contribs := make([][]byte, m)
+	for i := range contribs {
+		c := make([]byte, sha256.Size)
+		if _, err := rand.Read(c); err != nil {
+			return nil, err
+		}
+		contribs[i] = c
+	}
+	next, err := sortition.NextBlock(contribs)
+	if err != nil {
+		return nil, err
+	}
+	d.block = next
+	pub := sk.PublicKey
+	return &keyMaterial{
+		pub:          &pub,
+		group:        group,
+		lambdaShares: lambdaShares,
+		muShares:     muShares,
+		threshold:    t,
+		holder:       committee,
+	}, nil
+}
+
+// handoff redistributes the private-key shares from the current holder to a
+// new committee via VSR (Section 5.2); as long as both committees have an
+// honest majority the new committee can decrypt, and members of the two
+// committees cannot collude to recover the key.
+func (km *keyMaterial) handoff(to sortition.Committee, metrics *Metrics) error {
+	newN := len(to)
+	newT := newN/2 + 1
+	lambda, err := vsr.Redistribute(km.group, km.lambdaShares, km.threshold, newN, newT)
+	if err != nil {
+		return fmt.Errorf("runtime: VSR lambda: %w", err)
+	}
+	mu, err := vsr.Redistribute(km.group, km.muShares, km.threshold, newN, newT)
+	if err != nil {
+		return fmt.Errorf("runtime: VSR mu: %w", err)
+	}
+	km.lambdaShares = lambda
+	km.muShares = mu
+	km.threshold = newT
+	km.holder = to
+	metrics.VSRTransfers++
+	return nil
+}
+
+// reconstructKey lets the current holding committee (honest majority
+// assumed) reassemble the private key for a decryption step.
+func (km *keyMaterial) reconstructKey() (*ahe.PrivateKey, error) {
+	field := km.group.Field()
+	lambda, err := field.Reconstruct(km.lambdaShares, km.threshold)
+	if err != nil {
+		return nil, err
+	}
+	mu, err := field.Reconstruct(km.muShares, km.threshold)
+	if err != nil {
+		return nil, err
+	}
+	return ahe.FromSecrets(km.pub, lambda, mu), nil
+}
+
+// collectInputs has every device encrypt its one-hot row under the query
+// key and prove well-formedness; the aggregator verifies each proof and
+// drops invalid uploads (Section 5.3). Malicious devices upload garbage
+// vectors with forged proofs.
+func (d *Deployment) collectInputs(km *keyMaterial) ([][]*ahe.Ciphertext, error) {
+	keys := make(map[int][]byte, len(d.Devices))
+	for _, dev := range d.Devices {
+		keys[dev.ID] = dev.Key
+	}
+	verifier := zkp.NewVerifier(keys)
+	var accepted [][]*ahe.Ciphertext
+	for _, dev := range d.Devices {
+		if dev.Offline {
+			continue // churned devices simply do not upload
+		}
+		claim := zkp.Claim{Kind: zkp.ClaimOneHot, VectorLen: d.cfg.Categories}
+		stmt := zkp.Statement{Device: dev.ID, QueryID: d.queryID, Claim: claim}
+		var vec []*ahe.Ciphertext
+		var proof *zkp.Proof
+		if dev.Malicious {
+			// Upload an all-ones vector (inflating every count) with a
+			// forged proof.
+			var err error
+			vec = make([]*ahe.Ciphertext, d.cfg.Categories)
+			for i := range vec {
+				vec[i], err = km.pub.Encrypt(rand.Reader, bigOne())
+				if err != nil {
+					return nil, err
+				}
+			}
+			proof = zkp.Forge(stmt)
+		} else {
+			var err error
+			vec, err = km.pub.EncryptVector(rand.Reader, d.cfg.Categories, dev.Category)
+			if err != nil {
+				return nil, err
+			}
+			witness := make([]int64, d.cfg.Categories)
+			witness[dev.Category] = 1
+			prover := zkp.NewProver(dev.Key)
+			proof, err = prover.Prove(stmt, zkp.Witness{Vector: witness})
+			if err != nil {
+				return nil, err
+			}
+		}
+		for _, ct := range vec {
+			d.Metrics.DeviceBytesSent += int64(ct.Bytes())
+		}
+		d.Metrics.DeviceBytesSent += int64(proof.Bytes())
+		d.Metrics.ZKPsVerified++
+		if !verifier.Verify(proof) {
+			d.Metrics.ZKPsRejected++
+			continue
+		}
+		accepted = append(accepted, vec)
+	}
+	if len(accepted) == 0 {
+		return nil, fmt.Errorf("runtime: no valid inputs")
+	}
+	return accepted, nil
+}
+
+// noiseRand returns the deterministic sampler used for committee noise (the
+// simulation stand-in for the committee's joint coin).
+func (d *Deployment) noiseRand() mechanism.Rand {
+	return mechanism.NewRand(d.rng.Int63())
+}

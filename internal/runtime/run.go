@@ -1,0 +1,224 @@
+package runtime
+
+import (
+	"fmt"
+	"strings"
+
+	"arboretum/internal/ahe"
+	"arboretum/internal/fixed"
+	"arboretum/internal/lang"
+	"arboretum/internal/mechanism"
+	"arboretum/internal/privacy"
+	"arboretum/internal/queries"
+	"arboretum/internal/sortition"
+	"arboretum/internal/types"
+)
+
+// RunOptions selects execution-level choices the planner normally makes.
+type RunOptions struct {
+	// EMVariant picks the exponential-mechanism instantiation (Figure 4);
+	// the default is the Gumbel variant.
+	EMVariant mechanism.EMVariant
+	// SumTreeFanout > 0 makes devices aggregate in a tree of this fanout
+	// instead of the aggregator's loop (the outsourcing option).
+	SumTreeFanout int
+}
+
+// Result is a completed query execution.
+type Result struct {
+	Outputs     []fixed.Fixed
+	Certificate *privacy.Certificate
+	Auth        *AuthCertificate // the published query authorization
+	Sampled     int              // devices included by secrecy-of-the-sample (0 = all)
+	Accepted    int              // inputs that passed ZKP verification
+}
+
+// Run executes one query end to end over the deployment (Section 5's whole
+// pipeline). It charges the privacy budget, runs sortition, key generation,
+// ZKP-checked input collection, audited aggregation, committee vignettes,
+// and returns the released outputs.
+func (d *Deployment) Run(src string, opts RunOptions) (*Result, error) {
+	prog, err := lang.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("runtime: parse: %w", err)
+	}
+	info, err := types.Infer(prog, types.DBInfo{
+		N: int64(d.cfg.N), Width: int64(d.cfg.Categories),
+		ElemRange: types.Range{Lo: 0, Hi: 1},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("runtime: types: %w", err)
+	}
+	cert, err := privacy.Certify(prog, info, privacy.DefaultOptions)
+	if err != nil {
+		return nil, fmt.Errorf("runtime: certification: %w", err)
+	}
+
+	// Sortition for this query round: committee 0 generates keys
+	// (Section 5.2), committee 1 runs the first operations/decryption
+	// vignettes, and later committees take over at mechanism boundaries
+	// with VSR hand-offs (Section 5.4). Extra committees also serve as
+	// spares when churn breaks one (Section 5.1).
+	const spares = 4
+	want := 2 + spares
+	if max := len(d.Devices) / d.cfg.CommitteeSize; want > max {
+		want = max
+	}
+	all, err := d.selectCommittees(want)
+	if err != nil {
+		return nil, err
+	}
+	committees, err := d.pickViable(all, 2)
+	if err != nil {
+		return nil, err
+	}
+	// Every remaining viable committee joins the rotation pool.
+	var pool []sortition.Committee
+	for _, c := range all[len(committees)+d.Metrics.Reassignments:] {
+		if d.viableCommittee(c) {
+			pool = append(pool, d.onlineMembers(c))
+		}
+	}
+	d.queryID++
+
+	km, err := d.keygen(committees[0])
+	if err != nil {
+		return nil, err
+	}
+	// The key-generation committee checks the budget before authorizing the
+	// query (Section 5.2).
+	if err := d.Budget.Charge(cert); err != nil {
+		return nil, fmt.Errorf("runtime: query rejected: %w", err)
+	}
+	// ... and signs the query authorization certificate, which devices
+	// verify before encrypting anything under the new key.
+	auth, err := d.issueCertificate(km, planDigest(src))
+	if err != nil {
+		return nil, err
+	}
+	if err := d.VerifyCertificate(auth); err != nil {
+		return nil, fmt.Errorf("runtime: devices reject certificate: %w", err)
+	}
+
+	// Input collection and audited aggregation (Section 5.3). Sampling
+	// queries run the bin protocol of Section 6: devices hide their
+	// contribution in a random bin and the committee decrypts only a secret
+	// window of bins.
+	var (
+		sums     []*ahe.Ciphertext
+		sampled  int
+		accepted int
+	)
+	if rate := sampleRate(prog); rate > 0 && rate < 1 {
+		binned, binOf, err := d.collectBinnedInputs(km)
+		if err != nil {
+			return nil, err
+		}
+		as, perBin, err := aggregateWithAudit(km.pub, binned, d.cfg.ByzantineAggregator)
+		if err != nil {
+			return nil, err
+		}
+		if err := d.runAudits(as); err != nil {
+			return nil, fmt.Errorf("runtime: audit: %w", err)
+		}
+		sums, sampled, err = d.windowSums(km, perBin, binOf, rate)
+		if err != nil {
+			return nil, err
+		}
+		accepted = len(binned)
+	} else {
+		inputs, err := d.collectInputs(km)
+		if err != nil {
+			return nil, err
+		}
+		// With a sum tree the devices pre-aggregate in groups before the
+		// aggregator combines (the planner's outsourcing option).
+		if opts.SumTreeFanout > 1 {
+			inputs, err = d.deviceSumTree(km.pub, inputs, opts.SumTreeFanout)
+			if err != nil {
+				return nil, err
+			}
+		}
+		as, running, err := aggregateWithAudit(km.pub, inputs, d.cfg.ByzantineAggregator)
+		if err != nil {
+			return nil, err
+		}
+		if err := d.runAudits(as); err != nil {
+			return nil, fmt.Errorf("runtime: audit: %w", err)
+		}
+		sums = running
+		accepted = len(inputs)
+		sampled = accepted
+	}
+
+	// Hand the key to the operations committee via VSR (Section 5.2), then
+	// run the program with that committee attached.
+	if err := km.handoff(committees[1], &d.Metrics); err != nil {
+		return nil, err
+	}
+	ce, err := d.newCommittee(committees[1])
+	if err != nil {
+		return nil, err
+	}
+	ip := &interp{
+		dep: d, km: km, ce: ce,
+		pool:      pool,
+		env:       map[string]value{},
+		dbSums:    sums,
+		sens:      cert.Sensitivity,
+		emVariant: opts.EMVariant,
+	}
+	if err := ip.run(prog.Stmts); err != nil {
+		return nil, err
+	}
+	// Fold every committee engine's traffic into the metrics (rotated-away
+	// committees may have kept serving transfers).
+	for _, e := range d.execs {
+		e.flushMetrics()
+	}
+	d.execs = nil
+
+	return &Result{
+		Outputs:     ip.outputs,
+		Certificate: cert,
+		Auth:        auth,
+		Sampled:     sampled,
+		Accepted:    accepted,
+	}, nil
+}
+
+// deviceSumTree pre-aggregates inputs in device groups of the given fanout
+// (one tree level is enough to exercise the path; deeper trees repeat it).
+func (d *Deployment) deviceSumTree(pub *ahe.PublicKey, inputs [][]*ahe.Ciphertext, fanout int) ([][]*ahe.Ciphertext, error) {
+	var out [][]*ahe.Ciphertext
+	for start := 0; start < len(inputs); start += fanout {
+		end := start + fanout
+		if end > len(inputs) {
+			end = len(inputs)
+		}
+		group := inputs[start:end]
+		acc := append([]*ahe.Ciphertext(nil), group[0]...)
+		for _, vec := range group[1:] {
+			for c := range acc {
+				sum, err := pub.Add(acc[c], vec[c])
+				if err != nil {
+					return nil, err
+				}
+				acc[c] = sum
+				d.Metrics.DeviceBytesSent += int64(sum.Bytes())
+			}
+		}
+		out = append(out, acc)
+	}
+	return out, nil
+}
+
+// quantileSrc builds the quantile query with a large ε for deterministic
+// small-scale tests.
+func quantileSrc(num, den int64) (string, error) {
+	src, err := queries.QuantileSource(num, den)
+	if err != nil {
+		return "", err
+	}
+	return strings.ReplaceAll(src, "em(util, 0.1)", "em(util, 3.0)"), nil
+}

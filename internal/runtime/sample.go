@@ -1,0 +1,157 @@
+package runtime
+
+import (
+	"crypto/rand"
+	"fmt"
+	"math/big"
+
+	"arboretum/internal/ahe"
+	"arboretum/internal/lang"
+	"arboretum/internal/mechanism"
+	"arboretum/internal/zkp"
+)
+
+// The bin protocol of Section 6 implements secrecy of the sample: each
+// participant places its (encrypted) contribution in one of b bins chosen
+// uniformly at random, and the committee samples a secret window of x bins
+// and decrypts only the window's sum. Devices cannot tell whether they were
+// sampled (they never learn the window), and neither the committee nor the
+// aggregator learns which bin a device chose — so nobody can observe which
+// elements were selected, which is exactly what the amplification theorem
+// requires.
+
+// sampleBinCount is the b of the protocol in the simulation (the paper uses
+// the number of plaintext slots in a standard ciphertext).
+const sampleBinCount = 16
+
+// sampleRate extracts the sampleUniform rate from a program (0 = none).
+func sampleRate(prog *lang.Program) float64 {
+	rate := 0.0
+	lang.WalkExprs(prog.Stmts, func(e lang.Expr) {
+		if call, ok := e.(*lang.CallExpr); ok && call.Func == "sampleUniform" {
+			switch lit := call.Args[0].(type) {
+			case *lang.FloatLit:
+				rate = lit.Value
+			case *lang.IntLit:
+				rate = float64(lit.Value)
+			}
+		}
+	})
+	return rate
+}
+
+// collectBinnedInputs has every online device upload a b×C vector: its
+// one-hot row in a uniformly random bin, zeros everywhere else, with a ZKP
+// that the whole vector is one-hot. It returns the accepted vectors and the
+// (simulation-only) bin each accepted device chose.
+func (d *Deployment) collectBinnedInputs(km *keyMaterial) ([][]*ahe.Ciphertext, []int, error) {
+	keys := make(map[int][]byte, len(d.Devices))
+	for _, dev := range d.Devices {
+		keys[dev.ID] = dev.Key
+	}
+	verifier := zkp.NewVerifier(keys)
+	cats := d.cfg.Categories
+	width := sampleBinCount * cats
+	var accepted [][]*ahe.Ciphertext
+	var bins []int
+	for _, dev := range d.Devices {
+		if dev.Offline {
+			continue
+		}
+		bin := d.rng.Intn(sampleBinCount)
+		hot := bin*cats + dev.Category
+		claim := zkp.Claim{Kind: zkp.ClaimOneHot, VectorLen: width}
+		stmt := zkp.Statement{Device: dev.ID, QueryID: d.queryID, Claim: claim}
+		var vec []*ahe.Ciphertext
+		var proof *zkp.Proof
+		if dev.Malicious {
+			var err error
+			vec = make([]*ahe.Ciphertext, width)
+			for i := range vec {
+				vec[i], err = km.pub.Encrypt(rand.Reader, bigOne())
+				if err != nil {
+					return nil, nil, err
+				}
+			}
+			proof = zkp.Forge(stmt)
+		} else {
+			var err error
+			vec, err = km.pub.EncryptVector(rand.Reader, width, hot)
+			if err != nil {
+				return nil, nil, err
+			}
+			witness := make([]int64, width)
+			witness[hot] = 1
+			proof, err = zkp.NewProver(dev.Key).Prove(stmt, zkp.Witness{Vector: witness})
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+		for _, ct := range vec {
+			d.Metrics.DeviceBytesSent += int64(ct.Bytes())
+		}
+		d.Metrics.DeviceBytesSent += int64(proof.Bytes())
+		d.Metrics.ZKPsVerified++
+		if !verifier.Verify(proof) {
+			d.Metrics.ZKPsRejected++
+			continue
+		}
+		accepted = append(accepted, vec)
+		bins = append(bins, bin)
+	}
+	if len(accepted) == 0 {
+		return nil, nil, fmt.Errorf("runtime: no valid binned inputs")
+	}
+	return accepted, bins, nil
+}
+
+// windowSums lets the committee decrypt only the sampled window: it draws
+// the secret window start j, homomorphically folds the window's bins into
+// per-category sums (out-of-window bins are simply never touched), and
+// reports how many accepted devices the window covered (simulation-side, for
+// tests — in the real protocol nobody learns this).
+func (d *Deployment) windowSums(km *keyMaterial, perBin []*ahe.Ciphertext, bins []int, rate float64) ([]*ahe.Ciphertext, int, error) {
+	cats := d.cfg.Categories
+	if len(perBin) != sampleBinCount*cats {
+		return nil, 0, fmt.Errorf("runtime: bin layout mismatch: %d cells", len(perBin))
+	}
+	x := int(rate*sampleBinCount + 0.5)
+	if x < 1 {
+		x = 1
+	}
+	if x > sampleBinCount {
+		x = sampleBinCount
+	}
+	sb, err := mechanism.NewSampleBins(d.noiseRand(), sampleBinCount, x)
+	if err != nil {
+		return nil, 0, err
+	}
+	sums := make([]*ahe.Ciphertext, cats)
+	for c := 0; c < cats; c++ {
+		for bin := 0; bin < sampleBinCount; bin++ {
+			if !sb.Included(bin) {
+				continue
+			}
+			cell := perBin[bin*cats+c]
+			if sums[c] == nil {
+				zero, err := km.pub.Encrypt(rand.Reader, big.NewInt(0))
+				if err != nil {
+					return nil, 0, err
+				}
+				sums[c] = zero
+			}
+			folded, err := km.pub.Add(sums[c], cell)
+			if err != nil {
+				return nil, 0, err
+			}
+			sums[c] = folded
+		}
+	}
+	covered := 0
+	for _, b := range bins {
+		if sb.Included(b) {
+			covered++
+		}
+	}
+	return sums, covered, nil
+}
