@@ -126,6 +126,10 @@ type PlanRequest struct {
 	// e.g. {"sum": "device-tree"} or {"em": "gumbel"}) — used to price the
 	// roads not taken.
 	ForceChoices map[string]string
+	// Workers bounds the planner's worker pool (0 = the ARBORETUM_WORKERS
+	// environment variable, then GOMAXPROCS; 1 = sequential). The chosen
+	// plan is identical at every setting.
+	Workers int
 }
 
 // PlanResult is the planning outcome.
@@ -171,6 +175,7 @@ func Plan(req PlanRequest) (*PlanResult, error) {
 		Goal:         metric,
 		Limits:       req.Limits.internal(),
 		ForceChoices: req.ForceChoices,
+		Workers:      req.Workers,
 	})
 	if err != nil {
 		return nil, err
@@ -211,6 +216,10 @@ type DeploymentConfig struct {
 	Data func(device int) int
 	// BudgetEpsilon is the deployment's total privacy budget (default 10).
 	BudgetEpsilon float64
+	// Workers bounds the runtime's worker pool for per-device work
+	// (0 = the ARBORETUM_WORKERS environment variable, then GOMAXPROCS;
+	// 1 = sequential). Released outputs are identical at every setting.
+	Workers int
 }
 
 // Deployment is a running simulated federated-analytics system.
@@ -229,6 +238,7 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 		ByzantineAggregator: cfg.ByzantineAggregator,
 		Data:                cfg.Data,
 		BudgetEpsilon:       cfg.BudgetEpsilon,
+		Workers:             cfg.Workers,
 	})
 	if err != nil {
 		return nil, err

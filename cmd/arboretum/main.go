@@ -3,14 +3,18 @@
 // Usage:
 //
 //	arboretum plan  -query top1 [-n 1073741824] [-goal device-expected-cpu]
+//	arboretum plan  -query median -limit-max-sent-user 1000 -limit-agg-core-hours 1000
 //	arboretum plan  -file my_query.txt -categories 1024
-//	arboretum run   -query top1 [-devices 128] [-committee 5]
+//	arboretum run   -query top1 [-devices 128] [-committee 5] [-workers 4]
 //	arboretum list
 //
 // `plan` prints the chosen plan (vignettes, committees, six-metric cost) for
-// a deployment of -n participants. `run` executes the query end to end on a
-// small simulated deployment with real cryptography. `list` shows the
-// built-in evaluation queries.
+// a deployment of -n participants; the -limit-* flags bound what the plan may
+// cost each entity (unset limits default to the paper's evaluation setup).
+// `run` executes the query end to end on a small simulated deployment with
+// real cryptography. `list` shows the built-in evaluation queries. -workers
+// bounds the worker pool (default: ARBORETUM_WORKERS, then GOMAXPROCS);
+// plans and query outputs are identical at every worker count.
 package main
 
 import (
@@ -55,7 +59,10 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   arboretum plan    -query <name> | -file <path> [-n N] [-categories C] [-goal G]
-  arboretum run     -query <name> | -file <path> [-devices D] [-committee M] [-seed S]
+                    [-workers W] [-limit-avg-sent-user MB] [-limit-avg-comp-user s]
+                    [-limit-max-sent-user MB] [-limit-max-comp-user s]
+                    [-limit-agg-core-hours h] [-limit-agg-sent GB]
+  arboretum run     -query <name> | -file <path> [-devices D] [-committee M] [-seed S] [-workers W]
   arboretum explain -query <name> | -file <path> [-n N] -dim sum|em|noise|compute
   arboretum list`)
 }
@@ -95,6 +102,13 @@ func planCmd(args []string) error {
 	goal := fs.String("goal", string(arboretum.MinimizeExpectedDeviceCPU), "optimization goal")
 	verbose := fs.Bool("v", false, "show per-vignette member costs")
 	asJSON := fs.Bool("json", false, "emit the plan result as JSON")
+	workers := fs.Int("workers", 0, "search worker pool size (0 = ARBORETUM_WORKERS, then GOMAXPROCS)")
+	limAvgSent := fs.Float64("limit-avg-sent-user", -1, "max expected MB sent per user device")
+	limAvgComp := fs.Float64("limit-avg-comp-user", -1, "max expected compute seconds per user device")
+	limMaxSent := fs.Float64("limit-max-sent-user", -1, "max MB sent by any user device")
+	limMaxComp := fs.Float64("limit-max-comp-user", -1, "max compute seconds for any user device")
+	limAggHours := fs.Float64("limit-agg-core-hours", -1, "max aggregator core-hours")
+	limAggSent := fs.Float64("limit-agg-sent", -1, "max GB sent by the aggregator")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -102,9 +116,31 @@ func planCmd(args []string) error {
 	if err != nil {
 		return err
 	}
+	// Unset limits keep the paper's evaluation defaults; a set flag overrides
+	// its one metric (0 = unlimited).
+	limits := arboretum.DefaultLimits()
+	if *limAvgSent >= 0 {
+		limits.DeviceExpectedBytes = *limAvgSent * 1e6
+	}
+	if *limAvgComp >= 0 {
+		limits.DeviceExpectedCPU = *limAvgComp
+	}
+	if *limMaxSent >= 0 {
+		limits.DeviceMaxBytes = *limMaxSent * 1e6
+	}
+	if *limMaxComp >= 0 {
+		limits.DeviceMaxCPU = *limMaxComp
+	}
+	if *limAggHours >= 0 {
+		limits.AggregatorCoreHours = *limAggHours
+	}
+	if *limAggSent >= 0 {
+		limits.AggregatorBytes = *limAggSent * 1e9
+	}
 	res, err := arboretum.Plan(arboretum.PlanRequest{
 		Name: label, Source: src, N: *n, Categories: c,
-		Goal: arboretum.Goal(*goal), Limits: arboretum.DefaultLimits(),
+		Goal: arboretum.Goal(*goal), Limits: limits,
+		Workers: *workers,
 	})
 	if err != nil {
 		return err
@@ -133,6 +169,7 @@ func runCmd(args []string) error {
 	categories := fs.Int64("categories", 8, "categories for the simulated data")
 	committee := fs.Int("committee", 5, "committee size")
 	seed := fs.Int64("seed", 1, "random seed")
+	workers := fs.Int("workers", 0, "worker pool size for per-device work (0 = ARBORETUM_WORKERS, then GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -145,7 +182,7 @@ func runCmd(args []string) error {
 	}
 	d, err := arboretum.NewDeployment(arboretum.DeploymentConfig{
 		Devices: *devices, Categories: int(c), CommitteeSize: *committee,
-		Seed: *seed, BudgetEpsilon: 1000,
+		Seed: *seed, BudgetEpsilon: 1000, Workers: *workers,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,67 @@
+package ahe
+
+// Benchmarks for the parallelized hot paths. Run with -cpu to compare the
+// sequential fallback against the worker pool, e.g.
+//
+//	go test ./internal/ahe -bench 'EncryptVector|Sum' -cpu 1,4
+//
+// At -cpu 1 the pool takes its sequential fast path, so that column is the
+// pre-parallel baseline.
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+)
+
+func benchKey(b *testing.B) *PrivateKey {
+	b.Helper()
+	sk, err := GenerateKey(rand.Reader, 512)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sk
+}
+
+// BenchmarkEncryptVector times the device-side input step: one-hot encrypting
+// a 64-category row (64 Paillier encryptions per iteration).
+func BenchmarkEncryptVector(b *testing.B) {
+	pk := &benchKey(b).PublicKey
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pk.EncryptVector(rand.Reader, 64, 7); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSum times the aggregator's fold over 1024 ciphertexts.
+func BenchmarkSum(b *testing.B) {
+	sk := benchKey(b)
+	pk := &sk.PublicKey
+	cts := make([]*Ciphertext, 1024)
+	for i := range cts {
+		ct, err := pk.Encrypt(rand.Reader, big.NewInt(int64(i%3)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		cts[i] = ct
+	}
+	b.ResetTimer()
+	var got *Ciphertext
+	for i := 0; i < b.N; i++ {
+		var err error
+		got, err = pk.Sum(cts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	m, err := sk.Decrypt(got)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if m.Int64() != 1023 { // sum of i%3 over i = 0..1023
+		b.Fatalf("sum decrypted to %v, want 1023", m)
+	}
+}

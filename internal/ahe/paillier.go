@@ -9,6 +9,20 @@
 // (E(a) ⊞ E(b) = E(a+b)). The cost model charges AHE operations at the
 // paper's BGV-derived rates regardless of the concrete scheme, so the plan
 // costs are unaffected by this substitution (see DESIGN.md).
+//
+// # Thread safety
+//
+// PublicKey and PrivateKey are immutable after creation: every method only
+// reads them, so a single key may be shared freely across goroutines.
+// Ciphertext values are not synchronized — callers must not mutate a
+// ciphertext that another goroutine is reading. The vector operations
+// (EncryptVector, Sum) parallelize internally across parallel.Workers(0)
+// goroutines; both produce bit-identical results at any worker count
+// (EncryptVector's outputs are index-ordered, and Sum's chunked fold relies
+// on modular multiplication being associative and commutative). Randomness
+// readers passed to EncryptVector are wrapped with a mutex unless they are
+// crypto/rand.Reader, which is already safe for concurrent use. See
+// docs/CONCURRENCY.md.
 package ahe
 
 import (
@@ -17,17 +31,23 @@ import (
 	"fmt"
 	"io"
 	"math/big"
+	"sync"
+
+	"arboretum/internal/parallel"
 )
 
 var one = big.NewInt(1)
 
-// PublicKey is a Paillier public key (n, g = n+1).
+// PublicKey is a Paillier public key (n, g = n+1). It is immutable after
+// key generation: all methods are safe for concurrent use, and several
+// (EncryptVector, Sum) fan work out over a pool internally.
 type PublicKey struct {
 	N  *big.Int // modulus
 	N2 *big.Int // n^2, cached
 }
 
-// PrivateKey holds the factorization-derived decryption values.
+// PrivateKey holds the factorization-derived decryption values. Like the
+// public key it is immutable after generation and safe for concurrent use.
 type PrivateKey struct {
 	PublicKey
 	lambda *big.Int // lcm(p-1, q-1)
@@ -169,12 +189,13 @@ func (pk *PublicKey) MulPlain(a *Ciphertext, k *big.Int) (*Ciphertext, error) {
 	return &Ciphertext{C: c}, nil
 }
 
-// Sum folds Add over a slice of ciphertexts; this is the aggregator's inner
-// loop in AHE-sum plans (Figure 5).
-func (pk *PublicKey) Sum(cts []*Ciphertext) (*Ciphertext, error) {
-	if len(cts) == 0 {
-		return nil, errors.New("ahe: empty sum")
-	}
+// minParallelSum is the slice length below which Sum stays sequential: a
+// Paillier Add is a single modular multiplication, so tiny sums would be
+// dominated by pool overhead.
+const minParallelSum = 64
+
+// sumRange folds Add sequentially over a non-empty slice.
+func (pk *PublicKey) sumRange(cts []*Ciphertext) (*Ciphertext, error) {
 	acc := cts[0]
 	var err error
 	for _, ct := range cts[1:] {
@@ -186,26 +207,78 @@ func (pk *PublicKey) Sum(cts []*Ciphertext) (*Ciphertext, error) {
 	return acc, nil
 }
 
+// Sum folds Add over a slice of ciphertexts; this is the aggregator's inner
+// loop in AHE-sum plans (Figure 5). Large sums are folded in parallel chunks
+// (one per worker) and the chunk partials are combined in index order;
+// because ciphertext addition is multiplication mod n² — associative and
+// commutative — the result is bit-identical to the sequential fold at every
+// worker count.
+func (pk *PublicKey) Sum(cts []*Ciphertext) (*Ciphertext, error) {
+	if len(cts) == 0 {
+		return nil, errors.New("ahe: empty sum")
+	}
+	w := parallel.Workers(0)
+	if w > 1 && len(cts) >= minParallelSum {
+		chunk := (len(cts) + w - 1) / w
+		nChunks := (len(cts) + chunk - 1) / chunk
+		partials, err := parallel.Map(nil, nChunks, w, func(ci int) (*Ciphertext, error) {
+			lo := ci * chunk
+			hi := lo + chunk
+			if hi > len(cts) {
+				hi = len(cts)
+			}
+			return pk.sumRange(cts[lo:hi])
+		})
+		if err != nil {
+			return nil, err
+		}
+		return pk.sumRange(partials)
+	}
+	return pk.sumRange(cts)
+}
+
+// lockedReader serializes Read calls so a non-thread-safe randomness source
+// can feed a parallel encryption loop.
+type lockedReader struct {
+	mu sync.Mutex
+	r  io.Reader
+}
+
+func (l *lockedReader) Read(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.r.Read(p)
+}
+
+// parallelSafeReader returns a reader safe for concurrent use: crypto/rand's
+// Reader already is; anything else gets a mutex.
+func parallelSafeReader(r io.Reader) io.Reader {
+	if r == rand.Reader {
+		return r
+	}
+	return &lockedReader{r: r}
+}
+
 // EncryptVector one-hot-encodes and encrypts: the returned slice has an
 // encryption of 1 at position hot and encryptions of 0 elsewhere. This is
-// the device-side input step for categorical queries (Section 5.3).
+// the device-side input step for categorical queries (Section 5.3). The
+// per-position encryptions are independent, so they run on the package's
+// worker pool; slot i always holds position i's ciphertext.
 func (pk *PublicKey) EncryptVector(random io.Reader, length, hot int) ([]*Ciphertext, error) {
 	if hot < 0 || hot >= length {
 		return nil, fmt.Errorf("ahe: hot index %d out of [0,%d)", hot, length)
 	}
-	out := make([]*Ciphertext, length)
-	for i := range out {
+	w := parallel.Workers(0)
+	if w > 1 && length > 1 {
+		random = parallelSafeReader(random)
+	}
+	return parallel.Map(nil, length, w, func(i int) (*Ciphertext, error) {
 		m := big.NewInt(0)
 		if i == hot {
 			m = big.NewInt(1)
 		}
-		ct, err := pk.Encrypt(random, m)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = ct
-	}
-	return out, nil
+		return pk.Encrypt(random, m)
+	})
 }
 
 // Lambda exposes a copy of the decryption exponent for threshold-style

@@ -1,0 +1,74 @@
+package ahe
+
+// Determinism tests for the parallelized paths: the chunked Sum must be
+// bit-identical to the sequential fold at any worker count, and the parallel
+// EncryptVector must still decrypt to the one-hot row.
+
+import (
+	"crypto/rand"
+	"math/big"
+	"runtime"
+	"testing"
+)
+
+// TestSumChunkedBitIdentical folds the same slice sequentially and with the
+// chunked parallel path and compares the raw ciphertexts. Modular
+// multiplication is associative and commutative, so any chunking must give
+// the exact same group element.
+func TestSumChunkedBitIdentical(t *testing.T) {
+	sk, err := GenerateKey(rand.Reader, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk := &sk.PublicKey
+	cts := make([]*Ciphertext, 2*minParallelSum+17) // odd size: uneven chunks
+	for i := range cts {
+		if cts[i], err = pk.Encrypt(rand.Reader, big.NewInt(int64(i%5))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seq, err := pk.sumRange(cts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	old := runtime.GOMAXPROCS(4) // force the parallel path even at -cpu 1
+	defer runtime.GOMAXPROCS(old)
+	par, err := pk.Sum(cts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.C.Cmp(par.C) != 0 {
+		t.Fatal("chunked parallel Sum differs from sequential fold")
+	}
+}
+
+// TestEncryptVectorParallelDecrypts checks the parallel path still produces
+// a valid one-hot row with ciphertexts at their declared indices.
+func TestEncryptVectorParallelDecrypts(t *testing.T) {
+	sk, err := GenerateKey(rand.Reader, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk := &sk.PublicKey
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	const length, hot = 33, 31
+	vec, err := pk.EncryptVector(rand.Reader, length, hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ct := range vec {
+		m, err := sk.Decrypt(ct)
+		if err != nil {
+			t.Fatalf("slot %d: %v", i, err)
+		}
+		want := int64(0)
+		if i == hot {
+			want = 1
+		}
+		if m.Int64() != want {
+			t.Fatalf("slot %d decrypted to %v, want %d", i, m, want)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package bgv
+
+// Benchmarks for the batched-NTT hot paths. Run with -cpu to compare the
+// sequential fallback against the worker pool:
+//
+//	go test ./internal/bgv -bench 'NTTBatch|Mul|Sum' -cpu 1,4
+//
+// At -cpu 1 the pool takes its sequential fast path (the pre-parallel
+// baseline).
+
+import (
+	"crypto/rand"
+	"testing"
+)
+
+var benchParams = Params{N: 1 << 12, T: 65537}
+
+func benchContext(b *testing.B) *Context {
+	b.Helper()
+	ctx, err := NewContext(benchParams)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ctx
+}
+
+// BenchmarkNTTBatch transforms a batch of 64 degree-4096 polynomials — the
+// shape of a committee decrypting a slice of the aggregate.
+func BenchmarkNTTBatch(b *testing.B) {
+	ctx := benchContext(b)
+	polys := make([]Poly, 64)
+	for i := range polys {
+		p, err := ctx.sampleUniform(rand.Reader)
+		if err != nil {
+			b.Fatal(err)
+		}
+		polys[i] = p
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx.ntt.forwardBatch(polys)
+		ctx.ntt.inverseBatch(polys)
+	}
+}
+
+// BenchmarkMulLarge times one degree-4096 ciphertext multiplication with
+// relinearization (the FHE compute vignette's dominant operation).
+func BenchmarkMulLarge(b *testing.B) {
+	ctx := benchContext(b)
+	kp, err := ctx.GenerateKeys(rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vals := make([]uint64, 32)
+	for i := range vals {
+		vals[i] = uint64(i + 1)
+	}
+	ct1, err := ctx.EncryptValues(rand.Reader, kp.PK, vals)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ct2, err := ctx.EncryptValues(rand.Reader, kp.PK, []uint64{3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ctx.Mul(ct1, ct2, kp.RLK); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSum folds 256 ciphertexts — the aggregator's FHE sum loop.
+func BenchmarkSum(b *testing.B) {
+	ctx := benchContext(b)
+	kp, err := ctx.GenerateKeys(rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cts := make([]*Ciphertext, 256)
+	for i := range cts {
+		ct, err := ctx.EncryptValues(rand.Reader, kp.PK, []uint64{uint64(i % 5)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cts[i] = ct
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ctx.Sum(cts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEncryptLarge times one degree-4096 encryption (three batched
+// forward + two batched inverse transforms).
+func BenchmarkEncryptLarge(b *testing.B) {
+	ctx := benchContext(b)
+	kp, err := ctx.GenerateKeys(rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := ctx.Encode([]uint64{1, 2, 3, 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ctx.Encrypt(rand.Reader, kp.PK, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -15,6 +15,19 @@
 // mod t placed in the polynomial's coefficients. Addition is slot-wise;
 // ciphertext multiplication is negacyclic convolution (use degree-0
 // plaintexts for scalar products).
+//
+// # Thread safety
+//
+// A Context is immutable after NewContext — its NTT tables are precomputed
+// and only ever read — so one Context may serve any number of goroutines
+// concurrently. The same holds for SecretKey, PublicKey, and RelinKey once
+// generated. Ciphertext, Poly, and Plaintext values are plain slices with no
+// internal synchronization: do not mutate one while another goroutine reads
+// it. The hot paths (Encrypt's two half-products, Mul's relinearization
+// digits, Sum's chunked fold) batch their independent NTT transforms across
+// the internal/parallel worker pool; every result is bit-identical at any
+// worker count because all ring arithmetic is exact modular arithmetic and
+// partial results are combined in a fixed order. See docs/CONCURRENCY.md.
 package bgv
 
 import (
@@ -22,6 +35,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+
+	"arboretum/internal/parallel"
 )
 
 // Q is the ciphertext modulus: 2^60 − 2^18 + 1, prime, with q ≡ 1 (mod 2^18),
@@ -59,10 +74,16 @@ func (p Params) Validate() error {
 // depth is supported at these sizes).
 var TestParams = Params{N: 1 << 10, T: 65537}
 
-// Poly is a polynomial with coefficients in [0, Q), length N.
+// Poly is a polynomial with coefficients in [0, Q), length N. Polys and
+// the types built from them (Ciphertext, keys) carry no synchronization:
+// they may be read concurrently, but a caller who mutates one must not
+// share it across goroutines.
 type Poly []uint64
 
-// Context carries the parameter set and NTT tables.
+// Context carries the parameter set and NTT tables. It is immutable after
+// NewContext: all methods are safe for concurrent use, and the hot ones
+// (Encrypt, Mul, Sum, batched transforms) fan work out over a pool
+// internally.
 type Context struct {
 	Params Params
 	ntt    *nttTables
@@ -297,9 +318,24 @@ func (c *Context) Encrypt(r io.Reader, pk *PublicKey, m Poly) (*Ciphertext, erro
 		return nil, err
 	}
 	t := c.Params.T
-	c0 := c.polyAdd(c.polyMul(pk.B, u), c.polyScale(e1, t))
+	// Both half-products share the encryption randomness u: transform
+	// (B, A, u) to the evaluation domain in one batch, multiply point-wise,
+	// and transform the two products back together — 5 NTTs instead of the 6
+	// two polyMul calls would spend, with the batch spread over the worker
+	// pool. Exact modular arithmetic keeps the result bit-identical to the
+	// sequential per-product formulation.
+	bu := append(Poly(nil), pk.B...)
+	au := append(Poly(nil), pk.A...)
+	ue := append(Poly(nil), u...)
+	c.ntt.forwardBatch([]Poly{bu, au, ue})
+	for i := range ue {
+		bu[i] = mulMod(bu[i], ue[i], Q)
+		au[i] = mulMod(au[i], ue[i], Q)
+	}
+	c.ntt.inverseBatch([]Poly{bu, au})
+	c0 := c.polyAdd(bu, c.polyScale(e1, t))
 	c0 = c.polyAdd(c0, m)
-	c1 := c.polyAdd(c.polyMul(pk.A, u), c.polyScale(e2, t))
+	c1 := c.polyAdd(au, c.polyScale(e2, t))
 	return &Ciphertext{C0: c0, C1: c1}, nil
 }
 
@@ -378,6 +414,14 @@ func (c *Context) MulScalar(a *Ciphertext, k uint64) (*Ciphertext, error) {
 
 // Mul multiplies two ciphertexts and relinearizes back to degree 1: the ⊠
 // operator. One multiplication level is supported at the default parameters.
+//
+// The tensor and the relinearization are computed in the evaluation domain:
+// the four input polynomials are transformed in one batch, the tensor is
+// point-wise, each gadget digit's two products run as independent worker-pool
+// tasks, and everything is accumulated before two final inverse transforms.
+// The NTT is a linear bijection over exact modular arithmetic, so this is
+// bit-identical to the textbook per-product formulation at any worker count
+// — while doing 23 transforms where the naive version does 36.
 func (c *Context) Mul(a, b *Ciphertext, rlk *RelinKey) (*Ciphertext, error) {
 	if a == nil || b == nil {
 		return nil, errors.New("bgv: nil ciphertext")
@@ -385,33 +429,75 @@ func (c *Context) Mul(a, b *Ciphertext, rlk *RelinKey) (*Ciphertext, error) {
 	if rlk == nil {
 		return nil, errors.New("bgv: relinearization key required")
 	}
-	// Tensor: (a0 + a1 s)(b0 + b1 s) = d0 + d1 s + d2 s².
-	d0 := c.polyMul(a.C0, b.C0)
-	d1 := c.polyAdd(c.polyMul(a.C0, b.C1), c.polyMul(a.C1, b.C0))
-	d2 := c.polyMul(a.C1, b.C1)
-	// Relinearize d2 via gadget decomposition.
+	n := c.Params.N
+	// Tensor: (a0 + a1 s)(b0 + b1 s) = d0 + d1 s + d2 s², point-wise in the
+	// evaluation domain.
+	a0 := append(Poly(nil), a.C0...)
+	a1 := append(Poly(nil), a.C1...)
+	b0 := append(Poly(nil), b.C0...)
+	b1 := append(Poly(nil), b.C1...)
+	c.ntt.forwardBatch([]Poly{a0, a1, b0, b1})
+	d0 := c.newPoly()
+	d1 := c.newPoly()
+	d2 := c.newPoly()
+	for i := 0; i < n; i++ {
+		d0[i] = mulMod(a0[i], b0[i], Q)
+		d1[i] = addMod(mulMod(a0[i], b1[i], Q), mulMod(a1[i], b0[i], Q), Q)
+		d2[i] = mulMod(a1[i], b1[i], Q)
+	}
+	// Gadget decomposition needs d2's coefficients, so it alone returns to
+	// the coefficient domain here.
+	c.ntt.Inverse(d2)
 	digits := len(rlk.A)
 	mask := uint64(1<<relinLogBase) - 1
-	c0 := d0
-	c1 := d1
-	rem := append(Poly(nil), d2...)
+	digitPolys := make([]Poly, digits)
 	for i := 0; i < digits; i++ {
 		digit := c.newPoly()
-		for j := range rem {
-			digit[j] = rem[j] & mask
-			rem[j] >>= relinLogBase
+		for j := range d2 {
+			digit[j] = d2[j] & mask
+			d2[j] >>= relinLogBase
 		}
-		c0 = c.polyAdd(c0, c.polyMul(digit, rlk.B[i]))
-		c1 = c.polyAdd(c1, c.polyMul(digit, rlk.A[i]))
+		digitPolys[i] = digit
 	}
-	return &Ciphertext{C0: c0, C1: c1}, nil
+	// Each digit contributes digit·B_i to c0 and digit·A_i to c1. The digits
+	// are independent — one pool task each — and the contributions are added
+	// afterwards in digit order (addition mod Q is associative and
+	// commutative, so the order is immaterial to the value; fixing it keeps
+	// the loop obviously deterministic).
+	type contrib struct{ c0, c1 Poly }
+	contribs, err := parallel.Map(nil, digits, 0, func(i int) (contrib, error) {
+		dp := digitPolys[i]
+		bi := append(Poly(nil), rlk.B[i]...)
+		ai := append(Poly(nil), rlk.A[i]...)
+		c.ntt.Forward(dp)
+		c.ntt.Forward(bi)
+		c.ntt.Forward(ai)
+		p0 := c.newPoly()
+		p1 := c.newPoly()
+		for j := 0; j < n; j++ {
+			p0[j] = mulMod(dp[j], bi[j], Q)
+			p1[j] = mulMod(dp[j], ai[j], Q)
+		}
+		return contrib{c0: p0, c1: p1}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, ct := range contribs {
+		for j := 0; j < n; j++ {
+			d0[j] = addMod(d0[j], ct.c0[j], Q)
+			d1[j] = addMod(d1[j], ct.c1[j], Q)
+		}
+	}
+	c.ntt.inverseBatch([]Poly{d0, d1})
+	return &Ciphertext{C0: d0, C1: d1}, nil
 }
 
-// Sum folds Add over ciphertexts (the aggregator's AHE/FHE sum loop).
-func (c *Context) Sum(cts []*Ciphertext) (*Ciphertext, error) {
-	if len(cts) == 0 {
-		return nil, errors.New("bgv: empty sum")
-	}
+// minParallelSum is the ciphertext count below which Sum stays sequential.
+const minParallelSum = 32
+
+// sumRange folds Add sequentially over a non-empty slice.
+func (c *Context) sumRange(cts []*Ciphertext) (*Ciphertext, error) {
 	acc := cts[0]
 	var err error
 	for _, ct := range cts[1:] {
@@ -421,4 +507,32 @@ func (c *Context) Sum(cts []*Ciphertext) (*Ciphertext, error) {
 		}
 	}
 	return acc, nil
+}
+
+// Sum folds Add over ciphertexts (the aggregator's AHE/FHE sum loop). Large
+// sums fold in parallel chunks whose partials are combined in index order;
+// coefficient-wise addition mod Q is associative and commutative, so the
+// result is bit-identical to the sequential fold at any worker count.
+func (c *Context) Sum(cts []*Ciphertext) (*Ciphertext, error) {
+	if len(cts) == 0 {
+		return nil, errors.New("bgv: empty sum")
+	}
+	w := parallel.Workers(0)
+	if w > 1 && len(cts) >= minParallelSum {
+		chunk := (len(cts) + w - 1) / w
+		nChunks := (len(cts) + chunk - 1) / chunk
+		partials, err := parallel.Map(nil, nChunks, w, func(ci int) (*Ciphertext, error) {
+			lo := ci * chunk
+			hi := lo + chunk
+			if hi > len(cts) {
+				hi = len(cts)
+			}
+			return c.sumRange(cts[lo:hi])
+		})
+		if err != nil {
+			return nil, err
+		}
+		return c.sumRange(partials)
+	}
+	return c.sumRange(cts)
 }

@@ -5,6 +5,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math/bits"
+
+	"arboretum/internal/parallel"
 )
 
 // Negacyclic number-theoretic transform over Z_q[x]/(x^n + 1).
@@ -123,4 +125,22 @@ func (t *nttTables) Inverse(a []uint64) {
 	for i := range a {
 		a[i] = mulMod(mulMod(a[i], t.nInv, t.q), t.psiInv[i], t.q)
 	}
+}
+
+// forwardBatch runs Forward over each polynomial (in place), one worker-pool
+// task per polynomial. The tables are read-only, so transforms of distinct
+// polynomials never share mutable state.
+func (t *nttTables) forwardBatch(ps []Poly) {
+	_ = parallel.ForEach(nil, len(ps), 0, func(i int) error {
+		t.Forward(ps[i])
+		return nil
+	})
+}
+
+// inverseBatch runs Inverse over each polynomial (in place), in parallel.
+func (t *nttTables) inverseBatch(ps []Poly) {
+	_ = parallel.ForEach(nil, len(ps), 0, func(i int) error {
+		t.Inverse(ps[i])
+		return nil
+	})
 }

@@ -1,0 +1,127 @@
+package planner
+
+// Worker-count determinism for the search: the plan picked at N workers must
+// be the plan picked at 1 worker — same choices, same cost vector, same
+// committee sizing, same rendered summary. The parallel search earns this
+// with strict-dominance-only pruning against the shared bound and an ordered
+// reduction over subtree tasks (see searchParallel).
+
+import (
+	"reflect"
+	"testing"
+
+	"arboretum/internal/costmodel"
+	"arboretum/internal/queries"
+)
+
+func planWithWorkers(t *testing.T, q queries.Query, n int64, workers int, noBB bool) *Result {
+	t.Helper()
+	res, err := Plan(Request{
+		Name:       q.Name,
+		Source:     q.Source,
+		N:          n,
+		Categories: q.Categories,
+		Goal:       costmodel.PartExpCPU,
+		Limits:     DefaultLimits,
+
+		DisableBranchAndBound: noBB,
+		Workers:               workers,
+	})
+	if err != nil {
+		t.Fatalf("Plan(%s, workers=%d): %v", q.Name, workers, err)
+	}
+	return res
+}
+
+// TestSearchDeterministicAcrossWorkers plans every evaluation query at 1 and
+// 8 workers and demands identical outcomes.
+func TestSearchDeterministicAcrossWorkers(t *testing.T) {
+	for _, q := range queries.All {
+		seq := planWithWorkers(t, q, 1<<20, 1, false)
+		par := planWithWorkers(t, q, 1<<20, 8, false)
+		if !reflect.DeepEqual(seq.Plan.Choices, par.Plan.Choices) {
+			t.Errorf("%s: choices differ: %v vs %v", q.Name, seq.Plan.Choices, par.Plan.Choices)
+		}
+		if seq.Plan.Cost != par.Plan.Cost {
+			t.Errorf("%s: cost differs:\n1 worker: %+v\n8 workers: %+v", q.Name, seq.Plan.Cost, par.Plan.Cost)
+		}
+		if seq.Plan.CommitteeSize != par.Plan.CommitteeSize ||
+			seq.Plan.CommitteeCount != par.Plan.CommitteeCount {
+			t.Errorf("%s: committee shape differs: %d×%d vs %d×%d", q.Name,
+				seq.Plan.CommitteeCount, seq.Plan.CommitteeSize,
+				par.Plan.CommitteeCount, par.Plan.CommitteeSize)
+		}
+		if seq.Plan.String() != par.Plan.String() {
+			t.Errorf("%s: summaries differ:\n%s\nvs\n%s", q.Name, seq.Plan.String(), par.Plan.String())
+		}
+	}
+}
+
+// TestParallelExhaustiveCountsMatch checks that with pruning disabled the
+// parallel search visits exactly the nodes the sequential search visits:
+// shallow nodes are counted once at task generation, deeper nodes inside
+// their subtree task.
+func TestParallelExhaustiveCountsMatch(t *testing.T) {
+	seq := planWithWorkers(t, queries.CMS, 1<<20, 1, true)
+	par := planWithWorkers(t, queries.CMS, 1<<20, 8, true)
+	if seq.Stats.PrefixesExplored != par.Stats.PrefixesExplored {
+		t.Errorf("exhaustive node counts differ: %d sequential vs %d parallel",
+			seq.Stats.PrefixesExplored, par.Stats.PrefixesExplored)
+	}
+	if seq.Stats.FullCandidates != par.Stats.FullCandidates {
+		t.Errorf("full candidate counts differ: %d vs %d",
+			seq.Stats.FullCandidates, par.Stats.FullCandidates)
+	}
+	if seq.Plan.Cost != par.Plan.Cost {
+		t.Errorf("exhaustive cost differs: %+v vs %+v", seq.Plan.Cost, par.Plan.Cost)
+	}
+}
+
+// TestParallelBranchAndBoundPrunes makes sure the shared bound actually
+// bites when searching in parallel.
+func TestParallelBranchAndBoundPrunes(t *testing.T) {
+	res := planWithWorkers(t, queries.Median, 1<<20, 8, false)
+	if res.Stats.Pruned == 0 {
+		t.Error("parallel branch-and-bound never pruned")
+	}
+	if res.Stats.FullCandidates == 0 {
+		t.Error("no full candidates scored")
+	}
+}
+
+// TestParallelNodeCapAborts mirrors TestNodeCapAborts on the parallel path:
+// the shared node counter must stop a capped exhaustive search.
+func TestParallelNodeCapAborts(t *testing.T) {
+	_, err := Plan(Request{
+		Name: "median", Source: queries.Median.Source, N: 1 << 30,
+		Categories:            queries.Median.Categories,
+		Goal:                  costmodel.PartExpCPU,
+		Limits:                DefaultLimits,
+		DisableBranchAndBound: true,
+		NodeCap:               1000,
+		Workers:               8,
+	})
+	if err == nil {
+		t.Fatal("capped parallel exhaustive search should abort")
+	}
+}
+
+// BenchmarkSearch plans the median query (the largest option tree among the
+// evaluation queries) with branch-and-bound disabled so the full tree is
+// walked. Run with -cpu 1,4 to compare the sequential fallback against the
+// worker pool.
+func BenchmarkSearch(b *testing.B) {
+	req := Request{
+		Name: "median", Source: queries.Median.Source, N: 1 << 30,
+		Categories:            queries.Median.Categories,
+		Goal:                  costmodel.PartExpCPU,
+		Limits:                DefaultLimits,
+		DisableBranchAndBound: true,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Plan(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -43,6 +43,11 @@ type Request struct {
 	// {"em": "gumbel"} forces the Gumbel variant). Used by the design-choice
 	// ablations and by `arboretum explain` to price the roads not taken.
 	ForceChoices map[string]string
+
+	// Workers bounds the search worker pool. 0 resolves via the
+	// ARBORETUM_WORKERS environment variable, then GOMAXPROCS; 1 forces the
+	// sequential search. The chosen plan is identical at every setting.
+	Workers int
 }
 
 // DefaultLimits matches the evaluation setup (Section 7.2): participants may
@@ -122,6 +127,7 @@ func Plan(req Request) (*Result, error) {
 		nodeCap:   req.NodeCap,
 		orderOpts: !req.DisableBranchAndBound,
 		force:     req.ForceChoices,
+		workers:   req.Workers,
 	}
 	chosen, cost, bd, m, stats, err := search(steps, sp, sc, cfg)
 	if err != nil {

@@ -22,6 +22,13 @@ func newScorer(n int64, model *costmodel.Model, size sortition.SizeParams) *scor
 	return &scorer{n: n, model: model, size: size, mCache: map[int]int{}}
 }
 
+// clone returns an independent scorer with a fresh memo. The parallel search
+// gives each subtree task its own clone because mCache is not synchronized;
+// the memoized solver is deterministic, so clones always agree.
+func (sc *scorer) clone() *scorer {
+	return newScorer(sc.n, sc.model, sc.size)
+}
+
 // committeeSize returns the minimum committee size for c committees;
 // failures (absurd parameter corners) saturate at the search cap.
 func (sc *scorer) committeeSize(c int) int {

@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"arboretum/internal/costmodel"
+	"arboretum/internal/parallel"
 	"arboretum/internal/plan"
 )
 
@@ -27,6 +29,7 @@ type searchConfig struct {
 	nodeCap   int64             // safety net for the ablation (0 = default)
 	orderOpts bool              // order options cheapest-first so pruning bites early
 	force     map[string]string // pin steps to choice-value prefixes
+	workers   int               // search parallelism (0 = parallel.Workers default)
 }
 
 const defaultNodeCap = 50_000_000
@@ -109,6 +112,14 @@ func search(steps []step, sp searchSpace, sc *scorer, cfg searchConfig) ([]optio
 		cap = defaultNodeCap
 	}
 
+	// The evaluation queries plan in milliseconds sequentially, so automatic
+	// parallelism only pays off on big option trees; an explicit Workers
+	// request always gets the pool. The plan is identical either way.
+	if w := parallel.Workers(cfg.workers); w > 1 && len(steps) > 0 &&
+		(cfg.workers > 1 || estLeaves(opts) >= parallelSearchThreshold) {
+		return searchParallel(steps, opts, sc, cfg, cap, w, stats)
+	}
+
 	var (
 		bestChoice []option
 		bestCost   costmodel.Vector
@@ -174,8 +185,201 @@ func search(steps []step, sp searchSpace, sc *scorer, cfg searchConfig) ([]optio
 	dfs(0)
 
 	if stats.Aborted {
+		return nil, costmodel.Vector{}, breakdown{}, 0, stats, errNodeCap
+	}
+	if !haveBest {
 		return nil, costmodel.Vector{}, breakdown{}, 0, stats,
-			errors.New("planner: search exceeded the node cap (branch-and-bound disabled?)")
+			errors.New("planner: no plan satisfies the limits")
+	}
+	return bestChoice, bestCost, bestBD, bestM, stats, nil
+}
+
+// errNodeCap is the sentinel a parallel search task raises when the shared
+// node counter crosses the cap.
+var errNodeCap = errors.New("planner: search exceeded the node cap (branch-and-bound disabled?)")
+
+// parallelSearchThreshold is the estimated full-candidate count below which
+// an automatically-sized search stays sequential: per-node work is tiny
+// (microseconds), so small trees finish before a pool would warm up.
+const parallelSearchThreshold = 1 << 14
+
+// estLeaves estimates the full-candidate count of the option tree (the
+// product of per-step option counts), saturating well past the threshold.
+func estLeaves(opts [][]option) int64 {
+	leaves := int64(1)
+	for _, os := range opts {
+		leaves *= int64(len(os))
+		if leaves >= 1<<30 {
+			return 1 << 30
+		}
+	}
+	return leaves
+}
+
+// searchParallel partitions the option tree into independent subtree tasks
+// and searches them on a worker pool. It is deterministic: the final winner
+// is chosen by an ordered reduction over per-task winners that applies
+// exactly the sequential incumbent rule ("replace only if strictly better"),
+// so the plan at N workers is the plan at 1 worker. Three properties make
+// the cross-task pruning sound:
+//
+//   - Partial costs are admissible lower bounds: every scored quantity only
+//     grows as vignettes are appended (score documents this), so goal value
+//     and total footprint are monotone from prefix to full plan.
+//   - The shared bound prunes only on STRICT dominance (betterPlan(bound,
+//     partial)). A subtree whose prefix is already strictly beaten cannot
+//     contain the sequential winner: any full plan in it costs at least the
+//     prefix, and the bound is itself a real candidate found by some task.
+//     Tied prefixes are never pruned, so order-based tie-breaking survives.
+//   - Each task keeps its own sequential incumbent (the non-strict rule),
+//     so within a task the DFS behaves exactly like the 1-worker search.
+//
+// Stats are exact sums of per-task counters. PrefixesExplored matches the
+// sequential search when pruning is disabled (every node is visited exactly
+// once: shallow nodes at task generation, deeper ones inside tasks); with
+// pruning, the counts depend on how fast the shared bound tightens and may
+// vary run to run — the chosen plan never does.
+func searchParallel(steps []step, opts [][]option, sc *scorer, cfg searchConfig, nodeCap int64, workers int, stats *Stats) ([]option, costmodel.Vector, breakdown, int, *Stats, error) {
+	// Expand the shallowest levels breadth-first into at least workers*4
+	// subtree tasks so the pool stays busy even when subtree sizes are
+	// lopsided. Each expanded node is counted once, here.
+	var nodes atomic.Int64 // shared node counter, also enforces the cap
+	frontier := [][]int{{}}
+	depth := 0
+	for depth < len(steps) && len(frontier) < workers*4 {
+		next := make([][]int, 0, len(frontier)*len(opts[depth]))
+		for _, pre := range frontier {
+			nodes.Add(1)
+			for j := range opts[depth] {
+				child := make([]int, len(pre)+1)
+				copy(child, pre)
+				child[len(pre)] = j
+				next = append(next, child)
+			}
+		}
+		frontier = next
+		depth++
+	}
+
+	// The shared incumbent bound: the cost vector of the best full candidate
+	// published by any task so far. Tasks prune against it strictly.
+	var bound atomic.Pointer[costmodel.Vector]
+	publish := func(v costmodel.Vector) {
+		for {
+			cur := bound.Load()
+			if cur != nil && !betterPlan(v, *cur, cfg.goal) {
+				return
+			}
+			nv := v
+			if bound.CompareAndSwap(cur, &nv) {
+				return
+			}
+		}
+	}
+
+	type taskResult struct {
+		choice []option
+		cost   costmodel.Vector
+		bd     breakdown
+		m      int
+		have   bool
+		stats  Stats
+	}
+
+	results, err := parallel.Map(nil, len(frontier), workers, func(t int) (taskResult, error) {
+		var r taskResult
+		tsc := sc.clone() // scorer memo is not synchronized; one per task
+		prefix := make([]plan.Vignette, 0, 64)
+		prefix = append(prefix, keygenVignette())
+		choice := make([]option, len(steps))
+		for lvl, j := range frontier[t] {
+			o := opts[lvl][j]
+			choice[lvl] = o
+			prefix = append(prefix, o.vignettes...)
+		}
+
+		var dfs func(d int) error
+		dfs = func(d int) error {
+			r.stats.PrefixesExplored++
+			if nodes.Add(1) > nodeCap {
+				r.stats.Aborted = true
+				return errNodeCap
+			}
+			partial, _, _ := tsc.score(prefix)
+			if !cfg.noBB {
+				if _, bad := cfg.limits.Violated(partial); bad {
+					r.stats.Pruned++
+					return nil
+				}
+				// The task-local incumbent prunes non-strictly (sequential
+				// semantics); the shared bound prunes only strict dominance.
+				if r.have && !betterPlan(partial, r.cost, cfg.goal) {
+					r.stats.Pruned++
+					return nil
+				}
+				if b := bound.Load(); b != nil && betterPlan(*b, partial, cfg.goal) {
+					r.stats.Pruned++
+					return nil
+				}
+			}
+			if d == len(steps) {
+				r.stats.FullCandidates++
+				full, bd, m := tsc.score(prefix)
+				if _, bad := cfg.limits.Violated(full); bad {
+					return nil
+				}
+				if !r.have || betterPlan(full, r.cost, cfg.goal) {
+					r.have = true
+					r.cost = full
+					r.bd = bd
+					r.m = m
+					r.choice = append([]option(nil), choice...)
+					publish(full)
+				}
+				return nil
+			}
+			for _, o := range opts[d] {
+				mark := len(prefix)
+				prefix = append(prefix, o.vignettes...)
+				choice[d] = o
+				err := dfs(d + 1)
+				prefix = prefix[:mark]
+				if err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if err := dfs(len(frontier[t])); err != nil {
+			return r, err
+		}
+		return r, nil
+	})
+	stats.PrefixesExplored = nodes.Load()
+	if err != nil {
+		stats.Aborted = true
+		return nil, costmodel.Vector{}, breakdown{}, 0, stats, errNodeCap
+	}
+
+	// Ordered reduction in task order — the order sequential DFS would have
+	// reached the same subtrees — with the sequential incumbent rule.
+	var (
+		bestChoice []option
+		bestCost   costmodel.Vector
+		bestBD     breakdown
+		bestM      int
+		haveBest   bool
+	)
+	for _, r := range results {
+		stats.FullCandidates += r.stats.FullCandidates
+		stats.Pruned += r.stats.Pruned
+		if r.have && (!haveBest || betterPlan(r.cost, bestCost, cfg.goal)) {
+			haveBest = true
+			bestCost = r.cost
+			bestBD = r.bd
+			bestM = r.m
+			bestChoice = r.choice
+		}
 	}
 	if !haveBest {
 		return nil, costmodel.Vector{}, breakdown{}, 0, stats,

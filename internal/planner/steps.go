@@ -13,6 +13,18 @@
 // describes — operator instantiations (sum trees of different fanouts, the
 // two em variants of Figure 4), placement, and cryptosystem — explored
 // mechanically with pruning.
+//
+// # Thread safety
+//
+// Plan is safe to call concurrently: every call builds its own scorer and
+// search state. Internally the search itself fans out over a worker pool
+// (Request.Workers; see internal/parallel) by partitioning the option tree
+// into independent subtree tasks that share only an atomic incumbent bound
+// and an atomic node counter. The chosen plan is identical at every worker
+// count — the shared bound prunes only on strict dominance and the final
+// winner comes from an ordered reduction that replays the sequential
+// tie-breaking — though Stats.Pruned/PrefixesExplored may vary run to run
+// when pruning is enabled with more than one worker.
 package planner
 
 import (

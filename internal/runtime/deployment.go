@@ -11,6 +11,19 @@
 // 10^9 devices; likewise, the runtime executes deployments of hundreds to
 // thousands of real devices end-to-end and the eval package extrapolates
 // with the cost model.
+//
+// # Concurrency
+//
+// The per-device work — encrypting one-hot rows, generating proofs, folding
+// sum-tree groups — is embarrassingly parallel, and the runtime fans it out
+// over the internal/parallel worker pool (Config.Workers; 0 = auto). A
+// Deployment itself is NOT safe for concurrent use: Run mutates shared state
+// (metrics, budget, RNG). Determinism is preserved at every worker count
+// because all draws from the deployment's seeded RNG happen sequentially on
+// the coordinating goroutine before any parallel section starts, the
+// parallel sections use only crypto/rand (whose output never reaches the
+// released values), and per-device results are re-assembled in device order.
+// See docs/CONCURRENCY.md.
 package runtime
 
 import (
@@ -22,6 +35,7 @@ import (
 	"arboretum/internal/ahe"
 	"arboretum/internal/mechanism"
 	"arboretum/internal/merkle"
+	"arboretum/internal/parallel"
 	"arboretum/internal/privacy"
 	"arboretum/internal/shamir"
 	"arboretum/internal/sortition"
@@ -57,6 +71,13 @@ type Config struct {
 
 	// BudgetEpsilon is the deployment's total privacy budget (default 10).
 	BudgetEpsilon float64
+
+	// Workers bounds the worker pool used for per-device parallel work
+	// (encryption, proof generation, sum-tree folding). 0 resolves via
+	// parallel.Workers: the ARBORETUM_WORKERS environment variable, then
+	// GOMAXPROCS. 1 forces the sequential paths (bit-identical to the
+	// pre-parallel runtime).
+	Workers int
 }
 
 // Device is one participant.
@@ -175,6 +196,9 @@ func NewDeployment(cfg Config) (*Deployment, error) {
 	}
 	return d, nil
 }
+
+// workers resolves the deployment's effective worker count.
+func (d *Deployment) workers() int { return parallel.Workers(d.cfg.Workers) }
 
 // onlineMembers filters a committee to its reachable members.
 func (d *Deployment) onlineMembers(c sortition.Committee) sortition.Committee {
@@ -350,62 +374,89 @@ func (km *keyMaterial) reconstructKey() (*ahe.PrivateKey, error) {
 	return ahe.FromSecrets(km.pub, lambda, mu), nil
 }
 
+// upload is one device's contribution: the encrypted vector plus its proof.
+type upload struct {
+	vec   []*ahe.Ciphertext
+	proof *zkp.Proof
+}
+
+// deviceUpload produces one device's upload for the given one-hot position:
+// honest devices encrypt their row and prove it well formed; malicious
+// devices upload an all-ones vector (inflating every count) with a forged
+// proof. It runs on pool workers: it touches only the device's own state and
+// crypto/rand.
+func (d *Deployment) deviceUpload(km *keyMaterial, dev *Device, width, hot int) (upload, error) {
+	claim := zkp.Claim{Kind: zkp.ClaimOneHot, VectorLen: width}
+	stmt := zkp.Statement{Device: dev.ID, QueryID: d.queryID, Claim: claim}
+	if dev.Malicious {
+		vec := make([]*ahe.Ciphertext, width)
+		var err error
+		for i := range vec {
+			vec[i], err = km.pub.Encrypt(rand.Reader, bigOne())
+			if err != nil {
+				return upload{}, err
+			}
+		}
+		return upload{vec: vec, proof: zkp.Forge(stmt)}, nil
+	}
+	vec, err := km.pub.EncryptVector(rand.Reader, width, hot)
+	if err != nil {
+		return upload{}, err
+	}
+	witness := make([]int64, width)
+	witness[hot] = 1
+	proof, err := zkp.NewProver(dev.Key).Prove(stmt, zkp.Witness{Vector: witness})
+	if err != nil {
+		return upload{}, err
+	}
+	return upload{vec: vec, proof: proof}, nil
+}
+
+// acceptUploads runs the aggregator's sequential side of input collection:
+// traffic accounting and proof verification, in device order (the verifier's
+// replay state is not synchronized, and keeping this loop ordered makes the
+// metrics and the accepted set identical at every worker count).
+func (d *Deployment) acceptUploads(verifier *zkp.Verifier, ups []upload) [][]*ahe.Ciphertext {
+	var accepted [][]*ahe.Ciphertext
+	for _, up := range ups {
+		for _, ct := range up.vec {
+			d.Metrics.DeviceBytesSent += int64(ct.Bytes())
+		}
+		d.Metrics.DeviceBytesSent += int64(up.proof.Bytes())
+		d.Metrics.ZKPsVerified++
+		if !verifier.Verify(up.proof) {
+			d.Metrics.ZKPsRejected++
+			continue
+		}
+		accepted = append(accepted, up.vec)
+	}
+	return accepted
+}
+
 // collectInputs has every device encrypt its one-hot row under the query
 // key and prove well-formedness; the aggregator verifies each proof and
-// drops invalid uploads (Section 5.3). Malicious devices upload garbage
-// vectors with forged proofs.
+// drops invalid uploads (Section 5.3). The device-side work (encryption,
+// proof generation) runs one pool task per online device; verification and
+// metrics accounting stay sequential in device order.
 func (d *Deployment) collectInputs(km *keyMaterial) ([][]*ahe.Ciphertext, error) {
 	keys := make(map[int][]byte, len(d.Devices))
 	for _, dev := range d.Devices {
 		keys[dev.ID] = dev.Key
 	}
 	verifier := zkp.NewVerifier(keys)
-	var accepted [][]*ahe.Ciphertext
+	var online []*Device
 	for _, dev := range d.Devices {
-		if dev.Offline {
-			continue // churned devices simply do not upload
+		if !dev.Offline { // churned devices simply do not upload
+			online = append(online, dev)
 		}
-		claim := zkp.Claim{Kind: zkp.ClaimOneHot, VectorLen: d.cfg.Categories}
-		stmt := zkp.Statement{Device: dev.ID, QueryID: d.queryID, Claim: claim}
-		var vec []*ahe.Ciphertext
-		var proof *zkp.Proof
-		if dev.Malicious {
-			// Upload an all-ones vector (inflating every count) with a
-			// forged proof.
-			var err error
-			vec = make([]*ahe.Ciphertext, d.cfg.Categories)
-			for i := range vec {
-				vec[i], err = km.pub.Encrypt(rand.Reader, bigOne())
-				if err != nil {
-					return nil, err
-				}
-			}
-			proof = zkp.Forge(stmt)
-		} else {
-			var err error
-			vec, err = km.pub.EncryptVector(rand.Reader, d.cfg.Categories, dev.Category)
-			if err != nil {
-				return nil, err
-			}
-			witness := make([]int64, d.cfg.Categories)
-			witness[dev.Category] = 1
-			prover := zkp.NewProver(dev.Key)
-			proof, err = prover.Prove(stmt, zkp.Witness{Vector: witness})
-			if err != nil {
-				return nil, err
-			}
-		}
-		for _, ct := range vec {
-			d.Metrics.DeviceBytesSent += int64(ct.Bytes())
-		}
-		d.Metrics.DeviceBytesSent += int64(proof.Bytes())
-		d.Metrics.ZKPsVerified++
-		if !verifier.Verify(proof) {
-			d.Metrics.ZKPsRejected++
-			continue
-		}
-		accepted = append(accepted, vec)
 	}
+	ups, err := parallel.Map(nil, len(online), d.workers(), func(i int) (upload, error) {
+		return d.deviceUpload(km, online[i], d.cfg.Categories, online[i].Category)
+	})
+	if err != nil {
+		return nil, err
+	}
+	accepted := d.acceptUploads(verifier, ups)
 	if len(accepted) == 0 {
 		return nil, fmt.Errorf("runtime: no valid inputs")
 	}

@@ -1,0 +1,130 @@
+package runtime
+
+// Worker-count determinism: a deployment with a fixed seed must release
+// byte-identical results — outputs, accepted counts, and measured metrics —
+// whether the per-device work runs on 1 worker or many. All seeded-RNG draws
+// happen sequentially on the coordinating goroutine; the parallel sections
+// consume only crypto/rand, which never reaches the released values.
+
+import (
+	"reflect"
+	"testing"
+)
+
+// stableMetrics zeroes the fields that measure byte lengths and MPC round
+// counts of ciphertexts: those depend on crypto/rand draws (a Paillier
+// ciphertext is occasionally a byte shorter) and vary run to run even
+// sequentially. The remaining counters must be exact.
+func stableMetrics(m Metrics) Metrics {
+	m.DeviceBytesSent = 0
+	m.AggregatorBytes = 0
+	m.CommitteeBytes = 0
+	m.MPCRounds = 0
+	return m
+}
+
+func runOnce(t *testing.T, workers int, src string, opts RunOptions) (*Result, Metrics) {
+	t.Helper()
+	d, err := NewDeployment(Config{
+		N: 48, Categories: 6, CommitteeSize: 5, Seed: 42,
+		MaliciousFrac: 0.05, BudgetEpsilon: 1e9, Workers: workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Run(src, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, d.Metrics
+}
+
+// TestRunDeterministicAcrossWorkers runs the same seeded query at 1 and 8
+// workers and demands identical outputs and metrics.
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	src := "aggr = sum(db);\nresult = em(aggr, 3.0);\noutput(result);"
+	res1, m1 := runOnce(t, 1, src, RunOptions{})
+	res8, m8 := runOnce(t, 8, src, RunOptions{})
+	if !reflect.DeepEqual(res1.Outputs, res8.Outputs) {
+		t.Fatalf("outputs differ across worker counts: %v vs %v", res1.Outputs, res8.Outputs)
+	}
+	if res1.Accepted != res8.Accepted || res1.Sampled != res8.Sampled {
+		t.Fatalf("accepted/sampled differ: %d/%d vs %d/%d",
+			res1.Accepted, res1.Sampled, res8.Accepted, res8.Sampled)
+	}
+	if stableMetrics(m1) != stableMetrics(m8) {
+		t.Fatalf("metrics differ across worker counts:\n1 worker: %+v\n8 workers: %+v", m1, m8)
+	}
+}
+
+// TestSumTreeDeterministicAcrossWorkers exercises the device sum tree (the
+// outsourcing path) at both worker counts.
+func TestSumTreeDeterministicAcrossWorkers(t *testing.T) {
+	src := "aggr = sum(db);\nresult = em(aggr, 3.0);\noutput(result);"
+	opts := RunOptions{SumTreeFanout: 4}
+	res1, m1 := runOnce(t, 1, src, opts)
+	res8, m8 := runOnce(t, 8, src, opts)
+	if !reflect.DeepEqual(res1.Outputs, res8.Outputs) {
+		t.Fatalf("sum-tree outputs differ: %v vs %v", res1.Outputs, res8.Outputs)
+	}
+	if stableMetrics(m1) != stableMetrics(m8) {
+		t.Fatalf("sum-tree metrics differ:\n1 worker: %+v\n8 workers: %+v", m1, m8)
+	}
+}
+
+// --- benchmarks ---
+
+// BenchmarkCollectInputs times the device-side input phase (encrypt + prove
+// for every online device) through a full deployment setup. Run with
+// -cpu 1,4 to compare the sequential fallback against the pool.
+func BenchmarkCollectInputs(b *testing.B) {
+	d, err := NewDeployment(Config{
+		N: 64, Categories: 16, CommitteeSize: 5, Seed: 7, BudgetEpsilon: 1e9,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	committees, err := d.selectCommittees(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	km, err := d.keygen(committees[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.queryID++ // fresh replay-protection scope per iteration
+		if _, err := d.collectInputs(km); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDeviceSumTree times one sum-tree level over 64 encrypted vectors.
+func BenchmarkDeviceSumTree(b *testing.B) {
+	d, err := NewDeployment(Config{
+		N: 64, Categories: 16, CommitteeSize: 5, Seed: 7, BudgetEpsilon: 1e9,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	committees, err := d.selectCommittees(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	km, err := d.keygen(committees[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	inputs, err := d.collectInputs(km)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.deviceSumTree(km.pub, inputs, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

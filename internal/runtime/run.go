@@ -8,6 +8,7 @@ import (
 	"arboretum/internal/fixed"
 	"arboretum/internal/lang"
 	"arboretum/internal/mechanism"
+	"arboretum/internal/parallel"
 	"arboretum/internal/privacy"
 	"arboretum/internal/queries"
 	"arboretum/internal/sortition"
@@ -189,26 +190,43 @@ func (d *Deployment) Run(src string, opts RunOptions) (*Result, error) {
 
 // deviceSumTree pre-aggregates inputs in device groups of the given fanout
 // (one tree level is enough to exercise the path; deeper trees repeat it).
+// The groups are disjoint, so each one folds as its own pool task; the
+// per-group traffic is tallied into the metrics afterwards in group order,
+// keeping results and metrics identical at every worker count.
 func (d *Deployment) deviceSumTree(pub *ahe.PublicKey, inputs [][]*ahe.Ciphertext, fanout int) ([][]*ahe.Ciphertext, error) {
-	var out [][]*ahe.Ciphertext
-	for start := 0; start < len(inputs); start += fanout {
+	nGroups := (len(inputs) + fanout - 1) / fanout
+	type groupSum struct {
+		acc  []*ahe.Ciphertext
+		sent int64
+	}
+	sums, err := parallel.Map(nil, nGroups, d.workers(), func(g int) (groupSum, error) {
+		start := g * fanout
 		end := start + fanout
 		if end > len(inputs) {
 			end = len(inputs)
 		}
 		group := inputs[start:end]
 		acc := append([]*ahe.Ciphertext(nil), group[0]...)
+		var sent int64
 		for _, vec := range group[1:] {
 			for c := range acc {
 				sum, err := pub.Add(acc[c], vec[c])
 				if err != nil {
-					return nil, err
+					return groupSum{}, err
 				}
 				acc[c] = sum
-				d.Metrics.DeviceBytesSent += int64(sum.Bytes())
+				sent += int64(sum.Bytes())
 			}
 		}
-		out = append(out, acc)
+		return groupSum{acc: acc, sent: sent}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]*ahe.Ciphertext, 0, nGroups)
+	for _, gs := range sums {
+		out = append(out, gs.acc)
+		d.Metrics.DeviceBytesSent += gs.sent
 	}
 	return out, nil
 }

@@ -8,6 +8,7 @@ import (
 	"arboretum/internal/ahe"
 	"arboretum/internal/lang"
 	"arboretum/internal/mechanism"
+	"arboretum/internal/parallel"
 	"arboretum/internal/zkp"
 )
 
@@ -44,6 +45,12 @@ func sampleRate(prog *lang.Program) float64 {
 // one-hot row in a uniformly random bin, zeros everywhere else, with a ZKP
 // that the whole vector is one-hot. It returns the accepted vectors and the
 // (simulation-only) bin each accepted device chose.
+//
+// The bin draws come from the deployment's seeded RNG, so they happen
+// sequentially in device order BEFORE the parallel section — the RNG stream
+// is consumed identically at every worker count. The encryption and proof
+// work then fans out one pool task per device, and verification re-runs
+// sequentially in device order.
 func (d *Deployment) collectBinnedInputs(km *keyMaterial) ([][]*ahe.Ciphertext, []int, error) {
 	keys := make(map[int][]byte, len(d.Devices))
 	for _, dev := range d.Devices {
@@ -52,52 +59,36 @@ func (d *Deployment) collectBinnedInputs(km *keyMaterial) ([][]*ahe.Ciphertext, 
 	verifier := zkp.NewVerifier(keys)
 	cats := d.cfg.Categories
 	width := sampleBinCount * cats
-	var accepted [][]*ahe.Ciphertext
-	var bins []int
+	var online []*Device
+	var chosen []int
 	for _, dev := range d.Devices {
 		if dev.Offline {
 			continue
 		}
-		bin := d.rng.Intn(sampleBinCount)
-		hot := bin*cats + dev.Category
-		claim := zkp.Claim{Kind: zkp.ClaimOneHot, VectorLen: width}
-		stmt := zkp.Statement{Device: dev.ID, QueryID: d.queryID, Claim: claim}
-		var vec []*ahe.Ciphertext
-		var proof *zkp.Proof
-		if dev.Malicious {
-			var err error
-			vec = make([]*ahe.Ciphertext, width)
-			for i := range vec {
-				vec[i], err = km.pub.Encrypt(rand.Reader, bigOne())
-				if err != nil {
-					return nil, nil, err
-				}
-			}
-			proof = zkp.Forge(stmt)
-		} else {
-			var err error
-			vec, err = km.pub.EncryptVector(rand.Reader, width, hot)
-			if err != nil {
-				return nil, nil, err
-			}
-			witness := make([]int64, width)
-			witness[hot] = 1
-			proof, err = zkp.NewProver(dev.Key).Prove(stmt, zkp.Witness{Vector: witness})
-			if err != nil {
-				return nil, nil, err
-			}
-		}
-		for _, ct := range vec {
+		online = append(online, dev)
+		chosen = append(chosen, d.rng.Intn(sampleBinCount))
+	}
+	ups, err := parallel.Map(nil, len(online), d.workers(), func(i int) (upload, error) {
+		hot := chosen[i]*cats + online[i].Category
+		return d.deviceUpload(km, online[i], width, hot)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	var accepted [][]*ahe.Ciphertext
+	var bins []int
+	for i, up := range ups {
+		for _, ct := range up.vec {
 			d.Metrics.DeviceBytesSent += int64(ct.Bytes())
 		}
-		d.Metrics.DeviceBytesSent += int64(proof.Bytes())
+		d.Metrics.DeviceBytesSent += int64(up.proof.Bytes())
 		d.Metrics.ZKPsVerified++
-		if !verifier.Verify(proof) {
+		if !verifier.Verify(up.proof) {
 			d.Metrics.ZKPsRejected++
 			continue
 		}
-		accepted = append(accepted, vec)
-		bins = append(bins, bin)
+		accepted = append(accepted, up.vec)
+		bins = append(bins, chosen[i])
 	}
 	if len(accepted) == 0 {
 		return nil, nil, fmt.Errorf("runtime: no valid binned inputs")

@@ -1,0 +1,28 @@
+#!/bin/sh
+# Tier-1 verification: build, vet, tests, and the race detector over the
+# parallel execution engine. Run from the repository root.
+#
+# The race pass takes a few minutes on small machines (the runtime package
+# runs real Paillier/MPC under the detector); set ARBORETUM_CHECK_FAST=1 to
+# skip it during quick iteration.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test ./..."
+go test ./...
+
+if [ "${ARBORETUM_CHECK_FAST:-0}" = "1" ]; then
+    echo "== skipping go test -race ./... (ARBORETUM_CHECK_FAST=1)"
+else
+    echo "== go test -race ./..."
+    go test -race ./...
+fi
+
+echo "ok"
