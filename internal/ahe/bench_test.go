@@ -11,6 +11,7 @@ package ahe
 import (
 	"crypto/rand"
 	"math/big"
+	"sync"
 	"testing"
 )
 
@@ -30,6 +31,59 @@ func BenchmarkEncryptVector(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := pk.EncryptVector(rand.Reader, 64, 7); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchKey2048 caches a deployment-size 2048-bit keypair (keygen at this
+// size takes seconds, so share it across the 2048-bit benchmarks).
+var (
+	key2048Once sync.Once
+	key2048     *PrivateKey
+)
+
+func benchKey2048(b *testing.B) *PrivateKey {
+	b.Helper()
+	key2048Once.Do(func() {
+		sk, err := GenerateKey(rand.Reader, 2048)
+		if err != nil {
+			panic(err)
+		}
+		key2048 = sk
+	})
+	return key2048
+}
+
+// BenchmarkDecrypt2048 times one decryption at the deployment key size —
+// the committee-side kernel of AHE-sum plans.
+func BenchmarkDecrypt2048(b *testing.B) {
+	sk := benchKey2048(b)
+	ct, err := sk.Encrypt(rand.Reader, big.NewInt(123456))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := sk.Decrypt(ct)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if m.Int64() != 123456 {
+			b.Fatalf("decrypted %v", m)
+		}
+	}
+}
+
+// BenchmarkEncrypt2048 times one encryption at the deployment key size —
+// the device-side kernel of AHE-sum plans.
+func BenchmarkEncrypt2048(b *testing.B) {
+	sk := benchKey2048(b)
+	pk := &sk.PublicKey
+	m := big.NewInt(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pk.Encrypt(rand.Reader, m); err != nil {
 			b.Fatal(err)
 		}
 	}

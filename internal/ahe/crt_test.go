@@ -1,0 +1,152 @@
+package ahe
+
+// Equivalence properties for the accelerated decryption and encryption
+// paths: CRT decryption (keys carrying their factorization) must agree with
+// the lambda/mu formula (keys reassembled via FromSecrets) on every
+// ciphertext, and fixed-base encryptions must decrypt under both.
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+// TestDecryptCRTMatchesLambdaMu decrypts the same ciphertexts with the CRT
+// path and with a FromSecrets-reassembled key (lambda/mu path) and requires
+// identical plaintexts, including negatives.
+func TestDecryptCRTMatchesLambdaMu(t *testing.T) {
+	sk := testKeyPair(t)
+	if sk.p == nil {
+		t.Fatal("generated key lost its factorization; CRT path untested")
+	}
+	re := FromSecrets(&sk.PublicKey, sk.Lambda(), sk.Mu())
+	if re.p != nil {
+		t.Fatal("reassembled key claims a factorization it does not have")
+	}
+	msgs := []*big.Int{
+		big.NewInt(0), big.NewInt(1), big.NewInt(-1),
+		big.NewInt(1 << 40), big.NewInt(-(1 << 40)), big.NewInt(123456789),
+	}
+	// A few random full-range messages as well.
+	for i := 0; i < 4; i++ {
+		m, err := rand.Int(rand.Reader, sk.N)
+		if err != nil {
+			t.Fatal(err)
+		}
+		msgs = append(msgs, m)
+	}
+	for _, m := range msgs {
+		ct, err := sk.Encrypt(rand.Reader, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		crt, err := sk.Decrypt(ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lm, err := re.Decrypt(ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if crt.Cmp(lm) != 0 {
+			t.Fatalf("Decrypt mismatch for m=%v: CRT %v, lambda/mu %v", m, crt, lm)
+		}
+	}
+}
+
+// TestQuickDecryptEquivalence is the randomized version over signed small
+// messages: CRT and lambda/mu decryption agree on homomorphic sums too.
+func TestQuickDecryptEquivalence(t *testing.T) {
+	sk := testKeyPair(t)
+	re := FromSecrets(&sk.PublicKey, sk.Lambda(), sk.Mu())
+	f := func(a, b int32) bool {
+		ca, err1 := sk.Encrypt(rand.Reader, big.NewInt(int64(a)))
+		cb, err2 := sk.Encrypt(rand.Reader, big.NewInt(int64(b)))
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		sum, err := sk.Add(ca, cb)
+		if err != nil {
+			return false
+		}
+		x, err1 := sk.Decrypt(sum)
+		y, err2 := re.Decrypt(sum)
+		return err1 == nil && err2 == nil && x.Cmp(y) == 0 &&
+			x.Int64() == int64(a)+int64(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFixedBaseEncryptMatchesTextbook checks that fixed-base encryptions
+// (key table present) and textbook encryptions (no table) decrypt to the
+// same plaintexts under the same key — both randomizers are n-th powers, so
+// the ciphertext spaces coincide.
+func TestFixedBaseEncryptMatchesTextbook(t *testing.T) {
+	sk := testKeyPair(t)
+	if sk.fb == nil {
+		t.Fatal("generated key has no fixed-base table")
+	}
+	bare := PublicKey{N: sk.N, N2: sk.N2} // no table: textbook path
+	for _, m := range []int64{0, 1, -7, 424242} {
+		ctFB, err := sk.Encrypt(rand.Reader, big.NewInt(m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctTB, err := bare.Encrypt(rand.Reader, big.NewInt(m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotFB, err := sk.Decrypt(ctFB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotTB, err := sk.Decrypt(ctTB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotFB.Int64() != m || gotTB.Int64() != m {
+			t.Fatalf("m=%d: fixed-base %v, textbook %v", m, gotFB, gotTB)
+		}
+	}
+	// The two paths must still be homomorphically compatible.
+	a, _ := sk.Encrypt(rand.Reader, big.NewInt(100))
+	b, _ := bare.Encrypt(rand.Reader, big.NewInt(23))
+	sum, err := sk.Add(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sk.Decrypt(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Int64() != 123 {
+		t.Fatalf("mixed-path sum decrypted to %v", got)
+	}
+}
+
+// TestEncryptVectorSharedTable exercises the table-per-call path: a key
+// without a precomputed table must still one-hot encrypt correctly.
+func TestEncryptVectorSharedTable(t *testing.T) {
+	sk := testKeyPair(t)
+	bare := PublicKey{N: sk.N, N2: sk.N2}
+	vec, err := bare.EncryptVector(rand.Reader, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ct := range vec {
+		got, err := sk.Decrypt(ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := int64(0)
+		if i == 1 {
+			want = 1
+		}
+		if got.Int64() != want {
+			t.Errorf("slot %d = %v, want %d", i, got, want)
+		}
+	}
+}

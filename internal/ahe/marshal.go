@@ -28,6 +28,11 @@ func readBig(buf []byte) (*big.Int, []byte, error) {
 	if uint32(len(buf)) < n {
 		return nil, nil, errors.New("ahe: truncated value")
 	}
+	if n > 0 && buf[0] == 0 {
+		// appendBig never emits leading zeros; reject non-canonical
+		// encodings so every value has exactly one wire form.
+		return nil, nil, errors.New("ahe: non-canonical value encoding")
+	}
 	v := new(big.Int).SetBytes(buf[:n])
 	return v, buf[n:], nil
 }

@@ -44,6 +44,14 @@ var one = big.NewInt(1)
 type PublicKey struct {
 	N  *big.Int // modulus
 	N2 *big.Int // n^2, cached
+
+	// fb is the precomputed fixed-base table that accelerates the r^n mod n²
+	// factor of every encryption (see fixedbase.go). GenerateKey populates
+	// it; keys built by hand or deserialized leave it nil, in which case
+	// Encrypt falls back to the textbook exponentiation and EncryptVector
+	// builds one table shared across its per-slot encryptions. The table is
+	// immutable, so copying the key copies the pointer safely.
+	fb *fixedBase
 }
 
 // PrivateKey holds the factorization-derived decryption values. Like the
@@ -52,6 +60,15 @@ type PrivateKey struct {
 	PublicKey
 	lambda *big.Int // lcm(p-1, q-1)
 	mu     *big.Int // (L(g^lambda mod n^2))^-1 mod n
+
+	// CRT acceleration: GenerateKey records the prime factors so Decrypt can
+	// exponentiate mod p² and q² separately (~4× at 2048-bit keys) and
+	// recombine. Keys reassembled from shared secrets via FromSecrets have no
+	// factorization — p stays nil and Decrypt takes the lambda/mu path.
+	p, q   *big.Int
+	p2, q2 *big.Int // p², q²
+	hp, hq *big.Int // L_p(g^{p−1} mod p²)^{-1} mod p and the q analogue
+	pInvQ  *big.Int // p^{-1} mod q, for the CRT recombination
 }
 
 // Ciphertext is a Paillier ciphertext.
@@ -102,10 +119,30 @@ func GenerateKey(random io.Reader, bits int) (*PrivateKey, error) {
 		if mu == nil {
 			continue
 		}
+		// CRT precomputation. With g = n+1 and n ≡ 0 (mod p),
+		// g^{p−1} mod p² = 1 + (p−1)·n mod p², so
+		// L_p(g^{p−1}) = (p−1)·q mod p and hp is its inverse (hq likewise).
+		p2 := new(big.Int).Mul(p, p)
+		q2 := new(big.Int).Mul(q, q)
+		hp := new(big.Int).ModInverse(
+			new(big.Int).Mod(new(big.Int).Mul(pm1, q), p), p)
+		hq := new(big.Int).ModInverse(
+			new(big.Int).Mod(new(big.Int).Mul(qm1, p), q), q)
+		pInvQ := new(big.Int).ModInverse(new(big.Int).Mod(p, q), q)
+		if hp == nil || hq == nil || pInvQ == nil {
+			continue
+		}
 		return &PrivateKey{
-			PublicKey: PublicKey{N: n, N2: n2},
+			PublicKey: PublicKey{N: n, N2: n2, fb: newFixedBase(n, n2)},
 			lambda:    lambda,
 			mu:        mu,
+			p:         p,
+			q:         q,
+			p2:        p2,
+			q2:        q2,
+			hp:        hp,
+			hq:        hq,
+			pInvQ:     pInvQ,
 		}, nil
 	}
 }
@@ -113,46 +150,101 @@ func GenerateKey(random io.Reader, bits int) (*PrivateKey, error) {
 // Encrypt encrypts m ∈ [0, n) under pk. Negative messages are mapped to
 // n − |m| (two's-complement-style), which Decrypt undoes for small values.
 func (pk *PublicKey) Encrypt(random io.Reader, m *big.Int) (*Ciphertext, error) {
+	return pk.encrypt(random, m, pk.fb)
+}
+
+// encrypt is Encrypt with an explicit fixed-base table (possibly nil), so
+// EncryptVector can share one table across slots even on keys without a
+// precomputed one.
+func (pk *PublicKey) encrypt(random io.Reader, m *big.Int, fb *fixedBase) (*Ciphertext, error) {
 	msg := new(big.Int).Mod(m, pk.N)
-	// r uniform in [1, n) with gcd(r, n) = 1 (overwhelmingly likely).
-	var r *big.Int
-	for {
-		var err error
-		r, err = rand.Int(random, pk.N)
+	var rn *big.Int
+	var err error
+	if fb != nil {
+		rn, err = fb.randomPower(random)
 		if err != nil {
 			return nil, err
 		}
-		if r.Sign() != 0 && new(big.Int).GCD(nil, nil, r, pk.N).Cmp(one) == 0 {
-			break
+	} else {
+		// Textbook path: r uniform in [1, n) with gcd(r, n) = 1
+		// (overwhelmingly likely), then a full n-bit exponentiation.
+		var r *big.Int
+		for {
+			r, err = rand.Int(random, pk.N)
+			if err != nil {
+				return nil, err
+			}
+			if r.Sign() != 0 && new(big.Int).GCD(nil, nil, r, pk.N).Cmp(one) == 0 {
+				break
+			}
 		}
+		rn = new(big.Int).Exp(r, pk.N, pk.N2)
 	}
 	// c = g^m · r^n mod n^2 with g = n+1: g^m = 1 + m·n mod n^2.
 	gm := new(big.Int).Mul(msg, pk.N)
 	gm.Add(gm, one)
 	gm.Mod(gm, pk.N2)
-	rn := new(big.Int).Exp(r, pk.N, pk.N2)
-	c := new(big.Int).Mul(gm, rn)
+	c := gm.Mul(gm, rn)
 	c.Mod(c, pk.N2)
 	return &Ciphertext{C: c}, nil
 }
 
 // Decrypt recovers the plaintext. Values above n/2 are returned negative,
-// matching Encrypt's handling of negative messages.
+// matching Encrypt's handling of negative messages. Keys that carry their
+// factorization (from GenerateKey) decrypt via CRT — two half-width
+// exponentiations instead of one full-width one; reassembled keys
+// (FromSecrets) use the lambda/mu formula. Both compute the same value.
 func (sk *PrivateKey) Decrypt(ct *Ciphertext) (*big.Int, error) {
 	if ct == nil || ct.C == nil || ct.C.Sign() <= 0 || ct.C.Cmp(sk.N2) >= 0 {
 		return nil, errors.New("ahe: ciphertext out of range")
 	}
-	u := new(big.Int).Exp(ct.C, sk.lambda, sk.N2)
-	// L(u) = (u-1)/n
-	u.Sub(u, one)
-	u.Div(u, sk.N)
-	m := new(big.Int).Mul(u, sk.mu)
-	m.Mod(m, sk.N)
+	var m *big.Int
+	if sk.p != nil {
+		m = sk.decryptCRT(ct.C)
+	} else {
+		u := new(big.Int).Exp(ct.C, sk.lambda, sk.N2)
+		// L(u) = (u-1)/n
+		u.Sub(u, one)
+		u.Div(u, sk.N)
+		m = u.Mul(u, sk.mu)
+		m.Mod(m, sk.N)
+	}
 	half := new(big.Int).Rsh(sk.N, 1)
 	if m.Cmp(half) > 0 {
 		m.Sub(m, sk.N)
 	}
 	return m, nil
+}
+
+// decryptCRT computes the plaintext of c mod p and mod q separately and
+// recombines: m_p = L_p(c^{p−1} mod p²)·hp mod p with L_p(x) = (x−1)/p, the
+// same mod q, then m = m_p + p·((m_q − m_p)·p^{-1} mod q). Exponent and
+// modulus are both half-width, which is ~4× cheaper than the lambda/mu
+// exponentiation mod n² at 2048-bit keys.
+func (sk *PrivateKey) decryptCRT(c *big.Int) *big.Int {
+	pm1 := new(big.Int).Sub(sk.p, one)
+	up := new(big.Int).Mod(c, sk.p2)
+	up.Exp(up, pm1, sk.p2)
+	up.Sub(up, one)
+	up.Div(up, sk.p)
+	mp := up.Mul(up, sk.hp)
+	mp.Mod(mp, sk.p)
+
+	qm1 := new(big.Int).Sub(sk.q, one)
+	uq := new(big.Int).Mod(c, sk.q2)
+	uq.Exp(uq, qm1, sk.q2)
+	uq.Sub(uq, one)
+	uq.Div(uq, sk.q)
+	mq := uq.Mul(uq, sk.hq)
+	mq.Mod(mq, sk.q)
+
+	// m ≡ mp (mod p), m ≡ mq (mod q), m ∈ [0, n).
+	d := new(big.Int).Sub(mq, mp)
+	d.Mod(d, sk.q)
+	d.Mul(d, sk.pInvQ)
+	d.Mod(d, sk.q)
+	d.Mul(d, sk.p)
+	return d.Add(d, mp)
 }
 
 // Add returns a ciphertext encrypting the sum of the two plaintexts: the ⊞
@@ -263,10 +355,16 @@ func parallelSafeReader(r io.Reader) io.Reader {
 // encryption of 1 at position hot and encryptions of 0 elsewhere. This is
 // the device-side input step for categorical queries (Section 5.3). The
 // per-position encryptions are independent, so they run on the package's
-// worker pool; slot i always holds position i's ciphertext.
+// worker pool; slot i always holds position i's ciphertext. All slots share
+// one fixed-base table for their r^n factors — the key's precomputed table
+// when present, otherwise one built here for the call.
 func (pk *PublicKey) EncryptVector(random io.Reader, length, hot int) ([]*Ciphertext, error) {
 	if hot < 0 || hot >= length {
 		return nil, fmt.Errorf("ahe: hot index %d out of [0,%d)", hot, length)
+	}
+	fb := pk.fb
+	if fb == nil {
+		fb = newFixedBase(pk.N, pk.N2)
 	}
 	w := parallel.Workers(0)
 	if w > 1 && length > 1 {
@@ -277,7 +375,7 @@ func (pk *PublicKey) EncryptVector(random io.Reader, length, hot int) ([]*Cipher
 		if i == hot {
 			m = big.NewInt(1)
 		}
-		return pk.Encrypt(random, m)
+		return pk.encrypt(random, m, fb)
 	})
 }
 

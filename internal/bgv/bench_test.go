@@ -24,6 +24,35 @@ func benchContext(b *testing.B) *Context {
 	return ctx
 }
 
+// BenchmarkNTTForward times a single forward transform of one degree-4096
+// polynomial — the core single-core kernel every higher-level operation is
+// built from.
+func BenchmarkNTTForward(b *testing.B) {
+	ctx := benchContext(b)
+	p, err := ctx.sampleUniform(rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx.ntt.Forward(p)
+	}
+}
+
+// BenchmarkNTTInverse times a single inverse transform of one degree-4096
+// polynomial.
+func BenchmarkNTTInverse(b *testing.B) {
+	ctx := benchContext(b)
+	p, err := ctx.sampleUniform(rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx.ntt.Inverse(p)
+	}
+}
+
 // BenchmarkNTTBatch transforms a batch of 64 degree-4096 polynomials — the
 // shape of a committee decrypting a slice of the aggregate.
 func BenchmarkNTTBatch(b *testing.B) {

@@ -131,12 +131,15 @@ func (c *Context) sampleUniform(r io.Reader) (Poly, error) {
 // reduced-security test instantiation; see package comment).
 func (c *Context) sampleTernary(r io.Reader) (Poly, error) {
 	p := c.newPoly()
-	buf := make([]byte, 1)
+	// One bulk read instead of a 1-byte read per coefficient: same byte →
+	// coefficient mapping, but crypto/rand throughput instead of per-call
+	// overhead on the encryption hot path.
+	buf := make([]byte, len(p))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
 	for i := range p {
-		if _, err := io.ReadFull(r, buf); err != nil {
-			return nil, err
-		}
-		switch buf[0] % 4 {
+		switch buf[i] % 4 {
 		case 0:
 			p[i] = 1
 		case 1:
@@ -496,14 +499,29 @@ func (c *Context) Mul(a, b *Ciphertext, rlk *RelinKey) (*Ciphertext, error) {
 // minParallelSum is the ciphertext count below which Sum stays sequential.
 const minParallelSum = 32
 
-// sumRange folds Add sequentially over a non-empty slice.
+// sumRange folds addition sequentially over a non-empty slice, accumulating
+// into a single pair of buffers instead of allocating a fresh ciphertext per
+// Add — the values are identical to the Add-based fold (same addMod in the
+// same order), but the aggregator's inner loop stops churning the allocator.
 func (c *Context) sumRange(cts []*Ciphertext) (*Ciphertext, error) {
-	acc := cts[0]
-	var err error
+	if cts[0] == nil {
+		return nil, errors.New("bgv: nil ciphertext")
+	}
+	if len(cts) == 1 {
+		return cts[0], nil
+	}
+	acc := &Ciphertext{
+		C0: append(Poly(nil), cts[0].C0...),
+		C1: append(Poly(nil), cts[0].C1...),
+	}
 	for _, ct := range cts[1:] {
-		acc, err = c.Add(acc, ct)
-		if err != nil {
-			return nil, err
+		if ct == nil {
+			return nil, errors.New("bgv: nil ciphertext")
+		}
+		c0, c1 := ct.C0, ct.C1
+		for i := range acc.C0 {
+			acc.C0[i] = addMod(acc.C0[i], c0[i], Q)
+			acc.C1[i] = addMod(acc.C1[i], c1[i], Q)
 		}
 	}
 	return acc, nil

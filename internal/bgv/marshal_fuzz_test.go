@@ -1,0 +1,116 @@
+package bgv
+
+// Fuzz and hardening tests for the ciphertext wire format: arbitrary
+// (corrupt, truncated, oversized) input must produce an error, never a panic
+// or an out-of-range coefficient, and unmarshaling must not alias the
+// caller's buffer.
+
+import (
+	"bytes"
+	"crypto/rand"
+	"encoding/binary"
+	"testing"
+)
+
+func fuzzSeedCiphertext(tb testing.TB) []byte {
+	tb.Helper()
+	c, kp := testCtx(tb)
+	ct, err := c.EncryptValues(rand.Reader, kp.PK, []uint64{1, 2, 3})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	data, err := ct.MarshalBinary()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return data
+}
+
+func FuzzCiphertextUnmarshal(f *testing.F) {
+	valid := fuzzSeedCiphertext(f)
+	f.Add(valid)
+	f.Add(valid[:len(valid)-5])
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add(append(append([]byte(nil), valid...), 1))
+	// A plausible header with out-of-range coefficients.
+	bad := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint64(bad[4:], ^uint64(0))
+	f.Add(bad)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var ct Ciphertext
+		if err := ct.UnmarshalBinary(data); err != nil {
+			return // rejected input: fine, as long as it did not panic
+		}
+		// Accepted input must be internally consistent and re-marshal to the
+		// exact same bytes (the format has a unique encoding).
+		if len(ct.C0) != len(ct.C1) {
+			t.Fatal("accepted ciphertext with mismatched polynomials")
+		}
+		for _, p := range []Poly{ct.C0, ct.C1} {
+			for _, v := range p {
+				if v >= Q {
+					t.Fatalf("accepted out-of-range coefficient %d", v)
+				}
+			}
+		}
+		out, err := ct.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-marshal of accepted ciphertext failed: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatal("re-marshal differs from accepted input")
+		}
+	})
+}
+
+// TestUnmarshalDoesNotAliasInput mutates the input buffer after a successful
+// unmarshal and checks the ciphertext is unaffected (and vice versa for
+// marshal output).
+func TestUnmarshalDoesNotAliasInput(t *testing.T) {
+	data := fuzzSeedCiphertext(t)
+	var ct Ciphertext
+	if err := ct.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	before := append(Poly(nil), ct.C0...)
+	for i := range data {
+		data[i] = 0
+	}
+	if !polyEq(before, ct.C0) {
+		t.Fatal("ciphertext aliases the unmarshal input buffer")
+	}
+	out, err := ct.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out[4] ^= 0xff
+	if ct.C0[0] != before[0] {
+		t.Fatal("ciphertext aliases its marshal output buffer")
+	}
+}
+
+// TestUnmarshalRejectsCorruption spot-checks the error paths the fuzzer
+// explores, so they are exercised in every ordinary test run too.
+func TestUnmarshalRejectsCorruption(t *testing.T) {
+	data := fuzzSeedCiphertext(t)
+	cases := map[string][]byte{
+		"empty":        {},
+		"short header": data[:3],
+		"truncated":    data[:len(data)-1],
+		"trailing":     append(append([]byte(nil), data...), 0),
+		"degree zero":  {0, 0, 0, 0},
+	}
+	nonPow2 := append([]byte(nil), data...)
+	binary.LittleEndian.PutUint32(nonPow2[:4], 1000)
+	cases["degree not a power of two"] = nonPow2
+	outOfRange := append([]byte(nil), data...)
+	binary.LittleEndian.PutUint64(outOfRange[4:], Q)
+	cases["coefficient = Q"] = outOfRange
+	for name, in := range cases {
+		var ct Ciphertext
+		if err := ct.UnmarshalBinary(in); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

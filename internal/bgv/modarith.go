@@ -29,6 +29,35 @@ func mulMod(a, b, q uint64) uint64 {
 	return rem
 }
 
+// shoupPrecomp returns ⌊w·2^64/q⌋, the Shoup companion word for the constant
+// w < q. Precomputing it once per twiddle factor lets every butterfly
+// multiply run division-free: see mulModShoup.
+func shoupPrecomp(w, q uint64) uint64 {
+	quo, _ := bits.Div64(w, 0, q) // w·2^64 / q; w < q keeps Div64 in range
+	return quo
+}
+
+// mulModShoupLazy returns a·w mod q lazily reduced to [0, 2q), using one
+// high-word multiply, one low multiply, and no division. w must be < q with
+// wShoup = shoupPrecomp(w, q); a may be any 64-bit value (in particular a
+// lazily-reduced butterfly value), because the quotient estimate
+// q̂ = ⌊a·wShoup/2^64⌋ satisfies ⌊a·w/q⌋ − 1 ≤ q̂ ≤ ⌊a·w/q⌋, so the
+// remainder a·w − q̂·q lies in [0, 2q) and is exact in the wrapping low word.
+func mulModShoupLazy(a, w, wShoup, q uint64) uint64 {
+	hi, _ := bits.Mul64(a, wShoup)
+	return a*w - hi*q
+}
+
+// mulModShoup returns a·w mod q fully reduced, division-free, for a
+// precomputed constant w (one conditional subtract on top of the lazy form).
+func mulModShoup(a, w, wShoup, q uint64) uint64 {
+	r := mulModShoupLazy(a, w, wShoup, q)
+	if r >= q {
+		r -= q
+	}
+	return r
+}
+
 // powMod returns a^e mod q by square-and-multiply.
 func powMod(a, e, q uint64) uint64 {
 	result := uint64(1 % q)

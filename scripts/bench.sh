@@ -1,0 +1,59 @@
+#!/bin/sh
+# Runs the crypto, runtime, and planner benchmarks and emits a
+# machine-readable BENCH_kernels.json so the performance trajectory is
+# tracked from PR to PR. Run from anywhere inside the repository.
+#
+# Environment knobs:
+#   ARBORETUM_BENCH_TIME   go test -benchtime value (default 1s; 1x for smoke)
+#   ARBORETUM_BENCH_COUNT  go test -count value (default 1)
+#   ARBORETUM_BENCH_OUT    output path (default BENCH_kernels.json)
+#   ARBORETUM_BENCH_PKGS   space-separated package list to benchmark
+#
+# Every benchmark runs at -cpu 1, because the tracked numbers are the
+# single-core kernel costs the cost model's rates are derived from (the
+# worker-pool scaling story is measured separately; see README).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${ARBORETUM_BENCH_TIME:-1s}"
+COUNT="${ARBORETUM_BENCH_COUNT:-1}"
+OUT="${ARBORETUM_BENCH_OUT:-BENCH_kernels.json}"
+PKGS="${ARBORETUM_BENCH_PKGS:-./internal/bgv ./internal/ahe ./internal/runtime ./internal/planner}"
+
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+for pkg in $PKGS; do
+    echo "== go test $pkg -bench . -benchmem (-benchtime $BENCHTIME, -count $COUNT)"
+    go test "$pkg" -run '^$' -bench . -benchmem \
+        -benchtime "$BENCHTIME" -count "$COUNT" -cpu 1 | tee -a "$TMP"
+done
+
+# Convert `go test -bench` output into a JSON array of
+# {pkg, op, iterations, ns_op, b_op, allocs_op} objects, one per benchmark
+# line (repeated ops appear once per -count run).
+awk '
+BEGIN { print "["; first = 1 }
+/^pkg: / { pkg = $2 }
+/^Benchmark/ {
+    op = $1
+    sub(/^Benchmark/, "", op)
+    iters = $2
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 3; i < NF; i++) {
+        if ($(i + 1) == "ns/op") ns = $i
+        if ($(i + 1) == "B/op") bytes = $i
+        if ($(i + 1) == "allocs/op") allocs = $i
+    }
+    if (ns == "") next
+    if (bytes == "") bytes = "null"
+    if (allocs == "") allocs = "null"
+    if (!first) printf ",\n"
+    first = 0
+    printf "  {\"pkg\": \"%s\", \"op\": \"%s\", \"iterations\": %s, \"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s}", pkg, op, iters, ns, bytes, allocs
+}
+END { print "\n]" }
+' "$TMP" > "$OUT"
+
+echo "wrote $OUT ($(grep -c '"op"' "$OUT") benchmark entries)"

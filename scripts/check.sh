@@ -9,6 +9,14 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+echo "== gofmt -l"
+UNFORMATTED="$(gofmt -l .)"
+if [ -n "$UNFORMATTED" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$UNFORMATTED" >&2
+    exit 1
+fi
+
 echo "== go build ./..."
 go build ./...
 
@@ -23,6 +31,13 @@ if [ "${ARBORETUM_CHECK_FAST:-0}" = "1" ]; then
 else
     echo "== go test -race ./..."
     go test -race ./...
+fi
+
+if [ "${ARBORETUM_CHECK_BENCH:-0}" = "1" ]; then
+    echo "== scripts/bench.sh smoke run (-benchtime 1x)"
+    SMOKE_OUT="$(mktemp)"
+    ARBORETUM_BENCH_TIME=1x ARBORETUM_BENCH_OUT="$SMOKE_OUT" sh scripts/bench.sh
+    rm -f "$SMOKE_OUT"
 fi
 
 echo "ok"
