@@ -7,17 +7,21 @@ package ahe
 //
 // At -cpu 1 the pool takes its sequential fast path, so that column is the
 // pre-parallel baseline.
+//
+// All randomness comes from internal/benchrand so every run measures the
+// same keys and plaintexts (the randsource invariant for bench files).
 
 import (
-	"crypto/rand"
 	"math/big"
 	"sync"
 	"testing"
+
+	"arboretum/internal/benchrand"
 )
 
 func benchKey(b *testing.B) *PrivateKey {
 	b.Helper()
-	sk, err := GenerateKey(rand.Reader, 512)
+	sk, err := GenerateKey(benchrand.New(1), 512)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -28,9 +32,10 @@ func benchKey(b *testing.B) *PrivateKey {
 // a 64-category row (64 Paillier encryptions per iteration).
 func BenchmarkEncryptVector(b *testing.B) {
 	pk := &benchKey(b).PublicKey
+	rng := benchrand.New(2)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := pk.EncryptVector(rand.Reader, 64, 7); err != nil {
+		if _, err := pk.EncryptVector(rng, 64, 7); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -46,7 +51,7 @@ var (
 func benchKey2048(b *testing.B) *PrivateKey {
 	b.Helper()
 	key2048Once.Do(func() {
-		sk, err := GenerateKey(rand.Reader, 2048)
+		sk, err := GenerateKey(benchrand.New(3), 2048)
 		if err != nil {
 			panic(err)
 		}
@@ -59,7 +64,7 @@ func benchKey2048(b *testing.B) *PrivateKey {
 // the committee-side kernel of AHE-sum plans.
 func BenchmarkDecrypt2048(b *testing.B) {
 	sk := benchKey2048(b)
-	ct, err := sk.Encrypt(rand.Reader, big.NewInt(123456))
+	ct, err := sk.Encrypt(benchrand.New(4), big.NewInt(123456))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -81,9 +86,10 @@ func BenchmarkEncrypt2048(b *testing.B) {
 	sk := benchKey2048(b)
 	pk := &sk.PublicKey
 	m := big.NewInt(1)
+	rng := benchrand.New(5)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := pk.Encrypt(rand.Reader, m); err != nil {
+		if _, err := pk.Encrypt(rng, m); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -93,9 +99,10 @@ func BenchmarkEncrypt2048(b *testing.B) {
 func BenchmarkSum(b *testing.B) {
 	sk := benchKey(b)
 	pk := &sk.PublicKey
+	rng := benchrand.New(6)
 	cts := make([]*Ciphertext, 1024)
 	for i := range cts {
-		ct, err := pk.Encrypt(rand.Reader, big.NewInt(int64(i%3)))
+		ct, err := pk.Encrypt(rng, big.NewInt(int64(i%3)))
 		if err != nil {
 			b.Fatal(err)
 		}

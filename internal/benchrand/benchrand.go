@@ -1,0 +1,47 @@
+// Package benchrand is a deterministic randomness source for benchmarks: a
+// SHA-256 counter DRBG behind io.Reader. Benchmarks must not draw from
+// crypto/rand (the randsource invariant, tools/arblint): system entropy
+// makes timings drift run-to-run through key- and noise-dependent code
+// paths, and scripts/bench_compare.py needs identical inputs on both sides
+// of a comparison. benchrand gives every benchmark the same byte stream for
+// the same seed on every machine, with no secrecy claim — which is exactly
+// right, because benchmark keys protect nothing.
+package benchrand
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+)
+
+// Reader generates the deterministic stream. It implements io.Reader and
+// never returns an error.
+type Reader struct {
+	seed [8]byte
+	ctr  uint64
+	buf  []byte // unread tail of the current block
+}
+
+// New returns a Reader whose stream is a pure function of seed.
+func New(seed uint64) *Reader {
+	r := &Reader{}
+	binary.LittleEndian.PutUint64(r.seed[:], seed)
+	return r
+}
+
+// Read fills p with the next bytes of the stream; err is always nil.
+func (r *Reader) Read(p []byte) (int, error) {
+	for i := range p {
+		if len(r.buf) == 0 {
+			var block [24]byte
+			copy(block[:8], r.seed[:])
+			binary.LittleEndian.PutUint64(block[8:16], r.ctr)
+			copy(block[16:], "arbbench")
+			r.ctr++
+			sum := sha256.Sum256(block[:])
+			r.buf = sum[:]
+		}
+		p[i] = r.buf[0]
+		r.buf = r.buf[1:]
+	}
+	return len(p), nil
+}

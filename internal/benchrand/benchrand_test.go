@@ -1,0 +1,55 @@
+package benchrand
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+func TestDeterministic(t *testing.T) {
+	a := make([]byte, 1024)
+	b := make([]byte, 1024)
+	if _, err := io.ReadFull(New(7), a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(New(7), b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different streams")
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a := make([]byte, 64)
+	b := make([]byte, 64)
+	if _, err := io.ReadFull(New(1), a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(New(2), b); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, b) {
+		t.Fatal("different seeds produced the same stream")
+	}
+}
+
+func TestUnevenReads(t *testing.T) {
+	// Reading in odd-sized chunks must yield the same stream as one read.
+	want := make([]byte, 100)
+	if _, err := io.ReadFull(New(3), want); err != nil {
+		t.Fatal(err)
+	}
+	r := New(3)
+	var got []byte
+	for _, n := range []int{1, 7, 32, 60} {
+		chunk := make([]byte, n)
+		if _, err := io.ReadFull(r, chunk); err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, chunk...)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("chunked reads diverge from a single read")
+	}
+}

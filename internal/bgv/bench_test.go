@@ -7,10 +7,14 @@ package bgv
 //
 // At -cpu 1 the pool takes its sequential fast path (the pre-parallel
 // baseline).
+//
+// All randomness comes from internal/benchrand so every run measures the
+// same keys and ciphertexts (the randsource invariant for bench files).
 
 import (
-	"crypto/rand"
 	"testing"
+
+	"arboretum/internal/benchrand"
 )
 
 var benchParams = Params{N: 1 << 12, T: 65537}
@@ -29,7 +33,7 @@ func benchContext(b *testing.B) *Context {
 // built from.
 func BenchmarkNTTForward(b *testing.B) {
 	ctx := benchContext(b)
-	p, err := ctx.sampleUniform(rand.Reader)
+	p, err := ctx.sampleUniform(benchrand.New(1))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -43,7 +47,7 @@ func BenchmarkNTTForward(b *testing.B) {
 // polynomial.
 func BenchmarkNTTInverse(b *testing.B) {
 	ctx := benchContext(b)
-	p, err := ctx.sampleUniform(rand.Reader)
+	p, err := ctx.sampleUniform(benchrand.New(2))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -57,9 +61,10 @@ func BenchmarkNTTInverse(b *testing.B) {
 // shape of a committee decrypting a slice of the aggregate.
 func BenchmarkNTTBatch(b *testing.B) {
 	ctx := benchContext(b)
+	rng := benchrand.New(3)
 	polys := make([]Poly, 64)
 	for i := range polys {
-		p, err := ctx.sampleUniform(rand.Reader)
+		p, err := ctx.sampleUniform(rng)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -76,7 +81,8 @@ func BenchmarkNTTBatch(b *testing.B) {
 // relinearization (the FHE compute vignette's dominant operation).
 func BenchmarkMulLarge(b *testing.B) {
 	ctx := benchContext(b)
-	kp, err := ctx.GenerateKeys(rand.Reader)
+	rng := benchrand.New(4)
+	kp, err := ctx.GenerateKeys(rng)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -84,11 +90,11 @@ func BenchmarkMulLarge(b *testing.B) {
 	for i := range vals {
 		vals[i] = uint64(i + 1)
 	}
-	ct1, err := ctx.EncryptValues(rand.Reader, kp.PK, vals)
+	ct1, err := ctx.EncryptValues(rng, kp.PK, vals)
 	if err != nil {
 		b.Fatal(err)
 	}
-	ct2, err := ctx.EncryptValues(rand.Reader, kp.PK, []uint64{3})
+	ct2, err := ctx.EncryptValues(rng, kp.PK, []uint64{3})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -103,13 +109,14 @@ func BenchmarkMulLarge(b *testing.B) {
 // BenchmarkSum folds 256 ciphertexts — the aggregator's FHE sum loop.
 func BenchmarkSum(b *testing.B) {
 	ctx := benchContext(b)
-	kp, err := ctx.GenerateKeys(rand.Reader)
+	rng := benchrand.New(5)
+	kp, err := ctx.GenerateKeys(rng)
 	if err != nil {
 		b.Fatal(err)
 	}
 	cts := make([]*Ciphertext, 256)
 	for i := range cts {
-		ct, err := ctx.EncryptValues(rand.Reader, kp.PK, []uint64{uint64(i % 5)})
+		ct, err := ctx.EncryptValues(rng, kp.PK, []uint64{uint64(i % 5)})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -127,7 +134,8 @@ func BenchmarkSum(b *testing.B) {
 // forward + two batched inverse transforms).
 func BenchmarkEncryptLarge(b *testing.B) {
 	ctx := benchContext(b)
-	kp, err := ctx.GenerateKeys(rand.Reader)
+	rng := benchrand.New(6)
+	kp, err := ctx.GenerateKeys(rng)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -137,7 +145,7 @@ func BenchmarkEncryptLarge(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := ctx.Encrypt(rand.Reader, kp.PK, m); err != nil {
+		if _, err := ctx.Encrypt(rng, kp.PK, m); err != nil {
 			b.Fatal(err)
 		}
 	}

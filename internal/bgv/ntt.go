@@ -228,6 +228,7 @@ func (t *nttTables) Inverse(a []uint64) {
 // task per polynomial. The tables are read-only, so transforms of distinct
 // polynomials never share mutable state.
 func (t *nttTables) forwardBatch(ps []Poly) {
+	//arblint:ignore errdiscard ForEach only propagates closure errors and this closure is infallible
 	_ = parallel.ForEach(nil, len(ps), 0, func(i int) error {
 		t.Forward(ps[i])
 		return nil
@@ -236,6 +237,7 @@ func (t *nttTables) forwardBatch(ps []Poly) {
 
 // inverseBatch runs Inverse over each polynomial (in place), in parallel.
 func (t *nttTables) inverseBatch(ps []Poly) {
+	//arblint:ignore errdiscard ForEach only propagates closure errors and this closure is infallible
 	_ = parallel.ForEach(nil, len(ps), 0, func(i int) error {
 		t.Inverse(ps[i])
 		return nil

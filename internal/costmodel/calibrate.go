@@ -48,8 +48,14 @@ func Calibrate() (*Model, error) {
 		return nil, err
 	}
 	m.HEEnc = encT * ringScale
-	ctA, _ := ctx.EncryptValues(rand.Reader, keys.PK, []uint64{1})
-	ctB, _ := ctx.EncryptValues(rand.Reader, keys.PK, []uint64{2})
+	ctA, err := ctx.EncryptValues(rand.Reader, keys.PK, []uint64{1})
+	if err != nil {
+		return nil, fmt.Errorf("costmodel: calibrate encrypt: %w", err)
+	}
+	ctB, err := ctx.EncryptValues(rand.Reader, keys.PK, []uint64{2})
+	if err != nil {
+		return nil, fmt.Errorf("costmodel: calibrate encrypt: %w", err)
+	}
 	addT, err := timeIt(64, func() error {
 		_, err := ctx.Add(ctA, ctB)
 		return err
@@ -94,8 +100,14 @@ func Calibrate() (*Model, error) {
 	if err != nil {
 		return nil, err
 	}
-	x, _ := eng.Input(0, 123)
-	y, _ := eng.Input(1, 456)
+	x, err := eng.Input(0, 123)
+	if err != nil {
+		return nil, fmt.Errorf("costmodel: calibrate mpc input: %w", err)
+	}
+	y, err := eng.Input(1, 456)
+	if err != nil {
+		return nil, fmt.Errorf("costmodel: calibrate mpc input: %w", err)
+	}
 	multT, err := timeIt(32, func() error {
 		eng.Mul(x, y)
 		return nil

@@ -1,0 +1,30 @@
+package hashing
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"testing"
+)
+
+func TestWriteMatchesDirectWrites(t *testing.T) {
+	a := sha256.New()
+	Write(a, []byte{0x01}, []byte("left"), []byte("right"))
+
+	b := sha256.New()
+	for _, chunk := range [][]byte{{0x01}, []byte("left"), []byte("right")} {
+		if _, err := b.Write(chunk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(a.Sum(nil), b.Sum(nil)) {
+		t.Fatal("Write diverges from direct hash.Hash.Write calls")
+	}
+}
+
+func TestWriteEmpty(t *testing.T) {
+	a := sha256.New()
+	Write(a)
+	if !bytes.Equal(a.Sum(nil), sha256.New().Sum(nil)) {
+		t.Fatal("Write with no chunks changed the digest state")
+	}
+}

@@ -1,0 +1,53 @@
+package mechanism
+
+import (
+	"testing"
+
+	"arboretum/internal/fixed"
+)
+
+// TestCryptoRandUniform checks the production sampler's contract: values in
+// (0, 1) as fixed point, never zero.
+func TestCryptoRandUniform(t *testing.T) {
+	rng := CryptoRand()
+	for i := 0; i < 200; i++ {
+		u := rng.Uniform()
+		if u <= 0 || u >= fixed.One {
+			t.Fatalf("Uniform() = %v, want in (0, %v)", u, fixed.One)
+		}
+	}
+}
+
+func TestCryptoRandIntn(t *testing.T) {
+	rng := CryptoRand()
+	seen := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		v := rng.Intn(5)
+		if v < 0 || v >= 5 {
+			t.Fatalf("Intn(5) = %d out of range", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("Intn(5) returned a single value over 200 draws: %v", seen)
+	}
+}
+
+// TestCryptoRandDrivesSamplers checks the secure source plugs into the
+// mechanisms end to end.
+func TestCryptoRandDrivesSamplers(t *testing.T) {
+	rng := CryptoRand()
+	if _, err := Exponential(rng, []int64{1, 5, 2}, 1, 1.0, EMGumbel); err != nil {
+		t.Fatalf("Exponential with CryptoRand: %v", err)
+	}
+	if _, err := TopK(rng, []int64{3, 1, 4, 1, 5}, 2, 1, 1.0, true); err != nil {
+		t.Fatalf("TopK with CryptoRand: %v", err)
+	}
+	nonzero := false
+	for i := 0; i < 32 && !nonzero; i++ {
+		nonzero = Laplace(rng, fixed.One) != 0
+	}
+	if !nonzero {
+		t.Fatal("Laplace with CryptoRand returned 0 in 32 draws")
+	}
+}

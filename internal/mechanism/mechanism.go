@@ -11,9 +11,12 @@
 package mechanism
 
 import (
+	crand "crypto/rand"
 	"errors"
 	"fmt"
 	"math"
+	"math/big"
+	//arblint:ignore randsource simulation/test sampler only; deployments draw noise via CryptoRand
 	"math/rand"
 
 	"arboretum/internal/fixed"
@@ -31,9 +34,15 @@ type Rand interface {
 
 // mathRand adapts math/rand; the MPC committee's joint coin replaces this in
 // a deployment.
+//
+//arblint:ignore randsource adapter for the deliberately deterministic simulation stream
 type mathRand struct{ r *rand.Rand }
 
-// NewRand returns a seeded randomness source.
+// NewRand returns a seeded randomness source for tests and the simulation
+// runtime, where bit-identical replay across runs and worker counts is the
+// contract (docs/CONCURRENCY.md). Deployments draw noise via CryptoRand.
+//
+//arblint:ignore randsource deterministic seeding is the simulation replay contract
 func NewRand(seed int64) Rand { return &mathRand{r: rand.New(rand.NewSource(seed))} }
 
 func (m *mathRand) Uniform() fixed.Fixed {
@@ -46,6 +55,37 @@ func (m *mathRand) Uniform() fixed.Fixed {
 }
 
 func (m *mathRand) Intn(n int) int { return m.r.Intn(n) }
+
+// CryptoRand returns a Rand drawing from crypto/rand — the sampler a real
+// deployment must use for committee noise, where a predictable stream voids
+// the DP guarantee (the runtime selects it via Config.SecureNoise). It
+// panics on system entropy failure: the condition is unrecoverable, and
+// continuing with degraded noise would silently spend the privacy budget on
+// no protection.
+func CryptoRand() Rand { return cryptoRand{} }
+
+type cryptoRand struct{}
+
+func (cryptoRand) Uniform() fixed.Fixed {
+	bound := big.NewInt(int64(fixed.One))
+	for {
+		v, err := crand.Int(crand.Reader, bound)
+		if err != nil {
+			panic(fmt.Sprintf("mechanism: system entropy failure: %v", err))
+		}
+		if f := fixed.Fixed(v.Int64()); f > 0 {
+			return f
+		}
+	}
+}
+
+func (cryptoRand) Intn(n int) int {
+	v, err := crand.Int(crand.Reader, big.NewInt(int64(n)))
+	if err != nil {
+		panic(fmt.Sprintf("mechanism: system entropy failure: %v", err))
+	}
+	return int(v.Int64())
+}
 
 // Laplace draws Lap(scale) noise: the paper's laplace(s/ε) for a sensitivity-s
 // sum (Section 2.1). Sampled by inverse CDF in fixed point.

@@ -10,6 +10,8 @@ import (
 	"crypto/sha256"
 	"errors"
 	"math"
+
+	"arboretum/internal/hashing"
 )
 
 // HashSize is the size of a node hash in bytes.
@@ -33,8 +35,7 @@ type Tree struct {
 // LeafHash computes the domain-separated hash of a leaf payload.
 func LeafHash(data []byte) Hash {
 	h := sha256.New()
-	h.Write([]byte{leafPrefix})
-	h.Write(data)
+	hashing.Write(h, []byte{leafPrefix}, data)
 	var out Hash
 	copy(out[:], h.Sum(nil))
 	return out
@@ -42,9 +43,7 @@ func LeafHash(data []byte) Hash {
 
 func interiorHash(l, r Hash) Hash {
 	h := sha256.New()
-	h.Write([]byte{interiorPrefix})
-	h.Write(l[:])
-	h.Write(r[:])
+	hashing.Write(h, []byte{interiorPrefix}, l[:], r[:])
 	var out Hash
 	copy(out[:], h.Sum(nil))
 	return out

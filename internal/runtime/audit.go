@@ -6,6 +6,7 @@ import (
 	"math/big"
 
 	"arboretum/internal/ahe"
+	"arboretum/internal/hashing"
 	"arboretum/internal/merkle"
 )
 
@@ -91,7 +92,7 @@ func aggregateWithAudit(pub *ahe.PublicKey, inputs [][]*ahe.Ciphertext, byz bool
 func hashCts(cts []*ahe.Ciphertext) []byte {
 	h := sha256.New()
 	for _, ct := range cts {
-		h.Write(ct.C.Bytes())
+		hashing.Write(h, ct.C.Bytes())
 	}
 	return h.Sum(nil)
 }

@@ -6,6 +6,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"arboretum/internal/hashing"
 	"arboretum/internal/merkle"
 	"arboretum/internal/sortition"
 )
@@ -53,8 +54,7 @@ func (c *AuthCertificate) certBody() []byte {
 
 func signCert(key []byte, body []byte) []byte {
 	mac := hmac.New(sha256.New, key)
-	mac.Write([]byte("arboretum-query-cert"))
-	mac.Write(body)
+	hashing.Write(mac, []byte("arboretum-query-cert"), body)
 	return mac.Sum(nil)
 }
 

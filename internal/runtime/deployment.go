@@ -30,6 +30,7 @@ import (
 	"crypto/rand"
 	"crypto/sha256"
 	"fmt"
+	//arblint:ignore randsource simulation determinism only; secrets use crypto/rand and noise honors Config.SecureNoise
 	mrand "math/rand"
 
 	"arboretum/internal/ahe"
@@ -78,6 +79,13 @@ type Config struct {
 	// GOMAXPROCS. 1 forces the sequential paths (bit-identical to the
 	// pre-parallel runtime).
 	Workers int
+
+	// SecureNoise draws committee noise from crypto/rand
+	// (mechanism.CryptoRand) instead of the seeded simulation stream. A
+	// real deployment must set it — predictable noise voids the DP
+	// guarantee; the default (false) keeps simulation runs replayable
+	// from Seed alone.
+	SecureNoise bool
 }
 
 // Device is one participant.
@@ -99,6 +107,7 @@ type Deployment struct {
 	registry *merkle.Tree // registered devices (M_i)
 	queryID  uint64
 
+	//arblint:ignore randsource seeded simulation stream; never used for keys, blocks, or deployment noise
 	rng *mrand.Rand
 
 	// execs tracks every committee engine created for the current query so
@@ -148,6 +157,7 @@ func NewDeployment(cfg Config) (*Deployment, error) {
 	if cfg.BudgetEpsilon == 0 {
 		cfg.BudgetEpsilon = 10
 	}
+	//arblint:ignore randsource deterministic device data is the simulation replay contract
 	d := &Deployment{cfg: cfg, rng: mrand.New(mrand.NewSource(cfg.Seed))}
 	budget, err := privacy.NewBudget(cfg.BudgetEpsilon, 1e-6)
 	if err != nil {
@@ -189,6 +199,7 @@ func NewDeployment(cfg Config) (*Deployment, error) {
 		if cfg.OfflineFrac >= 0.5 {
 			return nil, fmt.Errorf("runtime: offline fraction %g too high", cfg.OfflineFrac)
 		}
+		//arblint:ignore randsource churn is simulated environment behavior, not a secret draw
 		churn := mrand.New(mrand.NewSource(cfg.Seed ^ 0x5eed0ff1))
 		for _, dev := range d.Devices {
 			dev.Offline = churn.Float64() < cfg.OfflineFrac
@@ -463,8 +474,12 @@ func (d *Deployment) collectInputs(km *keyMaterial) ([][]*ahe.Ciphertext, error)
 	return accepted, nil
 }
 
-// noiseRand returns the deterministic sampler used for committee noise (the
-// simulation stand-in for the committee's joint coin).
+// noiseRand returns the sampler used for committee noise: crypto/rand when
+// Config.SecureNoise is set (a deployment's committee joint coin), otherwise
+// the deterministic simulation stand-in seeded from the deployment RNG.
 func (d *Deployment) noiseRand() mechanism.Rand {
+	if d.cfg.SecureNoise {
+		return mechanism.CryptoRand()
+	}
 	return mechanism.NewRand(d.rng.Int63())
 }

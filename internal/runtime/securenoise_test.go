@@ -1,0 +1,61 @@
+package runtime
+
+import (
+	"testing"
+
+	"arboretum/internal/mechanism"
+)
+
+// TestNoiseRandSelectsSource checks the Config.SecureNoise switch: the
+// default keeps the seeded simulation sampler (replayable from Seed), the
+// secure mode hands back the crypto/rand-backed production sampler.
+func TestNoiseRandSelectsSource(t *testing.T) {
+	sim, err := NewDeployment(Config{N: 16, Categories: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sim.noiseRand().(interface{ Intn(int) int }); !ok {
+		t.Fatal("simulation sampler does not satisfy the Rand surface")
+	}
+
+	sec, err := NewDeployment(Config{N: 16, Categories: 2, Seed: 1, SecureNoise: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	secureSampler := sec.noiseRand()
+	if secureSampler != mechanism.CryptoRand() {
+		t.Fatal("SecureNoise deployment did not select mechanism.CryptoRand")
+	}
+	// The secure sampler must still satisfy the mechanism contract.
+	u := secureSampler.Uniform()
+	if u <= 0 {
+		t.Fatalf("secure sampler Uniform() = %v, want > 0", u)
+	}
+}
+
+// TestSecureNoiseDeploymentsDiverge runs the same seeded query twice with
+// SecureNoise: the released values may differ (the noise is no longer a
+// function of Seed), but both runs must succeed and certify.
+func TestSecureNoiseDeploymentsDiverge(t *testing.T) {
+	run := func() []float64 {
+		t.Helper()
+		d, err := NewDeployment(Config{N: 32, Categories: 4, Seed: 7, SecureNoise: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := d.Run(countSrc, RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]float64, len(res.Outputs))
+		for i, v := range res.Outputs {
+			out[i] = v.Float()
+		}
+		return out
+	}
+	a := run()
+	b := run()
+	if len(a) == 0 || len(b) == 0 {
+		t.Fatal("secure-noise runs released no values")
+	}
+}

@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"arboretum/internal/hashing"
 )
 
 // Ticket is a device's sortition entry: the hash of its deterministic
@@ -29,11 +31,10 @@ type Ticket struct {
 // MakeTicket computes the device's ticket for a query round.
 func MakeTicket(deviceKey []byte, device int, block []byte, queryID uint64) Ticket {
 	mac := hmac.New(sha256.New, deviceKey)
-	mac.Write(block)
 	var buf [16]byte
 	binary.LittleEndian.PutUint64(buf[:8], queryID)
 	// Trailing 0 matches the (B_i, i, 0) message of Section 5.1.
-	mac.Write(buf[:])
+	hashing.Write(mac, block, buf[:])
 	var t Ticket
 	copy(t.Hash[:], mac.Sum(nil))
 	t.Device = device

@@ -21,6 +21,8 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"errors"
+
+	"arboretum/internal/hashing"
 )
 
 // ProofSize is the wire size charged by the cost model: a Groth16 proof is
@@ -105,19 +107,14 @@ func satisfies(c Claim, w Witness) bool {
 
 func statementTag(key []byte, s Statement) [sha256.Size]byte {
 	mac := hmac.New(sha256.New, key)
-	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], uint64(s.Device))
-	mac.Write(buf[:])
-	binary.LittleEndian.PutUint64(buf[:], s.QueryID)
-	mac.Write(buf[:])
-	binary.LittleEndian.PutUint64(buf[:], uint64(s.Claim.Kind))
-	mac.Write(buf[:])
-	binary.LittleEndian.PutUint64(buf[:], uint64(s.Claim.VectorLen))
-	mac.Write(buf[:])
-	binary.LittleEndian.PutUint64(buf[:], uint64(s.Claim.Lo))
-	mac.Write(buf[:])
-	binary.LittleEndian.PutUint64(buf[:], uint64(s.Claim.Hi))
-	mac.Write(buf[:])
+	msg := make([]byte, 0, 48)
+	for _, v := range []uint64{
+		uint64(s.Device), s.QueryID, uint64(s.Claim.Kind),
+		uint64(s.Claim.VectorLen), uint64(s.Claim.Lo), uint64(s.Claim.Hi),
+	} {
+		msg = binary.LittleEndian.AppendUint64(msg, v)
+	}
+	hashing.Write(mac, msg)
 	var out [sha256.Size]byte
 	copy(out[:], mac.Sum(nil))
 	return out

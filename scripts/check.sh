@@ -4,7 +4,9 @@
 #
 # The race pass takes a few minutes on small machines (the runtime package
 # runs real Paillier/MPC under the detector); set ARBORETUM_CHECK_FAST=1 to
-# skip it during quick iteration.
+# skip it during quick iteration. Set ARBORETUM_CHECK_LINT=0 to skip the
+# arblint invariant gate (docs/ANALYSIS.md) while iterating on code the
+# analyzers are expected to flag.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -22,6 +24,13 @@ go build ./...
 
 echo "== go vet ./..."
 go vet ./...
+
+if [ "${ARBORETUM_CHECK_LINT:-1}" = "0" ]; then
+    echo "== skipping arblint (ARBORETUM_CHECK_LINT=0)"
+else
+    echo "== go run ./tools/arblint ./..."
+    go run ./tools/arblint ./...
+fi
 
 echo "== go test ./..."
 go test ./...

@@ -1,0 +1,59 @@
+// Package arblint drives a set of analyzers over package patterns: load,
+// run, suppress, collect. Command arblint and the repo-wide regression test
+// share this entry point, so "what the gate checks" is defined exactly once.
+package arblint
+
+import (
+	"go/ast"
+	"go/token"
+
+	"arboretum/tools/arblint/internal/analysis"
+	"arboretum/tools/arblint/internal/directive"
+	"arboretum/tools/arblint/internal/load"
+)
+
+// Finding is one rendered diagnostic.
+type Finding struct {
+	Position token.Position
+	Analyzer string
+	Message  string
+}
+
+// Run loads patterns relative to dir and applies every analyzer,
+// returning the findings that survive //arblint:ignore suppression.
+func Run(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	pkgs, err := load.Load(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	for _, pkg := range pkgs {
+		var diags []analysis.Diagnostic
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				PkgPath:   pkg.ImportPath,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			if a.TestFiles {
+				pass.TestFiles = pkg.TestFiles
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, err
+			}
+			diags = append(diags, pass.Diagnostics()...)
+		}
+		files := append(append([]*ast.File{}, pkg.Files...), pkg.TestFiles...)
+		for _, d := range directive.Filter(pkg.Fset, files, diags) {
+			findings = append(findings, Finding{
+				Position: pkg.Fset.Position(d.Pos),
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+	}
+	return findings, nil
+}

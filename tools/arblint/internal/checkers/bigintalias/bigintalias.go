@@ -1,0 +1,198 @@
+// Package bigintalias flags *big.Int values that cross an exported API
+// boundary without a defensive copy. math/big values are mutable, so an
+// exported method that returns an internal *big.Int field (or stores a
+// caller's *big.Int into one) lets the caller and the data structure
+// silently mutate each other — the aliasing bug class the ahe/bgv marshal
+// fuzz tests catch only dynamically, promoted here to a static check.
+//
+// Three shapes are flagged inside exported functions and methods of
+// exported types:
+//
+//	return t.f          // f is a *big.Int field of the receiver or a param
+//	return t.fs[i]      // fs is a []*big.Int field
+//	t.f = p             // p is a *big.Int parameter stored uncopied
+//	T{f: p} / &T{f: p}  // composite literal capturing a *big.Int parameter
+//
+// The fix is new(big.Int).Set(...); intentional ownership transfer must say
+// so with //arblint:ignore bigintalias <reason>.
+package bigintalias
+
+import (
+	"go/ast"
+	"go/types"
+
+	"arboretum/tools/arblint/internal/analysis"
+)
+
+// Analyzer is the bigintalias checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "bigintalias",
+	Doc:  "require defensive copies when *big.Int values cross exported API boundaries",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.TypesInfo == nil {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !exportedBoundary(pass, fd) {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// exportedBoundary reports whether fd is reachable by other packages: an
+// exported function, or an exported method on an exported named type.
+func exportedBoundary(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	if !fd.Name.IsExported() {
+		return false
+	}
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return true
+	}
+	t := pass.TypeOf(fd.Recv.List[0].Type)
+	if t == nil {
+		return true
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return true
+	}
+	return named.Obj().Exported()
+}
+
+// isBigIntPtr reports whether t is *math/big.Int.
+func isBigIntPtr(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := p.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "math/big" && obj.Name() == "Int"
+}
+
+// boundaryObjs collects the function's receiver and parameter objects: the
+// values the caller shares with the callee.
+func boundaryObjs(pass *analysis.Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	objs := map[types.Object]bool{}
+	add := func(fields *ast.FieldList) {
+		if fields == nil {
+			return
+		}
+		for _, field := range fields.List {
+			for _, name := range field.Names {
+				if obj := pass.TypesInfo.Defs[name]; obj != nil {
+					objs[obj] = true
+				}
+			}
+		}
+	}
+	add(fd.Recv)
+	add(fd.Type.Params)
+	return objs
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	boundary := boundaryObjs(pass, fd)
+
+	// fieldAlias returns a description when expr evaluates to an internal
+	// *big.Int reachable through a boundary object's field.
+	fieldAlias := func(expr ast.Expr) (string, bool) {
+		if idx, ok := expr.(*ast.IndexExpr); ok {
+			expr = idx.X
+		}
+		sel, ok := expr.(*ast.SelectorExpr)
+		if !ok {
+			return "", false
+		}
+		selection, ok := pass.TypesInfo.Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal {
+			return "", false
+		}
+		base, ok := sel.X.(*ast.Ident)
+		if !ok || !boundary[pass.ObjectOf(base)] {
+			return "", false
+		}
+		ft := selection.Obj().Type()
+		if isBigIntPtr(ft) {
+			return base.Name + "." + sel.Sel.Name, true
+		}
+		if slice, ok := ft.(*types.Slice); ok && isBigIntPtr(slice.Elem()) {
+			return base.Name + "." + sel.Sel.Name + "[...]", true
+		}
+		return "", false
+	}
+
+	// paramBigInt reports whether expr is a bare *big.Int parameter ident.
+	paramBigInt := func(expr ast.Expr) (string, bool) {
+		id, ok := expr.(*ast.Ident)
+		if !ok {
+			return "", false
+		}
+		obj := pass.ObjectOf(id)
+		if obj == nil || !boundary[obj] || !isBigIntPtr(obj.Type()) {
+			return "", false
+		}
+		return id.Name, true
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// Closures may legitimately capture internal state; their
+			// escape is out of scope for this heuristic.
+			return false
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if isBigIntPtr(pass.TypeOf(res)) {
+					if desc, ok := fieldAlias(res); ok {
+						pass.Reportf(res.Pos(),
+							"%s returns internal *big.Int %s without copy: use new(big.Int).Set(...) so callers cannot mutate internal state",
+							fd.Name.Name, desc)
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				desc, ok := fieldAlias(lhs)
+				if !ok {
+					continue
+				}
+				if pname, ok := paramBigInt(n.Rhs[i]); ok {
+					pass.Reportf(n.Rhs[i].Pos(),
+						"%s stores caller-owned *big.Int parameter %s into %s without copy: use new(big.Int).Set(%s)",
+						fd.Name.Name, pname, desc, pname)
+				}
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				if pname, ok := paramBigInt(kv.Value); ok && isBigIntPtr(pass.TypeOf(kv.Value)) {
+					pass.Reportf(kv.Value.Pos(),
+						"%s captures caller-owned *big.Int parameter %s in a composite literal without copy: use new(big.Int).Set(%s)",
+						fd.Name.Name, pname, pname)
+				}
+			}
+		}
+		return true
+	})
+}

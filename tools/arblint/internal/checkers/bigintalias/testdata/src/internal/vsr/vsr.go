@@ -1,0 +1,52 @@
+// Package vsr is bigintalias analyzer testdata: exported boundaries that
+// leak or capture mutable *big.Int values.
+package vsr
+
+import "math/big"
+
+// Dealing holds internal commitments.
+type Dealing struct {
+	Commitments []*big.Int
+	Secret      *big.Int
+}
+
+// First returns an aliased slice element.
+func (d *Dealing) First() *big.Int {
+	return d.Commitments[0] // want `First returns internal \*big\.Int d\.Commitments\[\.\.\.\] without copy`
+}
+
+// SecretVal returns the field directly.
+func (d *Dealing) SecretVal() *big.Int {
+	return d.Secret // want `SecretVal returns internal \*big\.Int d\.Secret without copy`
+}
+
+// SecretCopy is the sound version and is not flagged.
+func (d *Dealing) SecretCopy() *big.Int {
+	return new(big.Int).Set(d.Secret)
+}
+
+// SetSecret stores a caller-owned pointer into the receiver.
+func (d *Dealing) SetSecret(v *big.Int) {
+	d.Secret = v // want `SetSecret stores caller-owned \*big\.Int parameter v into d\.Secret without copy`
+}
+
+// NewDealing captures the parameter in a composite literal.
+func NewDealing(s *big.Int) *Dealing {
+	return &Dealing{Secret: s} // want `NewDealing captures caller-owned \*big\.Int parameter s in a composite literal without copy`
+}
+
+// Adopt is the annotated ownership transfer: the directive suppresses the
+// capture on the next line.
+func Adopt(s *big.Int) *Dealing {
+	//arblint:ignore bigintalias caller transfers ownership by documented contract in analyzer testdata
+	return &Dealing{Secret: s}
+}
+
+// unexported boundaries are out of scope for the heuristic.
+func internalReturn(d *Dealing) *big.Int {
+	return d.Secret
+}
+
+// Keep references internalReturn so the package compiles without unused
+// symbols.
+var Keep = internalReturn

@@ -1,0 +1,61 @@
+// Package budgetflow enforces the certification discipline of §4.2: every
+// differentially private noise draw must be paid for through
+// internal/privacy's budget accounting. Concretely, the internal/mechanism
+// noise constructors (policy.NoiseConstructors) may only be called from the
+// approved packages (policy.BudgetApprovedCallers) — the mechanism package
+// itself, the privacy/certification layer, and the runtime, which charges
+// the query's certificate against the deployment budget before any vignette
+// executes. A vignette, example, or eval harness that sampled noise directly
+// would release privacy loss nobody debited; budgetflow turns that into a
+// compile-gate failure instead of a silent leak.
+package budgetflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"arboretum/tools/arblint/internal/analysis"
+	"arboretum/tools/arblint/internal/policy"
+)
+
+// Analyzer is the budgetflow checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "budgetflow",
+	Doc:  "restrict internal/mechanism noise constructors to budget-accounted call sites",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if policy.BudgetApprovedCallers.Matches(pass.PkgPath) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !policy.NoiseConstructors[sel.Sel.Name] {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.ObjectOf(id).(*types.PkgName)
+			if !ok {
+				return true
+			}
+			mech := policy.Set{policy.NoiseSource: true}
+			if !mech.Matches(pn.Imported().Path()) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"call to %s.%s outside budget-accounted packages: DP noise must be drawn via internal/privacy certification (§4.2), not directly from %s",
+				id.Name, sel.Sel.Name, policy.NoiseSource)
+			return true
+		})
+	}
+	return nil
+}

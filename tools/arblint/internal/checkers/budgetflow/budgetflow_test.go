@@ -1,0 +1,16 @@
+package budgetflow_test
+
+import (
+	"testing"
+
+	"arboretum/tools/arblint/internal/analysistest"
+	"arboretum/tools/arblint/internal/checkers/budgetflow"
+)
+
+func TestUnapprovedCaller(t *testing.T) {
+	analysistest.Run(t, budgetflow.Analyzer, "internal/eval")
+}
+
+func TestApprovedCallerClean(t *testing.T) {
+	analysistest.Run(t, budgetflow.Analyzer, "internal/privacy")
+}

@@ -1,0 +1,12 @@
+// Package privacy is budgetflow analyzer testdata: an approved caller (by
+// path suffix) whose direct noise draws are the budget-accounted path and
+// produce no findings.
+package privacy
+
+import mech "arboretum/tools/arblint/internal/checkers/budgetflow/testdata/src/internal/mechanism"
+
+// ChargeAndDraw stands in for the certification layer: it may call noise
+// constructors directly.
+func ChargeAndDraw(rng mech.Rand) int64 {
+	return mech.Laplace(rng, 7)
+}

@@ -1,0 +1,176 @@
+// Package errdiscard flags discarded error returns from the APIs where a
+// swallowed error means silently wrong cryptography: the crypto, marshal,
+// MPC, and pool packages in policy.MustCheckErrors, plus the marshal method
+// names in policy.MarshalMethods wherever they appear, plus crypto/rand and
+// hash.Hash call sites in the standard library. Two shapes are flagged:
+//
+//	_ = pk.Add(a, b)        // blank-assigned error result
+//	v, _ := sk.Decrypt(ct)  // blank in a multi-assign
+//	ct.MarshalBinary()      // expression statement dropping every result
+//
+// Library code must wrap and propagate instead. The rare sound discard
+// (e.g. hash.Hash.Write, documented to never fail) carries an
+// //arblint:ignore errdiscard <reason> annotation.
+package errdiscard
+
+import (
+	"go/ast"
+	"go/types"
+
+	"arboretum/tools/arblint/internal/analysis"
+	"arboretum/tools/arblint/internal/policy"
+)
+
+// Analyzer is the errdiscard checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "errdiscard",
+	Doc:  "forbid discarding error returns from crypto, marshal, MPC, and pool APIs",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.TypesInfo == nil {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					checkExprStmt(pass, call)
+				}
+			case *ast.AssignStmt:
+				checkAssign(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// covered returns the callee's description when the call is one whose error
+// must be checked.
+func covered(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	var id *ast.Ident
+	var recv ast.Expr
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+		recv = fun.X
+	default:
+		return "", false
+	}
+	fn, ok := pass.ObjectOf(id).(*types.Func)
+	if !ok {
+		return "", false
+	}
+	if policy.MarshalMethods[fn.Name()] {
+		return fn.Name(), true
+	}
+	if pkg := fn.Pkg(); inCovered(pass, pkg) {
+		return pkg.Name() + "." + fn.Name(), true
+	}
+	// Methods promoted from embedded interfaces (hash.Hash.Write comes
+	// from io.Writer) carry the embedding source's package; fall back to
+	// the receiver's static type.
+	if recv != nil {
+		t := pass.TypeOf(recv)
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok && inCovered(pass, named.Obj().Pkg()) {
+			return named.Obj().Name() + "." + fn.Name(), true
+		}
+	}
+	return "", false
+}
+
+// inCovered reports whether pkg is a MustCheckErrors package other than the
+// one being analyzed: calls within the defining package are its own
+// business, the boundary contract applies to consumers.
+func inCovered(pass *analysis.Pass, pkg *types.Package) bool {
+	if pkg == nil || (pass.Pkg != nil && pkg == pass.Pkg) {
+		return false
+	}
+	return policy.MustCheckErrors.Matches(pkg.Path())
+}
+
+// errorPositions returns the indices of error-typed results of the call.
+func errorPositions(pass *analysis.Pass, call *ast.CallExpr) []int {
+	t := pass.TypeOf(call)
+	if t == nil {
+		return nil
+	}
+	var out []int
+	switch t := t.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isError(t.At(i).Type()) {
+				out = append(out, i)
+			}
+		}
+	default:
+		if isError(t) {
+			out = append(out, 0)
+		}
+	}
+	return out
+}
+
+func isError(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+func checkExprStmt(pass *analysis.Pass, call *ast.CallExpr) {
+	if len(errorPositions(pass, call)) == 0 {
+		return
+	}
+	if callee, ok := covered(pass, call); ok {
+		pass.Reportf(call.Pos(), "result of %s dropped: check the error (wrap and propagate, or annotate why the discard is sound)", callee)
+	}
+}
+
+func checkAssign(pass *analysis.Pass, n *ast.AssignStmt) {
+	report := func(call *ast.CallExpr) {
+		if callee, ok := covered(pass, call); ok {
+			pass.Reportf(call.Pos(), "error from %s assigned to _: check it (wrap and propagate, or annotate why the discard is sound)", callee)
+		}
+	}
+	if len(n.Rhs) == 1 && len(n.Lhs) > 1 {
+		// v, _ := f() — one call, tuple result.
+		call, ok := n.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		for _, pos := range errorPositions(pass, call) {
+			if pos < len(n.Lhs) && isBlank(n.Lhs[pos]) {
+				report(call)
+				return
+			}
+		}
+		return
+	}
+	for i, rhs := range n.Rhs {
+		if i >= len(n.Lhs) || !isBlank(n.Lhs[i]) {
+			continue
+		}
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		for _, pos := range errorPositions(pass, call) {
+			if pos == 0 {
+				report(call)
+				break
+			}
+		}
+	}
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

@@ -1,0 +1,12 @@
+package errdiscard_test
+
+import (
+	"testing"
+
+	"arboretum/tools/arblint/internal/analysistest"
+	"arboretum/tools/arblint/internal/checkers/errdiscard"
+)
+
+func TestErrDiscard(t *testing.T) {
+	analysistest.Run(t, errdiscard.Analyzer, "internal/merkle")
+}

@@ -1,0 +1,55 @@
+// Package merkle is errdiscard analyzer testdata: discarded errors from
+// hash, crypto/rand, and marshal APIs.
+package merkle
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+)
+
+// Blob is a marshalable payload.
+type Blob struct{}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (Blob) MarshalBinary() ([]byte, error) { return nil, nil }
+
+// Digest drops the hash error via an expression statement.
+func Digest(data []byte) []byte {
+	h := sha256.New()
+	h.Write(data) // want `result of Hash\.Write dropped`
+	return h.Sum(nil)
+}
+
+// Key drops the entropy error via a blank assign.
+func Key() []byte {
+	buf := make([]byte, 32)
+	_, _ = rand.Read(buf) // want `error from rand\.Read assigned to _`
+	return buf
+}
+
+// Wire drops a marshal error.
+func Wire(b Blob) {
+	b.MarshalBinary() // want `result of MarshalBinary dropped`
+}
+
+// DigestChecked propagates properly and is not flagged.
+func DigestChecked(data []byte) ([]byte, error) {
+	buf := make([]byte, 32)
+	if _, err := rand.Read(buf); err != nil {
+		return nil, err
+	}
+	h := sha256.New()
+	if _, err := h.Write(data); err != nil {
+		return nil, err
+	}
+	return h.Sum(buf), nil
+}
+
+// DigestAnnotated documents the discard: the directive suppresses the write
+// on the next line.
+func DigestAnnotated(data []byte) []byte {
+	h := sha256.New()
+	//arblint:ignore errdiscard hash.Hash.Write is documented to never return an error
+	h.Write(data)
+	return h.Sum(nil)
+}

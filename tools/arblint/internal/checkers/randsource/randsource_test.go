@@ -1,0 +1,16 @@
+package randsource_test
+
+import (
+	"testing"
+
+	"arboretum/tools/arblint/internal/analysistest"
+	"arboretum/tools/arblint/internal/checkers/randsource"
+)
+
+func TestSecrecyCritical(t *testing.T) {
+	analysistest.Run(t, randsource.Analyzer, "internal/shamir")
+}
+
+func TestDeterministicBench(t *testing.T) {
+	analysistest.Run(t, randsource.Analyzer, "internal/ahe")
+}

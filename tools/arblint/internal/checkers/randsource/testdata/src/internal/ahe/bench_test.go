@@ -1,0 +1,25 @@
+package ahe
+
+import (
+	"crypto/rand" // want `import of crypto/rand in benchmark file of determinism-required package`
+	"testing"
+)
+
+func BenchmarkDraw(b *testing.B) {
+	buf := make([]byte, 8)
+	for i := 0; i < b.N; i++ {
+		if _, err := rand.Read(buf); err != nil { // want `use of rand.Read \(crypto/rand banned here\)`
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDrawAnnotated(b *testing.B) {
+	buf := make([]byte, 8)
+	for i := 0; i < b.N; i++ {
+		//arblint:ignore randsource annotated exception for analyzer testdata
+		if _, err := rand.Read(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

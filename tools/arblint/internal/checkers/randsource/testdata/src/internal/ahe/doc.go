@@ -1,0 +1,4 @@
+// Package ahe is randsource analyzer testdata: a determinism-required
+// benchmark package (by path suffix) whose bench file draws from
+// crypto/rand.
+package ahe

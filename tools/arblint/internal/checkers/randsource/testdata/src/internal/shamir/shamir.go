@@ -1,0 +1,22 @@
+// Package shamir is randsource analyzer testdata: a secrecy-critical
+// package (by path suffix) drawing from math/rand.
+package shamir
+
+import "math/rand" // want `import of math/rand in secrecy-critical package`
+
+// Coefficient leaks a predictable share coefficient.
+func Coefficient() int64 {
+	return rand.Int63() // want `use of rand.Int63 \(math/rand banned here\)`
+}
+
+// Shuffle leaks through a second reference to the banned package.
+func Shuffle(n int) int {
+	return rand.Intn(n) // want `use of rand.Intn \(math/rand banned here\)`
+}
+
+// SimCoefficient is the annotated simulation exception: the directive
+// suppresses the use on the next line, so no finding is expected.
+func SimCoefficient() int64 {
+	//arblint:ignore randsource deterministic draw for analyzer testdata
+	return rand.Int63()
+}

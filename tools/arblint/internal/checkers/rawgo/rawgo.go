@@ -1,0 +1,59 @@
+// Package rawgo keeps all concurrency in the hot-path packages
+// (policy.PoolOnly) on the internal/parallel worker pool: raw go statements
+// and ad-hoc sync.WaitGroup fan-out are flagged there. The pool is what
+// makes results deterministic at every worker count and is the surface the
+// tier-1 race pass exercises (docs/CONCURRENCY.md); a goroutine launched
+// beside it re-introduces scheduling-dependent results and escapes the race
+// coverage matrix. internal/parallel itself — the one place a goroutine may
+// be born — is not in the policy set.
+package rawgo
+
+import (
+	"go/ast"
+	"go/types"
+
+	"arboretum/tools/arblint/internal/analysis"
+	"arboretum/tools/arblint/internal/policy"
+)
+
+// Analyzer is the rawgo checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "rawgo",
+	Doc:  "forbid raw go statements and sync.WaitGroup outside internal/parallel in pool-only packages",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	key := policy.PoolOnly.Match(pass.PkgPath)
+	if key == "" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(),
+					"raw go statement in pool-only package (%s): fan out via internal/parallel so determinism and race coverage hold", key)
+			case *ast.SelectorExpr:
+				if isWaitGroup(pass, n) {
+					pass.Reportf(n.Pos(),
+						"sync.WaitGroup in pool-only package (%s): use internal/parallel instead of ad-hoc fan-out", key)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isWaitGroup reports whether sel is a reference to the sync.WaitGroup type.
+func isWaitGroup(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	if sel.Sel.Name != "WaitGroup" {
+		return false
+	}
+	tn, ok := pass.ObjectOf(sel.Sel).(*types.TypeName)
+	if !ok || tn.Pkg() == nil {
+		return false
+	}
+	return tn.Pkg().Path() == "sync"
+}

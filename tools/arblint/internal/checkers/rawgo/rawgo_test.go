@@ -1,0 +1,12 @@
+package rawgo_test
+
+import (
+	"testing"
+
+	"arboretum/tools/arblint/internal/analysistest"
+	"arboretum/tools/arblint/internal/checkers/rawgo"
+)
+
+func TestRawGo(t *testing.T) {
+	analysistest.Run(t, rawgo.Analyzer, "internal/planner")
+}

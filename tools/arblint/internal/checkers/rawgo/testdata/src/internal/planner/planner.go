@@ -1,0 +1,25 @@
+// Package planner is rawgo analyzer testdata: a pool-only package (by path
+// suffix) using raw concurrency.
+package planner
+
+import "sync"
+
+// Fan launches ad-hoc goroutines behind a WaitGroup.
+func Fan(fns []func()) {
+	var wg sync.WaitGroup // want `sync\.WaitGroup in pool-only package`
+	for _, fn := range fns {
+		wg.Add(1)
+		go func(f func()) { // want `raw go statement in pool-only package`
+			defer wg.Done()
+			f()
+		}(fn)
+	}
+	wg.Wait()
+}
+
+// Shutdown is the annotated exception: the directive suppresses the go
+// statement on the next line.
+func Shutdown(stop func()) {
+	//arblint:ignore rawgo fire-and-forget shutdown hook outside the compute path in analyzer testdata
+	go stop()
+}

@@ -1,0 +1,158 @@
+// Package directive implements arblint's shared suppression mechanism:
+//
+//	//arblint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// A directive suppresses matching diagnostics on its own line and on the
+// line immediately below, so it works both at the end of the offending line
+// and as a standalone comment above it. The reason is mandatory — a
+// suppression that cannot say why it exists is a policy hole, and the
+// `directive` analyzer (always enabled, never suppressible) reports
+// malformed or unknown-analyzer directives as findings of their own.
+package directive
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"arboretum/tools/arblint/internal/analysis"
+)
+
+const prefix = "//arblint:ignore"
+
+// Directive is one parsed //arblint:ignore comment.
+type Directive struct {
+	Pos       token.Pos
+	Line      int
+	Analyzers []string // analyzer names the directive suppresses
+	Reason    string
+	Malformed string // non-empty: why the directive is invalid
+}
+
+// parseComment parses a single comment line, returning ok=false when it is
+// not an arblint directive at all.
+func parseComment(c *ast.Comment) (Directive, bool) {
+	text := c.Text
+	if !strings.HasPrefix(text, prefix) {
+		return Directive{}, false
+	}
+	d := Directive{Pos: c.Pos()}
+	rest := text[len(prefix):]
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		// Something like //arblint:ignoreXYZ — not a directive.
+		return Directive{}, false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		d.Malformed = "missing analyzer name and reason"
+		return d, true
+	}
+	for _, name := range strings.Split(fields[0], ",") {
+		if name != "" {
+			d.Analyzers = append(d.Analyzers, name)
+		}
+	}
+	if len(d.Analyzers) == 0 {
+		d.Malformed = "missing analyzer name"
+		return d, true
+	}
+	d.Reason = strings.Join(fields[1:], " ")
+	if d.Reason == "" {
+		d.Malformed = "missing reason: write //arblint:ignore <analyzer> <why this exception is sound>"
+	}
+	return d, true
+}
+
+// Parse extracts every directive from a file.
+func Parse(fset *token.FileSet, file *ast.File) []Directive {
+	var out []Directive
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			d, ok := parseComment(c)
+			if !ok {
+				continue
+			}
+			d.Line = fset.Position(c.Pos()).Line
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Filter drops diagnostics suppressed by a well-formed directive in files.
+// Diagnostics of the directive analyzer itself are never suppressible.
+func Filter(fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) []analysis.Diagnostic {
+	// suppressed[file][line] -> analyzer set
+	suppressed := map[string]map[int]map[string]bool{}
+	for _, f := range files {
+		name := fset.Position(f.Pos()).Filename
+		for _, d := range Parse(fset, f) {
+			if d.Malformed != "" {
+				continue
+			}
+			byLine := suppressed[name]
+			if byLine == nil {
+				byLine = map[int]map[string]bool{}
+				suppressed[name] = byLine
+			}
+			for _, line := range []int{d.Line, d.Line + 1} {
+				set := byLine[line]
+				if set == nil {
+					set = map[string]bool{}
+					byLine[line] = set
+				}
+				for _, a := range d.Analyzers {
+					set[a] = true
+				}
+			}
+		}
+	}
+	var kept []analysis.Diagnostic
+	for _, diag := range diags {
+		if diag.Analyzer != Name {
+			pos := fset.Position(diag.Pos)
+			if set := suppressed[pos.Filename][pos.Line]; set[diag.Analyzer] {
+				continue
+			}
+		}
+		kept = append(kept, diag)
+	}
+	return kept
+}
+
+// Name is the directive analyzer's name.
+const Name = "directive"
+
+// Analyzer returns the always-on checker that validates suppression
+// directives themselves: every //arblint:ignore must carry a reason and name
+// only analyzers that exist (known should be the registry's name list).
+func Analyzer(known []string) *analysis.Analyzer {
+	knownSet := map[string]bool{Name: true}
+	for _, n := range known {
+		knownSet[n] = true
+	}
+	return &analysis.Analyzer{
+		Name:      Name,
+		Doc:       "validate //arblint:ignore directives: reason mandatory, analyzer names must exist",
+		TestFiles: true,
+		Run: func(pass *analysis.Pass) error {
+			for _, f := range pass.AllFiles() {
+				for _, d := range Parse(pass.Fset, f) {
+					if d.Malformed != "" {
+						pass.Reportf(d.Pos, "malformed //arblint:ignore directive: %s", d.Malformed)
+						continue
+					}
+					for _, a := range d.Analyzers {
+						if !knownSet[a] {
+							pass.Reportf(d.Pos, "//arblint:ignore names unknown analyzer %q", a)
+						}
+						if a == Name {
+							pass.Reportf(d.Pos, "directive findings cannot be suppressed")
+						}
+					}
+				}
+			}
+			return nil
+		},
+	}
+}

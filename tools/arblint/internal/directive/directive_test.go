@@ -1,0 +1,90 @@
+package directive_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"arboretum/tools/arblint/internal/analysis"
+	"arboretum/tools/arblint/internal/analysistest"
+	"arboretum/tools/arblint/internal/directive"
+)
+
+func TestDirectiveValidation(t *testing.T) {
+	analysistest.Run(t, directive.Analyzer([]string{"randsource"}), "a")
+}
+
+func parse(t *testing.T, src string) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, f
+}
+
+// TestMalformedDirectives covers the shapes that cannot carry an inline want
+// comment: a missing analyzer name and a missing reason.
+func TestMalformedDirectives(t *testing.T) {
+	fset, f := parse(t, `package p
+
+//arblint:ignore
+var A = 1
+
+//arblint:ignore randsource
+var B = 2
+`)
+	a := directive.Analyzer([]string{"randsource"})
+	pass := &analysis.Pass{Analyzer: a, Fset: fset, Files: []*ast.File{f}}
+	if err := a.Run(pass); err != nil {
+		t.Fatal(err)
+	}
+	diags := pass.Diagnostics()
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2: %v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "malformed //arblint:ignore") {
+			t.Errorf("unexpected message %q", d.Message)
+		}
+	}
+}
+
+// TestFilterScope checks the suppression window: the directive's own line,
+// the line immediately below, nothing further — and that a malformed
+// directive (missing reason) suppresses nothing.
+func TestFilterScope(t *testing.T) {
+	fset, f := parse(t, `package p
+
+//arblint:ignore fake justified exception
+var A = 1
+
+var B = 2
+
+//arblint:ignore fake
+var C = 3
+`)
+	at := func(line int) token.Pos {
+		return fset.File(f.Pos()).LineStart(line)
+	}
+	diags := []analysis.Diagnostic{
+		{Pos: at(3), Analyzer: "fake", Message: "on directive line"},
+		{Pos: at(4), Analyzer: "fake", Message: "line below"},
+		{Pos: at(6), Analyzer: "fake", Message: "out of range"},
+		{Pos: at(4), Analyzer: "other", Message: "different analyzer"},
+		{Pos: at(9), Analyzer: "fake", Message: "under reasonless directive"},
+	}
+	kept := directive.Filter(fset, []*ast.File{f}, diags)
+	want := []string{"out of range", "different analyzer", "under reasonless directive"}
+	if len(kept) != len(want) {
+		t.Fatalf("kept %d diagnostics, want %d: %v", len(kept), len(want), kept)
+	}
+	for i, k := range kept {
+		if k.Message != want[i] {
+			t.Errorf("kept[%d] = %q, want %q", i, k.Message, want[i])
+		}
+	}
+}

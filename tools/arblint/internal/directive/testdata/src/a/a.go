@@ -1,0 +1,12 @@
+// Package a is directive analyzer testdata. The want expectations live
+// inside the directives' reason text, which the parser treats as opaque.
+package a
+
+//arblint:ignore nosuch reason text // want `names unknown analyzer "nosuch"`
+var Unknown = 1
+
+//arblint:ignore directive cannot be silenced // want `directive findings cannot be suppressed`
+var Self = 2
+
+//arblint:ignore randsource a well-formed directive produces no finding
+var Fine = 3

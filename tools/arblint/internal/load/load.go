@@ -1,0 +1,159 @@
+// Package load turns package patterns into parsed, type-checked packages
+// without importing golang.org/x/tools/go/packages: it shells out to
+// `go list -export -deps -json` for the package graph and compiled export
+// data, parses the root packages' sources, and type-checks them with the
+// standard library's gc importer reading the export files. This works fully
+// offline — the only tool it needs is the go command that built the repo.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one root package requested by a pattern.
+type Package struct {
+	ImportPath string
+	Dir        string
+
+	Fset *token.FileSet
+
+	// Files are the package's compiled sources (GoFiles), type-checked.
+	Files []*ast.File
+
+	// TestFiles are the package's _test.go sources (TestGoFiles and
+	// XTestGoFiles), parsed with comments but not type-checked.
+	TestFiles []*ast.File
+
+	// Types and Info describe Files. They are nil when type checking
+	// failed; TypeErrors then records why.
+	Types *types.Package
+	Info  *types.Info
+
+	TypeErrors []error
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	Dir          string
+	ImportPath   string
+	Export       string
+	Standard     bool
+	DepOnly      bool
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Error        *struct{ Err string }
+}
+
+// Load lists patterns in dir (the module being linted) and returns the root
+// packages, parsed and type-checked. Pattern syntax is the go command's;
+// explicit directory arguments (./tools/arblint/testdata/src/foo) work even
+// under testdata, which `...` wildcards skip.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Export,Standard,DepOnly,Dir,GoFiles,TestGoFiles,XTestGoFiles,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	exports := map[string]string{}
+	var roots []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			roots = append(roots, p)
+		}
+	}
+	if len(roots) == 0 {
+		return nil, fmt.Errorf("go list %s: no packages matched", strings.Join(patterns, " "))
+	}
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		e, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(e)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+
+	var pkgs []*Package
+	for _, r := range roots {
+		if r.Error != nil && len(r.GoFiles) == 0 && len(r.TestGoFiles) == 0 && len(r.XTestGoFiles) == 0 {
+			return nil, fmt.Errorf("package %s: %s", r.ImportPath, r.Error.Err)
+		}
+		pkg := &Package{ImportPath: r.ImportPath, Dir: r.Dir, Fset: fset}
+		parse := func(names []string) ([]*ast.File, error) {
+			var files []*ast.File
+			for _, name := range names {
+				af, err := parser.ParseFile(fset, filepath.Join(r.Dir, name), nil, parser.ParseComments)
+				if err != nil {
+					return nil, fmt.Errorf("package %s: %v", r.ImportPath, err)
+				}
+				files = append(files, af)
+			}
+			return files, nil
+		}
+		var err error
+		if pkg.Files, err = parse(r.GoFiles); err != nil {
+			return nil, err
+		}
+		testNames := append(append([]string{}, r.TestGoFiles...), r.XTestGoFiles...)
+		if pkg.TestFiles, err = parse(testNames); err != nil {
+			return nil, err
+		}
+		if len(pkg.Files) > 0 {
+			info := &types.Info{
+				Types:      map[ast.Expr]types.TypeAndValue{},
+				Defs:       map[*ast.Ident]types.Object{},
+				Uses:       map[*ast.Ident]types.Object{},
+				Selections: map[*ast.SelectorExpr]*types.Selection{},
+				Implicits:  map[ast.Node]types.Object{},
+			}
+			conf := types.Config{
+				Importer: imp,
+				Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+			}
+			tpkg, err := conf.Check(r.ImportPath, fset, pkg.Files, info)
+			if err != nil && tpkg == nil {
+				return nil, fmt.Errorf("package %s: type checking: %v", r.ImportPath, err)
+			}
+			pkg.Types = tpkg
+			pkg.Info = info
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}

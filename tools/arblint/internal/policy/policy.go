@@ -1,0 +1,125 @@
+// Package policy is arblint's package-policy table: one place that records
+// which Arboretum packages each invariant applies to. Analyzers consult it
+// instead of hard-coding path lists, and docs/ANALYSIS.md documents every
+// entry; changing the policy is a reviewed one-line diff here.
+//
+// Keys are module-relative package paths ("internal/ahe"). Matching is by
+// exact path or by "/"-boundary suffix, so the table applies equally to the
+// real packages ("arboretum/internal/ahe") and to analyzer testdata packages
+// (".../testdata/src/internal/ahe"), and survives a module rename.
+package policy
+
+import "strings"
+
+// Set is a set of module-relative package paths.
+type Set map[string]bool
+
+// Match returns the key of s that pkgPath falls under, or "".
+func (s Set) Match(pkgPath string) string {
+	for key := range s {
+		if pkgPath == key || strings.HasSuffix(pkgPath, "/"+key) {
+			return key
+		}
+	}
+	return ""
+}
+
+// Matches reports whether pkgPath falls under any key of s.
+func (s Set) Matches(pkgPath string) bool { return s.Match(pkgPath) != "" }
+
+// SecrecyCritical lists the packages whose randomness feeds secrets — keys,
+// shares, proofs, sortition tickets, DP noise. math/rand is banned there
+// (randsource): its output is predictable from a small seed, which breaks
+// both secrecy and the unpredictability the DP mechanisms assume. The
+// simulation's deliberately deterministic draws carry
+// //arblint:ignore randsource annotations so every exception is explicit.
+var SecrecyCritical = Set{
+	"internal/ahe":       true,
+	"internal/bgv":       true,
+	"internal/shamir":    true,
+	"internal/mpc":       true,
+	"internal/zkp":       true,
+	"internal/vsr":       true,
+	"internal/sortition": true,
+	"internal/mechanism": true,
+	"internal/runtime":   true,
+}
+
+// DeterministicBench lists the packages whose *bench_test.go files must not
+// draw from crypto/rand (randsource): scripts/bench.sh tracks kernel timings
+// across commits in BENCH_kernels.json, and nondeterministic benchmark
+// inputs (key material, polynomial coefficients) add run-to-run noise to the
+// numbers being compared. Benchmarks there use internal/benchrand instead.
+var DeterministicBench = Set{
+	"internal/ahe": true,
+	"internal/bgv": true,
+}
+
+// NoiseSource is the package whose noise constructors budgetflow guards.
+const NoiseSource = "internal/mechanism"
+
+// NoiseConstructors are the internal/mechanism entry points that draw DP
+// noise or sampling randomness. Calling one adds privacy loss, so every call
+// site must be covered by internal/privacy's budget accounting (the §4.2
+// certification step) — which is why budgetflow restricts callers to
+// BudgetApprovedCallers.
+var NoiseConstructors = map[string]bool{
+	"Laplace":       true,
+	"Gumbel":        true,
+	"Exponential":   true,
+	"TopK":          true,
+	"NewSampleBins": true,
+}
+
+// BudgetApprovedCallers are the packages allowed to call NoiseConstructors:
+// the mechanism package itself, the certification/budget layer, and the
+// runtime, whose Deployment.Run charges the certificate against the budget
+// before any vignette executes.
+var BudgetApprovedCallers = Set{
+	"internal/mechanism": true,
+	"internal/privacy":   true,
+	"internal/runtime":   true,
+}
+
+// PoolOnly lists the packages whose fan-out must go through the
+// internal/parallel worker pool (rawgo): raw go statements and ad-hoc
+// sync.WaitGroup fan-out there would escape the pool's determinism
+// guarantees and the worker-count matrix the race pass covers (see
+// docs/CONCURRENCY.md).
+var PoolOnly = Set{
+	"internal/ahe":     true,
+	"internal/bgv":     true,
+	"internal/runtime": true,
+	"internal/planner": true,
+	"internal/mpc":     true,
+}
+
+// MustCheckErrors lists the packages whose error returns may not be
+// discarded (errdiscard): crypto, marshal, MPC, and pool APIs, where a
+// swallowed error means silently wrong ciphertexts, shares, or sums.
+// "crypto/rand" and "hash" cover rand.Read and hash.Hash.Write call sites in
+// the standard library.
+var MustCheckErrors = Set{
+	"internal/ahe":       true,
+	"internal/bgv":       true,
+	"internal/shamir":    true,
+	"internal/mpc":       true,
+	"internal/merkle":    true,
+	"internal/zkp":       true,
+	"internal/vsr":       true,
+	"internal/mechanism": true,
+	"internal/parallel":  true,
+	"internal/privacy":   true,
+	"internal/sortition": true,
+	"crypto/rand":        true,
+	"hash":               true,
+}
+
+// MarshalMethods are method names whose error results may never be
+// discarded regardless of the receiver's package: a dropped (un)marshal
+// error turns into a corrupted wire object far from the cause.
+var MarshalMethods = map[string]bool{
+	"MarshalBinary":   true,
+	"UnmarshalBinary": true,
+	"AppendBinary":    true,
+}

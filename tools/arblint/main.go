@@ -1,0 +1,91 @@
+// Command arblint is Arboretum's invariant checker: a multichecker in the
+// style of golang.org/x/tools/go/analysis (built on the standard library
+// only) that machine-checks the crypto, privacy, and concurrency invariants
+// the compiler cannot see. It is a tier-1 gate: scripts/check.sh runs
+//
+//	go run ./tools/arblint ./...
+//
+// and fails the build on any finding. docs/ANALYSIS.md catalogues the
+// analyzers, the package-policy table behind them, and the
+// //arblint:ignore suppression directive (reason mandatory).
+//
+// Usage:
+//
+//	arblint [-list] [-disable name,...] [packages...]
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"arboretum/tools/arblint/internal/analysis"
+	"arboretum/tools/arblint/internal/arblint"
+	"arboretum/tools/arblint/internal/checkers"
+)
+
+func main() {
+	listFlag := flag.Bool("list", false, "list analyzers and exit")
+	disableFlag := flag.String("disable", "", "comma-separated analyzer names to skip")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: arblint [-list] [-disable name,...] [packages...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	all := checkers.All()
+	if *listFlag {
+		for _, a := range all {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	disabled := map[string]bool{}
+	if *disableFlag != "" {
+		known := map[string]bool{}
+		for _, a := range all {
+			known[a.Name] = true
+		}
+		for _, name := range strings.Split(*disableFlag, ",") {
+			if !known[name] {
+				fmt.Fprintf(os.Stderr, "arblint: unknown analyzer %q (try -list)\n", name)
+				os.Exit(2)
+			}
+			disabled[name] = true
+		}
+	}
+	var run []*analysis.Analyzer
+	for _, a := range all {
+		if !disabled[a.Name] {
+			run = append(run, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := arblint.Run(".", patterns, run)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "arblint: %v\n", err)
+		os.Exit(2)
+	}
+	sort.SliceStable(diags, func(i, j int) bool {
+		if diags[i].Position.Filename != diags[j].Position.Filename {
+			return diags[i].Position.Filename < diags[j].Position.Filename
+		}
+		return diags[i].Position.Line < diags[j].Position.Line
+	})
+	for _, d := range diags {
+		fmt.Printf("%s: %s (%s)\n", d.Position, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "arblint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
