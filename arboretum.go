@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"arboretum/internal/costmodel"
+	"arboretum/internal/faults"
 	"arboretum/internal/mechanism"
 	"arboretum/internal/planner"
 	"arboretum/internal/queries"
@@ -220,6 +221,13 @@ type DeploymentConfig struct {
 	// (0 = the ARBORETUM_WORKERS environment variable, then GOMAXPROCS;
 	// 1 = sequential). Released outputs are identical at every setting.
 	Workers int
+	// Faults is a fault-injection schedule, e.g.
+	// "seed=7,upload=0.1,dropout=0.005,crash@1" — comma-separated rates per
+	// fault kind (upload, dropout, dealer, crash) plus forced one-shot
+	// faults (kind@sequence). Schedules are pure functions of the seed, so
+	// a run replays deterministically; see docs/FAULTS.md. Empty disables
+	// injection.
+	Faults string
 }
 
 // Deployment is a running simulated federated-analytics system.
@@ -229,6 +237,10 @@ type Deployment struct {
 
 // NewDeployment registers the devices and runs the trusted setup.
 func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
+	plan, err := faults.Parse(cfg.Faults)
+	if err != nil {
+		return nil, err
+	}
 	d, err := runtime.NewDeployment(runtime.Config{
 		N:                   cfg.Devices,
 		Categories:          cfg.Categories,
@@ -239,11 +251,20 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 		Data:                cfg.Data,
 		BudgetEpsilon:       cfg.BudgetEpsilon,
 		Workers:             cfg.Workers,
+		Faults:              plan,
 	})
 	if err != nil {
 		return nil, err
 	}
 	return &Deployment{inner: d}, nil
+}
+
+// FaultReport renders the fault plan, the log of injected faults, and the
+// recovery counters accumulated so far — empty when the deployment has no
+// fault schedule. The report is deterministic for a given (Seed, Faults)
+// pair, so two runs with the same flags print identical reports.
+func (d *Deployment) FaultReport() string {
+	return d.inner.FaultReport()
 }
 
 // RunResult is one executed query.

@@ -63,6 +63,7 @@ func usage() {
                     [-limit-max-sent-user MB] [-limit-max-comp-user s]
                     [-limit-agg-core-hours h] [-limit-agg-sent GB]
   arboretum run     -query <name> | -file <path> [-devices D] [-committee M] [-seed S] [-workers W]
+                    [-faults "seed=7,upload=0.1,dropout=0.005"]
   arboretum explain -query <name> | -file <path> [-n N] -dim sum|em|noise|compute
   arboretum list`)
 }
@@ -170,6 +171,7 @@ func runCmd(args []string) error {
 	committee := fs.Int("committee", 5, "committee size")
 	seed := fs.Int64("seed", 1, "random seed")
 	workers := fs.Int("workers", 0, "worker pool size for per-device work (0 = ARBORETUM_WORKERS, then GOMAXPROCS)")
+	faultSpec := fs.String("faults", "", `fault schedule, e.g. "seed=7,upload=0.1,dropout=0.005,crash@1" (see docs/FAULTS.md)`)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -183,11 +185,19 @@ func runCmd(args []string) error {
 	d, err := arboretum.NewDeployment(arboretum.DeploymentConfig{
 		Devices: *devices, Categories: int(c), CommitteeSize: *committee,
 		Seed: *seed, BudgetEpsilon: 1000, Workers: *workers,
+		Faults: *faultSpec,
 	})
 	if err != nil {
 		return err
 	}
 	res, err := d.Run(src)
+	if *faultSpec != "" {
+		// The replay report is printed even when the run fails closed: the
+		// schedule, fired-fault log, and recovery summary are the point of a
+		// -faults run, and they are deterministic for a given -seed/-faults
+		// pair, so two invocations print byte-identical reports.
+		fmt.Print(d.FaultReport())
+	}
 	if err != nil {
 		return err
 	}

@@ -1,8 +1,10 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -65,5 +67,70 @@ func TestExplainCmd(t *testing.T) {
 func TestPlanCmdJSON(t *testing.T) {
 	if err := planCmd([]string{"-query", "cms", "-n", "1048576", "-json"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// captureRun runs runCmd with stdout redirected to a pipe and returns
+// everything it printed, plus the command error.
+func captureRun(t *testing.T, args []string) (string, error) {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	runErr := runCmd(args)
+	os.Stdout = old
+	w.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out), runErr
+}
+
+// TestRunCmdFaultReplayDeterminism is the CLI half of the fault-injection
+// determinism contract: the same -seed and -faults spec must print a
+// byte-identical transcript (outputs, fault schedule, fired-fault log, and
+// recovery summary) on every invocation, so an operator can replay a chaos
+// run from nothing but the two flags. The schedule forces an aggregator
+// crash at chunk 1, exercising checkpoint resume + Merkle audit end to end.
+func TestRunCmdFaultReplayDeterminism(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "count.txt")
+	q := "aggr = sum(db);\nnoised = laplace(aggr[0], 5.0);\noutput(declassify(noised));\n"
+	if err := os.WriteFile(path, []byte(q), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	args := []string{
+		"-file", path, "-categories", "4",
+		"-devices", "48", "-committee", "5", "-seed", "7",
+		"-faults", "seed=7,upload=0.1,crash@1",
+	}
+	first, err := captureRun(t, args)
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	if !strings.Contains(first, "fault plan:") || !strings.Contains(first, "recovery:") {
+		t.Errorf("report missing plan/recovery sections:\n%s", first)
+	}
+	if !strings.Contains(first, "fault crash[1") {
+		t.Errorf("forced aggregator crash at chunk 1 not in fired log:\n%s", first)
+	}
+	if !strings.Contains(first, "1 aggregator crashes (1 resumes)") {
+		t.Errorf("crash-then-resume not reflected in recovery summary:\n%s", first)
+	}
+	second, err := captureRun(t, args)
+	if err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if first != second {
+		t.Errorf("replay diverged:\n--- first ---\n%s\n--- second ---\n%s", first, second)
+	}
+}
+
+func TestRunCmdBadFaultSpec(t *testing.T) {
+	if _, err := captureRun(t, []string{"-query", "top1", "-faults", "bogus=1"}); err == nil {
+		t.Error("bogus fault spec accepted")
 	}
 }

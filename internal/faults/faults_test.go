@@ -1,0 +1,173 @@
+package faults
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// Decisions are pure functions of (seed, kind, coordinates): the same query
+// replays the same schedule, different seeds give different schedules.
+func TestFiresDeterministic(t *testing.T) {
+	a := New(7).SetRate(UploadTimeout, 0.3)
+	b := New(7).SetRate(UploadTimeout, 0.3)
+	for dev := 0; dev < 200; dev++ {
+		for attempt := 0; attempt < 3; attempt++ {
+			if a.Fires(UploadTimeout, dev, attempt) != b.Fires(UploadTimeout, dev, attempt) {
+				t.Fatalf("decision (%d,%d) not deterministic", dev, attempt)
+			}
+		}
+	}
+	c := New(8).SetRate(UploadTimeout, 0.3)
+	diff := 0
+	for dev := 0; dev < 200; dev++ {
+		if a.Fires(UploadTimeout, dev, 0) != c.Fires(UploadTimeout, dev, 0) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("seeds 7 and 8 produced identical schedules")
+	}
+}
+
+// The empirical fire rate tracks the configured rate.
+func TestFiresRate(t *testing.T) {
+	p := New(42).SetRate(MemberDropout, 0.25)
+	fired := 0
+	const n = 4000
+	for i := 0; i < n; i++ {
+		if p.Fires(MemberDropout, i, 0, 0) {
+			fired++
+		}
+	}
+	got := float64(fired) / n
+	if math.Abs(got-0.25) > 0.03 {
+		t.Fatalf("empirical rate %g, want ~0.25", got)
+	}
+}
+
+// Kinds and coordinates index independent streams: a fault firing for one
+// kind says nothing about another kind at the same coordinates.
+func TestKindsIndependent(t *testing.T) {
+	p := New(3).SetRate(UploadTimeout, 0.5).SetRate(DealerFailure, 0.5)
+	same := 0
+	const n = 400
+	for i := 0; i < n; i++ {
+		if p.Fires(UploadTimeout, i) == p.Fires(DealerFailure, i) {
+			same++
+		}
+	}
+	if same == 0 || same == n {
+		t.Fatalf("kinds perfectly correlated: %d/%d agreements", same, n)
+	}
+}
+
+func TestForce(t *testing.T) {
+	p := New(1).Force(AggregatorCrash, 2)
+	if !p.Fires(AggregatorCrash, 2, 0) {
+		t.Fatal("forced crash@2 did not fire at (2, 0)")
+	}
+	if p.Fires(AggregatorCrash, 2, 1) {
+		t.Fatal("forced crash@2 fired on a retry attempt")
+	}
+	if p.Fires(AggregatorCrash, 1, 0) {
+		t.Fatal("crash fired at an unforced chunk")
+	}
+}
+
+func TestNilPlanSafe(t *testing.T) {
+	var p *Plan
+	if p.Fires(UploadTimeout, 1) {
+		t.Fatal("nil plan fired")
+	}
+	if p.Pick(5, MemberDropout, 0) != 0 {
+		t.Fatal("nil plan picked nonzero")
+	}
+	p.Record(Fault{Kind: UploadTimeout})
+	if got := p.Fired(); got != nil {
+		t.Fatalf("nil plan log = %v", got)
+	}
+	if p.String() != "" || p.Seed() != 0 {
+		t.Fatal("nil plan not empty")
+	}
+}
+
+func TestPickDeterministicInRange(t *testing.T) {
+	p := New(9)
+	seen := map[int]bool{}
+	for i := 0; i < 64; i++ {
+		v := p.Pick(5, MemberDropout, i, 0, 3)
+		if v < 0 || v >= 5 {
+			t.Fatalf("pick %d out of range", v)
+		}
+		if v != p.Pick(5, MemberDropout, i, 0, 3) {
+			t.Fatal("pick not deterministic")
+		}
+		seen[v] = true
+	}
+	if len(seen) < 3 {
+		t.Fatalf("picks not spread: %v", seen)
+	}
+}
+
+func TestParseStringRoundTrip(t *testing.T) {
+	spec := "seed=7,upload=0.05,dropout=0.01,dealer=0.1,crash@1,crash@3"
+	p, err := Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed() != 7 {
+		t.Fatalf("seed = %d", p.Seed())
+	}
+	if !p.Fires(AggregatorCrash, 3, 0) {
+		t.Fatal("parsed forced crash@3 did not fire")
+	}
+	q, err := Parse(p.String())
+	if err != nil {
+		t.Fatalf("canonical form %q does not re-parse: %v", p.String(), err)
+	}
+	for dev := 0; dev < 100; dev++ {
+		if p.Fires(UploadTimeout, dev, 0) != q.Fires(UploadTimeout, dev, 0) {
+			t.Fatal("round-tripped plan decides differently")
+		}
+	}
+	if p.String() != q.String() {
+		t.Fatalf("String not canonical: %q vs %q", p.String(), q.String())
+	}
+}
+
+func TestParseEmptyAndErrors(t *testing.T) {
+	if p, err := Parse("  "); err != nil || p != nil {
+		t.Fatalf("empty spec = (%v, %v), want (nil, nil)", p, err)
+	}
+	for _, bad := range []string{"bogus=0.1", "upload=2", "upload", "crash@-1", "seed=x", "frob@2"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+// The log tolerates concurrent Record calls (pool workers) and Fired returns
+// copies that cannot alias internal state.
+func TestRecordConcurrent(t *testing.T) {
+	p := New(1)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				p.Record(Fault{Kind: UploadTimeout, Idx: []int{i, j}})
+			}
+		}(i)
+	}
+	wg.Wait()
+	got := p.Fired()
+	if len(got) != 400 {
+		t.Fatalf("log has %d entries, want 400", len(got))
+	}
+	got[0].Idx[0] = -99
+	if p.Fired()[0].Idx[0] == -99 {
+		t.Fatal("Fired aliases internal log")
+	}
+}

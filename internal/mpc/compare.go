@@ -39,14 +39,19 @@ func (e *Engine) bitLTPublic(c uint64, rBits []Secret) Secret {
 		notF := e.AddConst(e.MulConst(f[i+1], -1), 1)
 		prefix[i] = e.Mul(prefix[i+1], notF)
 	}
-	// term_i = r_i(1−c_i) · prefix_i ; r_i(1−c_i) is local.
+	// term_i = r_i(1−c_i) · prefix_i ; r_i(1−c_i) is local. The product is
+	// evaluated for every bit — including those zeroed by (1−c_i) — so the
+	// round count is a pure function of the protocol structure, never of the
+	// opened masked value (whose bits depend on the dealer's randomness).
+	// Deterministic round counts are what lets a fault schedule addressed by
+	// (vignette, attempt, round) replay bit-for-bit; see docs/FAULTS.md.
 	var acc Secret
 	first := true
 	for i := 0; i < n; i++ {
+		term := e.Mul(rBits[i], prefix[i])
 		if (c>>uint(i))&1 == 1 {
 			continue // (1−c_i) = 0
 		}
-		term := e.Mul(rBits[i], prefix[i])
 		if first {
 			acc = term
 			first = false

@@ -74,6 +74,11 @@ type Engine struct {
 
 	stats    Stats
 	lagrange []uint64 // Lagrange coefficients at 0 for points 1..T
+
+	// onRound, when set, observes every broadcast communication round (the
+	// natural point where a party can be noticed missing). The runtime's
+	// fault-injection engine hooks it to model mid-round committee dropout.
+	onRound func(rounds int)
 }
 
 // NewEngine creates an engine for an m-party committee (m ≥ 3). The
@@ -165,7 +170,16 @@ func (e *Engine) chargeBroadcastRound(k int) {
 		e.stats.perParty[p] += per
 	}
 	e.stats.TotalBytes += per * int64(e.M)
+	if e.onRound != nil {
+		e.onRound(e.stats.Rounds)
+	}
 }
+
+// SetRoundObserver registers fn to be called after every broadcast round
+// with the cumulative round count (nil disables). Like the rest of the
+// engine it is driven from the coordinating goroutine only (see
+// docs/CONCURRENCY.md); fn must not re-enter the engine.
+func (e *Engine) SetRoundObserver(fn func(rounds int)) { e.onRound = fn }
 
 // reconstruct recovers the secret from the first T shares.
 func (e *Engine) reconstruct(s Secret) uint64 {

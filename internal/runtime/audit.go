@@ -1,11 +1,13 @@
 package runtime
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"fmt"
 	"math/big"
 
 	"arboretum/internal/ahe"
+	"arboretum/internal/faults"
 	"arboretum/internal/hashing"
 	"arboretum/internal/merkle"
 )
@@ -27,13 +29,25 @@ const auditChunk = 16 // inputs per audited chunk
 // aggregateWithAudit sums accepted input vectors column-wise. When byz is
 // set, the aggregator corrupts one partial result (and carries the
 // corruption forward, as a cheating aggregator would).
-func aggregateWithAudit(pub *ahe.PublicKey, inputs [][]*ahe.Ciphertext, byz bool) (*auditedSum, []*ahe.Ciphertext, error) {
+//
+// The fault plan can crash the aggregator at any chunk step
+// (faults.AggregatorCrash, addressed by chunk and attempt). A crashed step
+// loses its in-flight fold; recovery restores the running sums from the last
+// checkpointed partial — re-verified against its recorded leaf hash, the same
+// commitment the Merkle tree is later built over — and refolds the chunk
+// after a simulated backoff. The step fails closed (ErrAggregatorFailed)
+// when the retry budget runs out or a checkpoint does not verify.
+func aggregateWithAudit(pub *ahe.PublicKey, inputs [][]*ahe.Ciphertext, byz bool, plan *faults.Plan, m *Metrics) (*auditedSum, []*ahe.Ciphertext, error) {
+	if m == nil {
+		m = &Metrics{}
+	}
 	if len(inputs) == 0 {
 		return nil, nil, fmt.Errorf("runtime: nothing to aggregate")
 	}
 	categories := len(inputs[0])
 	as := &auditedSum{pub: pub}
 	var running []*ahe.Ciphertext
+	var leaves [][]byte // checkpoint hashes, maintained as partials append
 	corruptAt := -1
 	if byz {
 		corruptAt = (len(inputs) / auditChunk) / 2 // corrupt a middle chunk
@@ -51,19 +65,49 @@ func aggregateWithAudit(pub *ahe.PublicKey, inputs [][]*ahe.Ciphertext, byz bool
 			chunkInputs = append(chunkInputs, vec...)
 		}
 		as.chunks = append(as.chunks, chunkInputs)
-		// Fold the chunk into the running sums.
-		for _, vec := range inputs[start:end] {
-			if running == nil {
-				running = append([]*ahe.Ciphertext(nil), vec...)
+	fold:
+		for attempt := 0; ; attempt++ {
+			if plan.Fires(faults.AggregatorCrash, chunkIdx, attempt) {
+				m.AggregatorCrashes++
+				plan.Record(faults.Fault{
+					Kind: faults.AggregatorCrash, Idx: []int{chunkIdx, attempt},
+					Note: fmt.Sprintf("aggregator crashed folding chunk %d", chunkIdx),
+				})
+				if attempt+1 >= aggregatorBackoff.attempts {
+					return nil, nil, fmt.Errorf("%w: chunk %d crashed %d times",
+						ErrAggregatorFailed, chunkIdx, attempt+1)
+				}
+				m.BackoffSimulated += aggregatorBackoff.delay(attempt)
+				// Resume from the last checkpoint: the crash loses the
+				// in-flight fold, so restore the previous partial and verify
+				// it against its recorded hash before trusting it.
+				var restored []*ahe.Ciphertext
+				if chunkIdx > 0 {
+					restored = append([]*ahe.Ciphertext(nil), as.partials[chunkIdx-1]...)
+					if !bytes.Equal(hashCts(restored), leaves[chunkIdx-1]) {
+						return nil, nil, fmt.Errorf("%w: checkpoint %d does not verify",
+							ErrAggregatorFailed, chunkIdx-1)
+					}
+				}
+				running = restored
+				m.AggregatorResumes++
 				continue
 			}
-			for c := 0; c < categories; c++ {
-				sum, err := pub.Add(running[c], vec[c])
-				if err != nil {
-					return nil, nil, err
+			// Fold the chunk into the running sums.
+			for _, vec := range inputs[start:end] {
+				if running == nil {
+					running = append([]*ahe.Ciphertext(nil), vec...)
+					continue
 				}
-				running[c] = sum
+				for c := 0; c < categories; c++ {
+					sum, err := pub.Add(running[c], vec[c])
+					if err != nil {
+						return nil, nil, err
+					}
+					running[c] = sum
+				}
 			}
+			break fold
 		}
 		if chunkIdx == corruptAt {
 			// Byzantine aggregator: silently shift category 0's count.
@@ -75,12 +119,9 @@ func aggregateWithAudit(pub *ahe.PublicKey, inputs [][]*ahe.Ciphertext, byz bool
 		}
 		snapshot := append([]*ahe.Ciphertext(nil), running...)
 		as.partials = append(as.partials, snapshot)
+		leaves = append(leaves, hashCts(snapshot))
 	}
-	// Commit to every partial in a Merkle tree.
-	leaves := make([][]byte, len(as.partials))
-	for i, p := range as.partials {
-		leaves[i] = hashCts(p)
-	}
+	// Commit to every checkpoint in a Merkle tree.
 	tree, err := merkle.New(leaves)
 	if err != nil {
 		return nil, nil, err

@@ -22,7 +22,7 @@ func auditFixture(t *testing.T, devices, categories int, byz bool) (*auditedSum,
 		}
 		inputs[i] = vec
 	}
-	as, sums, err := aggregateWithAudit(&sk.PublicKey, inputs, byz)
+	as, sums, err := aggregateWithAudit(&sk.PublicKey, inputs, byz, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +85,7 @@ func TestAuditIndexValidation(t *testing.T) {
 
 func TestAggregateWithAuditEmpty(t *testing.T) {
 	sk, _ := ahe.GenerateKey(rand.Reader, 512)
-	if _, _, err := aggregateWithAudit(&sk.PublicKey, nil, false); err == nil {
+	if _, _, err := aggregateWithAudit(&sk.PublicKey, nil, false, nil, nil); err == nil {
 		t.Error("empty aggregation accepted")
 	}
 }

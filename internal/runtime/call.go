@@ -59,6 +59,9 @@ func (ip *interp) call(ex *lang.CallExpr) (value, error) {
 		case vPublic:
 			return v, nil
 		case vShared:
+			if err := v.eng.health(); err != nil {
+				return value{}, err
+			}
 			return pub(v.eng.engine.OpenFixed(v.sec)), nil
 		default:
 			return value{}, fmt.Errorf("runtime: declassify of %v (only mechanism outputs may be declassified)", v.kind)
@@ -152,29 +155,27 @@ func (ip *interp) emCall(ex *lang.CallExpr) (value, error) {
 	if err != nil {
 		return value{}, err
 	}
-	ce, err := ip.mechanismEngine(scores)
-	if err != nil {
-		return value{}, err
-	}
-	shared, err := ip.toSharedIn(ce, scores)
-	if err != nil {
-		return value{}, err
-	}
-	if shared.kind != vSharedArr || len(shared.secs) == 0 {
-		return value{}, fmt.Errorf("runtime: em requires a score array")
-	}
 	eps := ip.epsArg(ex, 1)
-	var idx int
-	switch ip.emVariant {
-	case mechanism.EMExponentiate:
-		idx, err = ce.exponentiateSelect(shared.secs, ip.sens, eps)
-	default:
-		idx, err = ce.gumbelArgmax(shared.secs, ip.sens, eps)
-	}
-	if err != nil {
-		return value{}, err
-	}
-	return pub(fixed.FromInt(int64(idx))), nil
+	return ip.runVignette(scores, func(ce *committeeExec, in value) (value, error) {
+		shared, err := ip.toSharedIn(ce, in)
+		if err != nil {
+			return value{}, err
+		}
+		if shared.kind != vSharedArr || len(shared.secs) == 0 {
+			return value{}, fmt.Errorf("runtime: em requires a score array")
+		}
+		var idx int
+		switch ip.emVariant {
+		case mechanism.EMExponentiate:
+			idx, err = ce.exponentiateSelect(shared.secs, ip.sens, eps)
+		default:
+			idx, err = ce.gumbelArgmax(shared.secs, ip.sens, eps)
+		}
+		if err != nil {
+			return value{}, err
+		}
+		return pub(fixed.FromInt(int64(idx))), nil
+	})
 }
 
 func (ip *interp) topkCall(ex *lang.CallExpr) (value, error) {
@@ -186,27 +187,25 @@ func (ip *interp) topkCall(ex *lang.CallExpr) (value, error) {
 	if err != nil {
 		return value{}, err
 	}
-	ce, err := ip.mechanismEngine(scores)
-	if err != nil {
-		return value{}, err
-	}
-	shared, err := ip.toSharedIn(ce, scores)
-	if err != nil {
-		return value{}, err
-	}
-	if shared.kind != vSharedArr {
-		return value{}, fmt.Errorf("runtime: topk requires a score array")
-	}
 	eps := ip.epsArg(ex, 2)
-	idxs, err := ce.topKSelect(shared.secs, int(kv.num.Int()), ip.sens, eps)
-	if err != nil {
-		return value{}, err
-	}
-	out := make([]fixed.Fixed, len(idxs))
-	for i, idx := range idxs {
-		out[i] = fixed.FromInt(int64(idx))
-	}
-	return pubArr(out), nil
+	return ip.runVignette(scores, func(ce *committeeExec, in value) (value, error) {
+		shared, err := ip.toSharedIn(ce, in)
+		if err != nil {
+			return value{}, err
+		}
+		if shared.kind != vSharedArr {
+			return value{}, fmt.Errorf("runtime: topk requires a score array")
+		}
+		idxs, err := ce.topKSelect(shared.secs, int(kv.num.Int()), ip.sens, eps)
+		if err != nil {
+			return value{}, err
+		}
+		out := make([]fixed.Fixed, len(idxs))
+		for i, idx := range idxs {
+			out[i] = fixed.FromInt(int64(idx))
+		}
+		return pubArr(out), nil
+	})
 }
 
 func (ip *interp) laplaceCall(ex *lang.CallExpr) (value, error) {
@@ -217,17 +216,25 @@ func (ip *interp) laplaceCall(ex *lang.CallExpr) (value, error) {
 	eps := ip.epsArg(ex, 1)
 	switch v.kind {
 	case vCipher:
-		ce, err := ip.mechanismEngine(v)
-		if err != nil {
-			return value{}, err
-		}
-		f, err := ce.laplaceRelease(ip.km, v.ct, ip.sens, eps)
-		if err != nil {
-			return value{}, err
-		}
-		return pub(f), nil
+		return ip.runVignette(v, func(ce *committeeExec, in value) (value, error) {
+			f, err := ce.laplaceRelease(ip.km, in.ct, ip.sens, eps)
+			if err != nil {
+				return value{}, err
+			}
+			return pub(f), nil
+		})
 	case vShared:
-		return pub(v.eng.laplaceShared(v.sec, ip.sens, eps)), nil
+		return ip.runVignette(v, func(ce *committeeExec, in value) (value, error) {
+			sh, err := ip.toSharedIn(ce, in)
+			if err != nil {
+				return value{}, err
+			}
+			f, err := ce.laplaceShared(sh.sec, ip.sens, eps)
+			if err != nil {
+				return value{}, err
+			}
+			return pub(f), nil
+		})
 	case vPublic:
 		scale := fixed.FromFloat(float64(ip.sens) / eps)
 		return pub(v.num.Add(mechanism.Laplace(ip.dep.noiseRand(), scale))), nil
@@ -256,30 +263,28 @@ func (ip *interp) maxCall(ex *lang.CallExpr) (value, error) {
 		}
 		return pub(best), nil
 	}
-	ce, err := ip.mechanismEngine(v)
-	if err != nil {
-		return value{}, err
-	}
-	shared, err := ip.toSharedIn(ce, v)
-	if err != nil {
-		return value{}, err
-	}
-	if shared.kind != vSharedArr {
-		return value{}, fmt.Errorf("runtime: %s requires an array", ex.Func)
-	}
-	if ex.Func == "argmax" {
-		s, err := ce.engine.Argmax(shared.secs)
+	return ip.runVignette(v, func(ce *committeeExec, in value) (value, error) {
+		shared, err := ip.toSharedIn(ce, in)
 		if err != nil {
 			return value{}, err
 		}
-		// Argmax indices are unscaled; rescale to the fixed convention.
-		return value{kind: vShared, sec: ce.engine.MulConst(s, int64(fixed.One)), eng: ce}, nil
-	}
-	s, err := ce.maxShared(shared.secs)
-	if err != nil {
-		return value{}, err
-	}
-	return value{kind: vShared, sec: s, eng: ce}, nil
+		if shared.kind != vSharedArr {
+			return value{}, fmt.Errorf("runtime: %s requires an array", ex.Func)
+		}
+		if ex.Func == "argmax" {
+			s, err := ce.engine.Argmax(shared.secs)
+			if err != nil {
+				return value{}, err
+			}
+			// Argmax indices are unscaled; rescale to the fixed convention.
+			return value{kind: vShared, sec: ce.engine.MulConst(s, int64(fixed.One)), eng: ce}, nil
+		}
+		s, err := ce.maxShared(shared.secs)
+		if err != nil {
+			return value{}, err
+		}
+		return value{kind: vShared, sec: s, eng: ce}, nil
+	})
 }
 
 func (ip *interp) clipCall(ex *lang.CallExpr) (value, error) {

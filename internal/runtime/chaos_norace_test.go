@@ -1,0 +1,7 @@
+//go:build !race
+
+package runtime
+
+// chaosSchedules sizes the acceptance sweep: 17 schedules × 3 shapes = 51
+// end-to-end runs under fault injection (the acceptance floor is 50).
+const chaosSchedules = 17

@@ -1,0 +1,8 @@
+//go:build race
+
+package runtime
+
+// Under the race detector the full 51-run sweep would dominate tier-1 wall
+// time; a smaller slice keeps the race pass focused on interleavings — the
+// full coverage sweep runs in the non-race pass.
+const chaosSchedules = 5

@@ -1,0 +1,401 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"arboretum/internal/faults"
+	"arboretum/internal/fixed"
+	"arboretum/internal/vsr"
+)
+
+// The chaos suite drives full end-to-end queries under seeded fault
+// injection (docs/FAULTS.md) and asserts the fail-closed contract: every run
+// either completes with a correct, in-budget answer, or returns one of the
+// runtime's typed errors — never a silently wrong or budget-violating
+// result. Every schedule is a pure function of its plan seed, so a failing
+// seed reported by `go test` replays bit-for-bit.
+
+// chaosData pins a seed-independent distribution over 4 categories:
+// 24 devices in category 1, 16 in category 3, 4 each in categories 0 and 2.
+// Category 1 wins top-1 by a margin of 8; {1, 3} win top-2 by 12.
+func chaosData(i int) int {
+	switch r := i % 12; {
+	case r <= 5:
+		return 1
+	case r <= 9:
+		return 3
+	case r == 10:
+		return 0
+	default:
+		return 2
+	}
+}
+
+const chaosN = 48
+
+func chaosDeployment(t *testing.T, plan *faults.Plan, seed int64) *Deployment {
+	t.Helper()
+	d, err := NewDeployment(Config{
+		N: chaosN, Categories: 4, CommitteeSize: 5, Seed: seed, KeyBits: 256,
+		BudgetEpsilon: 1000, Data: chaosData, Faults: plan,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// chaosDropped recomputes, from the plan alone, which devices the schedule
+// drops (all upload attempts time out) — the same pure function the runtime
+// evaluates, so the test can derive the fault-free reference answer.
+func chaosDropped(p *faults.Plan) map[int]bool {
+	out := map[int]bool{}
+	for id := 0; id < chaosN; id++ {
+		dropped := true
+		for attempt := 0; attempt < uploadBackoff.attempts; attempt++ {
+			if !p.Fires(faults.UploadTimeout, id, attempt) {
+				dropped = false
+				break
+			}
+		}
+		if dropped {
+			out[id] = true
+		}
+	}
+	return out
+}
+
+// chaosCounts is the per-category histogram over the devices that survive
+// the schedule's upload faults.
+func chaosCounts(p *faults.Plan) [4]int {
+	var counts [4]int
+	dropped := chaosDropped(p)
+	for i := 0; i < chaosN; i++ {
+		if !dropped[i] {
+			counts[chaosData(i)]++
+		}
+	}
+	return counts
+}
+
+// top2 returns the two highest-count categories and the margins protecting
+// them (winner over runner-up, runner-up over third).
+func top2(counts [4]int) (first, second, margin1, margin2 int) {
+	order := []int{0, 1, 2, 3}
+	for i := 0; i < len(order); i++ {
+		for j := i + 1; j < len(order); j++ {
+			if counts[order[j]] > counts[order[i]] {
+				order[i], order[j] = order[j], order[i]
+			}
+		}
+	}
+	return order[0], order[1],
+		counts[order[0]] - counts[order[1]],
+		counts[order[1]] - counts[order[2]]
+}
+
+// chaosShape is one query shape of the sweep; check validates a completed
+// run's outputs against the plan-derived reference answer.
+type chaosShape struct {
+	name  string
+	src   string
+	check func(t *testing.T, p *faults.Plan, outputs []fixed.Fixed)
+}
+
+// chaosMargin is the noise margin below which selection shapes skip the
+// exactness check: with ε=6 the Gumbel scale is at most 2·sens/ε ≤ 2/3, so a
+// margin of 6 flips with probability ~1/(1+e^9) — negligible over the sweep.
+const chaosMargin = 6
+
+var chaosShapes = []chaosShape{
+	{
+		name: "count",
+		src: `aggr = sum(db);
+noised = laplace(aggr[0], 5.0);
+output(declassify(noised));`,
+		check: func(t *testing.T, p *faults.Plan, outputs []fixed.Fixed) {
+			counts := chaosCounts(p)
+			got := outputs[0].Float()
+			want := float64(counts[0])
+			if got < want-15 || got > want+15 {
+				t.Errorf("count = %g, fault-free reference %g", got, want)
+			}
+		},
+	},
+	{
+		name: "top1",
+		src: `aggr = sum(db);
+best = em(aggr, 6.0);
+output(best);`,
+		check: func(t *testing.T, p *faults.Plan, outputs []fixed.Fixed) {
+			first, _, m1, _ := top2(chaosCounts(p))
+			if m1 < chaosMargin {
+				return
+			}
+			if got := outputs[0].Int(); got != int64(first) {
+				t.Errorf("top1 = %d, want %d (margin %d)", got, first, m1)
+			}
+		},
+	},
+	{
+		name: "top2",
+		src: `aggr = sum(db);
+top = topk(aggr, 2, 6.0);
+output(top[0]);
+output(top[1]);`,
+		check: func(t *testing.T, p *faults.Plan, outputs []fixed.Fixed) {
+			first, second, m1, m2 := top2(chaosCounts(p))
+			if m1 < chaosMargin || m2 < chaosMargin {
+				return
+			}
+			if got := outputs[0].Int(); got != int64(first) {
+				t.Errorf("top2[0] = %d, want %d", got, first)
+			}
+			if got := outputs[1].Int(); got != int64(second) {
+				t.Errorf("top2[1] = %d, want %d", got, second)
+			}
+		},
+	},
+}
+
+// chaosTypedErr reports whether a failed run failed *closed*: the error must
+// match one of the runtime's typed failure modes.
+func chaosTypedErr(err error) bool {
+	for _, target := range []error{
+		ErrCommitteeBroken, ErrCommitteeDegraded, ErrNoSpareCommittee,
+		ErrHandoffFailed, ErrAggregatorFailed, ErrNoValidInputs,
+		vsr.ErrInsufficientShares,
+	} {
+		if errors.Is(err, target) {
+			return true
+		}
+	}
+	return false
+}
+
+// chaosBudgetEps runs each shape once without faults to learn its certified
+// per-query ε — the only amount any faulty run may charge.
+func chaosBudgetEps(t *testing.T, src string) float64 {
+	t.Helper()
+	d := chaosDeployment(t, nil, 42)
+	res, err := d.Run(src, RunOptions{})
+	if err != nil {
+		t.Fatalf("fault-free baseline failed: %v", err)
+	}
+	return res.Certificate.Epsilon
+}
+
+// assertBudget enforces the no-double-spend invariant for one run: the
+// deployment charged either nothing (rejected before authorization) or
+// exactly one certificate — regardless of how many retries, re-formations,
+// and re-deals recovery went through.
+func assertBudget(t *testing.T, d *Deployment, certEps float64, label string) {
+	t.Helper()
+	remaining, _ := d.Budget.Remaining()
+	spent := d.cfg.BudgetEpsilon - remaining
+	if q := d.Budget.Queries(); q > 1 {
+		t.Errorf("%s: %d budget charges for one run", label, q)
+	}
+	if !(almostEq(spent, 0) || almostEq(spent, certEps)) {
+		t.Errorf("%s: spent ε=%g, want 0 or %g", label, spent, certEps)
+	}
+}
+
+func almostEq(a, b float64) bool {
+	d := a - b
+	return d < 1e-9 && d > -1e-9
+}
+
+// TestChaosSweep is the acceptance sweep: ≥50 (schedule, shape) runs with
+// all four fault kinds armed. Zero wrong answers and zero budget violations
+// are required; failures must be typed.
+func TestChaosSweep(t *testing.T) {
+	schedules := chaosSchedules // × 3 shapes; see chaos_norace_test.go
+	certEps := map[string]float64{}
+	for _, shape := range chaosShapes {
+		certEps[shape.name] = chaosBudgetEps(t, shape.src)
+	}
+	// Every (schedule, shape) run is an independent deployment, so the sweep
+	// fans out as parallel subtests; the completion tally is checked by the
+	// cleanup hook once they all finish.
+	var mu sync.Mutex
+	completed, failedClosed := 0, 0
+	t.Cleanup(func() {
+		t.Logf("chaos sweep: %d completed, %d failed closed", completed, failedClosed)
+		if completed == 0 {
+			t.Error("no schedule completed — rates are too hot to exercise recovery")
+		}
+	})
+	for s := 0; s < schedules; s++ {
+		for _, shape := range chaosShapes {
+			s, shape := s, shape
+			t.Run(fmt.Sprintf("schedule%d/%s", s, shape.name), func(t *testing.T) {
+				t.Parallel()
+				plan := faults.New(uint64(1000+s)).
+					SetRate(faults.UploadTimeout, 0.08).
+					SetRate(faults.MemberDropout, 0.002).
+					SetRate(faults.DealerFailure, 0.08).
+					SetRate(faults.AggregatorCrash, 0.2)
+				d := chaosDeployment(t, plan, 42)
+				res, err := d.Run(shape.src, RunOptions{})
+				assertBudget(t, d, certEps[shape.name], shape.name)
+				if err != nil {
+					mu.Lock()
+					failedClosed++
+					mu.Unlock()
+					if !chaosTypedErr(err) {
+						t.Errorf("untyped failure: %v", err)
+					}
+					return
+				}
+				mu.Lock()
+				completed++
+				mu.Unlock()
+				shape.check(t, plan, res.Outputs)
+			})
+		}
+	}
+}
+
+// TestChaosReplayDeterminism: the same plan seed replays bit-for-bit — same
+// outputs, same fired-fault log (coordinates and notes), same recovery
+// counters, same MPC round count, same error. Byte totals are excluded:
+// ciphertext lengths come from crypto/rand, which never reaches the
+// schedule, the released values, or the round structure.
+func TestChaosReplayDeterminism(t *testing.T) {
+	type trace struct {
+		outputs []fixed.Fixed
+		errText string
+		fired   []faults.Fault
+		rounds  int
+		metrics [11]int
+	}
+	run := func() trace {
+		plan := faults.New(7).
+			SetRate(faults.UploadTimeout, 0.15).
+			SetRate(faults.MemberDropout, 0.004).
+			SetRate(faults.DealerFailure, 0.2).
+			SetRate(faults.AggregatorCrash, 0.3)
+		d := chaosDeployment(t, plan, 42)
+		res, err := d.Run(chaosShapes[1].src, RunOptions{})
+		m := d.Metrics
+		tr := trace{
+			fired:  plan.Fired(),
+			rounds: m.MPCRounds,
+			metrics: [11]int{
+				m.UploadTimeouts, m.UploadRetries, m.UploadsDropped,
+				m.MemberDropouts, m.Reformations, m.DealerFailures,
+				m.VSRRedeals, m.AggregatorCrashes, m.AggregatorResumes,
+				m.VignetteRetries, int(m.BackoffSimulated),
+			},
+		}
+		if err != nil {
+			tr.errText = err.Error()
+		} else {
+			tr.outputs = res.Outputs
+		}
+		return tr
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("replay diverged:\n  first:  %+v\n  second: %+v", a, b)
+	}
+}
+
+// TestChaosCrashResumeAudit: a forced aggregator crash at chunk 1 resumes
+// from the last Merkle-audited checkpoint, the query completes, and the full
+// end-to-end audit passes over every chunk.
+func TestChaosCrashResumeAudit(t *testing.T) {
+	plan := faults.New(11).Force(faults.AggregatorCrash, 1)
+	d := chaosDeployment(t, plan, 42)
+	res, err := d.Run(chaosShapes[0].src, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Metrics.AggregatorCrashes != 1 || d.Metrics.AggregatorResumes != 1 {
+		t.Errorf("crashes=%d resumes=%d, want 1/1",
+			d.Metrics.AggregatorCrashes, d.Metrics.AggregatorResumes)
+	}
+	// ceil(48/16) = 3 chunks, all audited, none failing: the checkpoint the
+	// aggregator resumed from is the same commitment the devices audit.
+	if d.Metrics.AuditsServed != 3 || d.Metrics.AuditFailures != 0 {
+		t.Errorf("audits served=%d failures=%d, want 3/0",
+			d.Metrics.AuditsServed, d.Metrics.AuditFailures)
+	}
+	got, want := res.Outputs[0].Float(), 4.0
+	if got < want-15 || got > want+15 {
+		t.Errorf("count = %g, want ≈%g", got, want)
+	}
+}
+
+// TestChaosTotalDropoutFailsClosed: a member dropout every single MPC round
+// breaks every committee the pool can offer; the run must fail with the
+// degraded/exhausted typed errors and release nothing.
+func TestChaosTotalDropoutFailsClosed(t *testing.T) {
+	plan := faults.New(3).SetRate(faults.MemberDropout, 1)
+	d := chaosDeployment(t, plan, 42)
+	res, err := d.Run(chaosShapes[1].src, RunOptions{})
+	if err == nil {
+		t.Fatalf("run completed under total dropout: %+v", res.Outputs)
+	}
+	if !errors.Is(err, ErrCommitteeDegraded) && !errors.Is(err, ErrNoSpareCommittee) &&
+		!errors.Is(err, ErrCommitteeBroken) {
+		t.Errorf("unexpected failure mode: %v", err)
+	}
+	assertBudget(t, d, chaosBudgetEps(t, chaosShapes[1].src), "total dropout")
+}
+
+// TestChaosTotalDealerFailureFailsClosed: when every dealer vanishes during
+// every hand-off attempt, the hand-off fails with the typed error chain
+// ErrHandoffFailed → vsr.ErrInsufficientShares.
+func TestChaosTotalDealerFailureFailsClosed(t *testing.T) {
+	plan := faults.New(5).SetRate(faults.DealerFailure, 1)
+	d := chaosDeployment(t, plan, 42)
+	_, err := d.Run(chaosShapes[0].src, RunOptions{})
+	if err == nil {
+		t.Fatal("run completed with every dealer failing")
+	}
+	if !errors.Is(err, ErrHandoffFailed) {
+		t.Errorf("want ErrHandoffFailed, got %v", err)
+	}
+	if !errors.Is(err, vsr.ErrInsufficientShares) {
+		t.Errorf("want vsr.ErrInsufficientShares in the chain, got %v", err)
+	}
+}
+
+// TestChaosTotalUploadTimeoutFailsClosed: when every upload attempt times
+// out, collection fails closed with ErrNoValidInputs.
+func TestChaosTotalUploadTimeoutFailsClosed(t *testing.T) {
+	plan := faults.New(9).SetRate(faults.UploadTimeout, 1)
+	d := chaosDeployment(t, plan, 42)
+	_, err := d.Run(chaosShapes[0].src, RunOptions{})
+	if !errors.Is(err, ErrNoValidInputs) {
+		t.Errorf("want ErrNoValidInputs, got %v", err)
+	}
+	if d.Metrics.UploadsDropped != chaosN {
+		t.Errorf("dropped %d devices, want %d", d.Metrics.UploadsDropped, chaosN)
+	}
+}
+
+// TestChaosDealerFailureRecovers: with a moderate dealer-failure rate the
+// hand-off re-deals from the surviving share-holders and the query still
+// completes correctly.
+func TestChaosDealerFailureRecovers(t *testing.T) {
+	plan := faults.New(21).SetRate(faults.DealerFailure, 0.3)
+	d := chaosDeployment(t, plan, 42)
+	res, err := d.Run(chaosShapes[0].src, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Metrics.DealerFailures == 0 {
+		t.Error("schedule injected no dealer failures; pick a different seed")
+	}
+	got, want := res.Outputs[0].Float(), 4.0
+	if got < want-15 || got > want+15 {
+		t.Errorf("count = %g, want ≈%g", got, want)
+	}
+}

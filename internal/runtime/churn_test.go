@@ -44,26 +44,52 @@ func TestExcessiveChurnRejected(t *testing.T) {
 	}
 }
 
-func TestViableCommittee(t *testing.T) {
+// TestViableCommitteeMatrix sweeps committee size × churn tolerance × churn
+// level and pins the exact accept/reject boundary: a committee is viable iff
+// a reconstructing strict majority of the original size remains online (and
+// at least 3 members, the MPC floor), and the offline count stays within the
+// paper's tolerated fraction g·m.
+func TestViableCommitteeMatrix(t *testing.T) {
 	d := smallDeployment(t, 64, 2)
-	c := sortition.Committee{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
-	if !d.viableCommittee(c) {
-		t.Fatal("fully-online committee not viable")
+	cases := []struct {
+		m int     // committee size
+		g float64 // configured tolerance (0 = default 0.15)
+	}{
+		{4, 0.15},
+		{5, 0.15},
+		{7, 0},     // default tolerance
+		{9, 0.34},  // the churn-test setup: tolerates 3 of 9
+		{10, 0.15}, // the paper's defaults
+		{10, 0.3},
+		{16, 0.2},
 	}
-	// One offline member of ten: within g=0.15.
-	d.Devices[0].Offline = true
-	if !d.viableCommittee(c) {
-		t.Fatal("one offline member should be tolerated")
+	for _, tc := range cases {
+		d.cfg.OfflineTolerance = tc.g
+		gEff := tc.g
+		if gEff == 0 {
+			gEff = 0.15
+		}
+		c := make(sortition.Committee, tc.m)
+		for i := range c {
+			c[i] = i
+		}
+		for offline := 0; offline <= tc.m; offline++ {
+			for i := 0; i < tc.m; i++ {
+				d.Devices[i].Offline = i < offline
+			}
+			online := tc.m - offline
+			want := online >= tc.m/2+1 && online >= 3 &&
+				float64(offline) <= gEff*float64(tc.m)
+			if got := d.viableCommittee(c); got != want {
+				t.Errorf("m=%d g=%g offline=%d: viable=%v, want %v",
+					tc.m, tc.g, offline, got, want)
+			}
+		}
+		for i := 0; i < tc.m; i++ {
+			d.Devices[i].Offline = false
+		}
 	}
-	// Three offline: above g·m = 1.5.
-	d.Devices[1].Offline = true
-	d.Devices[2].Offline = true
-	if d.viableCommittee(c) {
-		t.Fatal("30% offline committee should not be viable")
-	}
-	for i := 0; i < 3; i++ {
-		d.Devices[i].Offline = false
-	}
+	d.cfg.OfflineTolerance = 0
 }
 
 func TestPickViableReassigns(t *testing.T) {

@@ -6,6 +6,7 @@ import (
 	"math/big"
 
 	"arboretum/internal/ahe"
+	"arboretum/internal/faults"
 	"arboretum/internal/fixed"
 	"arboretum/internal/mechanism"
 	"arboretum/internal/mpc"
@@ -26,6 +27,19 @@ type committeeExec struct {
 	flushedBytes  int64
 	flushedRounds int
 	flushedCmps   int
+
+	// Fault-injection state: lost marks member positions that dropped
+	// mid-vignette; the remaining fields address the MemberDropout
+	// injection point (vignette sequence, attempt, round within the
+	// vignette). Dropouts inject only between beginVignette/endVignette —
+	// the mechanism vignettes of docs/FAULTS.md — so schedules stay aligned
+	// with the execution structure. All of it is coordinator-goroutine
+	// state, like the engine itself.
+	lost       map[int]bool
+	vigSeq     int
+	attempt    int
+	rounds     int
+	inVignette bool
 }
 
 func (d *Deployment) newCommittee(members sortition.Committee) (*committeeExec, error) {
@@ -33,9 +47,77 @@ func (d *Deployment) newCommittee(members sortition.Committee) (*committeeExec, 
 	if err != nil {
 		return nil, err
 	}
-	ce := &committeeExec{engine: eng, members: members, dep: d}
+	ce := &committeeExec{engine: eng, members: members, dep: d, lost: map[int]bool{}}
+	eng.SetRoundObserver(func(int) { ce.observeRound() })
 	d.execs = append(d.execs, ce)
 	return ce, nil
+}
+
+// beginVignette opens a MemberDropout injection window for one attempt of
+// one mechanism vignette.
+func (ce *committeeExec) beginVignette(seq, attempt int) {
+	ce.vigSeq, ce.attempt, ce.rounds, ce.inVignette = seq, attempt, 0, true
+}
+
+// endVignette closes the injection window (members lost stay lost).
+func (ce *committeeExec) endVignette() { ce.inVignette = false }
+
+// observeRound runs after every MPC broadcast round inside a vignette: the
+// plan decides — purely from (seed, vignette, attempt, round) — whether one
+// more member becomes unreachable, and Pick chooses the victim among the
+// still-reachable positions.
+func (ce *committeeExec) observeRound() {
+	if !ce.inVignette {
+		return
+	}
+	round := ce.rounds
+	ce.rounds++
+	p := ce.dep.cfg.Faults
+	if !p.Fires(faults.MemberDropout, ce.vigSeq, ce.attempt, round) {
+		return
+	}
+	var alive []int
+	for i := range ce.members {
+		if !ce.lost[i] {
+			alive = append(alive, i)
+		}
+	}
+	if len(alive) == 0 {
+		return
+	}
+	pos := alive[p.Pick(len(alive), faults.MemberDropout, ce.vigSeq, ce.attempt, round)]
+	ce.lost[pos] = true
+	ce.dep.Metrics.MemberDropouts++
+	// The note names the member's position, not its device ID: sortition
+	// membership depends on crypto/rand device keys, so positions keep the
+	// fault report replayable from the seeds alone.
+	p.Record(faults.Fault{
+		Kind: faults.MemberDropout, Idx: []int{ce.vigSeq, ce.attempt, round},
+		Note: fmt.Sprintf("member %d of %d left committee mid-round", pos, len(ce.members)),
+	})
+}
+
+// health is the fail-closed gate the vignette protocols call at step
+// boundaries — always before opening or decrypting anything. It mirrors
+// viableCommittee's thresholds against the members lost mid-execution:
+// below the reconstruction threshold the shares are unrecoverable
+// (ErrCommitteeBroken); above it but past the churn tolerance g·m the
+// vignette aborts so recovery can re-form the committee while a
+// reconstructing majority still survives (ErrCommitteeDegraded).
+func (ce *committeeExec) health() error {
+	m := len(ce.members)
+	online := m - len(ce.lost)
+	if online < m/2+1 || online < 3 {
+		return fmt.Errorf("%w: %d of %d members reachable", ErrCommitteeBroken, online, m)
+	}
+	g := ce.dep.cfg.OfflineTolerance
+	if g == 0 {
+		g = 0.15
+	}
+	if float64(m-online) > g*float64(m) {
+		return fmt.Errorf("%w: %d of %d members reachable", ErrCommitteeDegraded, online, m)
+	}
+	return nil
 }
 
 // flushMetrics folds the engine's traffic into the deployment metrics
@@ -60,6 +142,9 @@ func (ce *committeeExec) flushMetrics() {
 // honest-majority assumption and keeps the plaintexts out of any single
 // party's hands by re-sharing immediately — see DESIGN.md.)
 func (ce *committeeExec) decryptToShares(km *keyMaterial, cts []*ahe.Ciphertext) ([]mpc.Secret, error) {
+	if err := ce.health(); err != nil {
+		return nil, err
+	}
 	sk, err := km.reconstructKey()
 	if err != nil {
 		return nil, err
@@ -81,6 +166,9 @@ func (ce *committeeExec) decryptToShares(km *keyMaterial, cts []*ahe.Ciphertext)
 // decryptScalar decrypts one ciphertext and returns the plaintext, used for
 // mechanism outputs that are about to be released anyway.
 func (ce *committeeExec) decryptScalar(km *keyMaterial, ct *ahe.Ciphertext) (int64, error) {
+	if err := ce.health(); err != nil {
+		return 0, err
+	}
 	sk, err := km.reconstructKey()
 	if err != nil {
 		return 0, err
@@ -96,6 +184,9 @@ func (ce *committeeExec) decryptScalar(km *keyMaterial, ct *ahe.Ciphertext) (int
 // (Enc(v) ⊞ Enc(noise)), decrypts the noised sum, and releases it — the
 // Orchard-style noising vignette.
 func (ce *committeeExec) laplaceRelease(km *keyMaterial, ct *ahe.Ciphertext, sens int64, eps float64) (fixed.Fixed, error) {
+	if err := ce.health(); err != nil {
+		return 0, err
+	}
 	rng := ce.dep.noiseRand()
 	scale := fixed.FromFloat(float64(sens) / eps)
 	noise := mechanism.Laplace(rng, scale).Int() // integer noise under AHE
@@ -116,12 +207,15 @@ func (ce *committeeExec) laplaceRelease(km *keyMaterial, ct *ahe.Ciphertext, sen
 }
 
 // laplaceShared noises an already-shared value inside the MPC and opens it.
-func (ce *committeeExec) laplaceShared(sec mpc.Secret, sens int64, eps float64) fixed.Fixed {
+func (ce *committeeExec) laplaceShared(sec mpc.Secret, sens int64, eps float64) (fixed.Fixed, error) {
 	rng := ce.dep.noiseRand()
 	scale := fixed.FromFloat(float64(sens) / eps)
 	noise := mechanism.Laplace(rng, scale)
 	noised := ce.engine.Add(sec, ce.engine.JointFixed(noise))
-	return ce.engine.OpenFixed(noised)
+	if err := ce.health(); err != nil {
+		return 0, err
+	}
+	return ce.engine.OpenFixed(noised), nil
 }
 
 // gumbelArgmax is the em variant of Figure 4 (right) as a committee MPC:
@@ -133,8 +227,14 @@ func (ce *committeeExec) gumbelArgmax(scores []mpc.Secret, sens int64, eps float
 	for i, s := range scores {
 		noised[i] = ce.engine.Add(s, ce.engine.JointFixed(mechanism.Gumbel(rng, scale)))
 	}
+	if err := ce.health(); err != nil {
+		return 0, err
+	}
 	idx, err := ce.engine.Argmax(noised)
 	if err != nil {
+		return 0, err
+	}
+	if err := ce.health(); err != nil {
 		return 0, err
 	}
 	return int(ce.engine.Open(idx)), nil
@@ -164,6 +264,9 @@ func (ce *committeeExec) exponentiateSelect(scores []mpc.Secret, sens int64, eps
 	weights := make([]mpc.Secret, len(scores))
 	zero := e.JointFixed(0)
 	for i, s := range scores {
+		if err := ce.health(); err != nil {
+			return 0, err
+		}
 		t := e.Sub(s, low)
 		// x = t·k, rescaled.
 		x := e.MulConst(t, int64(k))
@@ -209,6 +312,9 @@ func (ce *committeeExec) exponentiateSelect(scores []mpc.Secret, sens int64, eps
 		notLt := e.AddConst(e.MulConst(lt, -1), 1)
 		idxAcc = e.Add(idxAcc, notLt)
 	}
+	if err := ce.health(); err != nil {
+		return 0, err
+	}
 	idx := int(e.Open(idxAcc))
 	if idx >= len(scores) {
 		idx = len(scores) - 1
@@ -218,6 +324,9 @@ func (ce *committeeExec) exponentiateSelect(scores []mpc.Secret, sens int64, eps
 
 // maxShared returns the shared maximum value (kept secret).
 func (ce *committeeExec) maxShared(scores []mpc.Secret) (mpc.Secret, error) {
+	if err := ce.health(); err != nil {
+		return mpc.Secret{}, err
+	}
 	return ce.engine.Max(scores)
 }
 

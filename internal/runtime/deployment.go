@@ -32,8 +32,10 @@ import (
 	"fmt"
 	//arblint:ignore randsource simulation determinism only; secrets use crypto/rand and noise honors Config.SecureNoise
 	mrand "math/rand"
+	"time"
 
 	"arboretum/internal/ahe"
+	"arboretum/internal/faults"
 	"arboretum/internal/mechanism"
 	"arboretum/internal/merkle"
 	"arboretum/internal/parallel"
@@ -86,6 +88,13 @@ type Config struct {
 	// guarantee; the default (false) keeps simulation runs replayable
 	// from Seed alone.
 	SecureNoise bool
+
+	// Faults injects typed mid-execution failures (upload timeouts,
+	// committee-member dropout mid-MPC-round, VSR dealer failures,
+	// aggregator crashes) at the runtime's injection points; nil injects
+	// nothing. Schedules are pure functions of the plan's seed, so a run
+	// replays bit-for-bit (docs/FAULTS.md).
+	Faults *faults.Plan
 }
 
 // Device is one participant.
@@ -114,6 +123,14 @@ type Deployment struct {
 	// their traffic can be flushed into the metrics at the end.
 	execs []*committeeExec
 
+	// vignetteSeq and transferSeq number the mechanism vignettes and VSR
+	// hand-offs across the deployment's lifetime: they are the first
+	// coordinate of the corresponding fault-injection points, so a plan's
+	// decisions stay aligned with the execution structure across retries
+	// and consecutive queries.
+	vignetteSeq int
+	transferSeq int
+
 	// Measured totals (the simulation's "ground truth" next to the cost
 	// model's estimates).
 	Metrics Metrics
@@ -133,6 +150,19 @@ type Metrics struct {
 	MPCComparisons   int // comparison protocols run inside committee MPCs
 	VSRTransfers     int
 	Reassignments    int // committee tasks moved to the next committee (churn)
+
+	// Fault-injection and recovery counters (zero without a fault plan).
+	UploadTimeouts    int           // upload attempts that timed out
+	UploadRetries     int           // timeouts that were retried
+	UploadsDropped    int           // devices dropped after exhausting retries
+	MemberDropouts    int           // members lost mid-MPC-round
+	Reformations      int           // committees re-formed from the sortition pool
+	DealerFailures    int           // dealers that vanished during a VSR hand-off
+	VSRRedeals        int           // hand-off attempts re-dealt from survivors
+	AggregatorCrashes int           // aggregator step crashes
+	AggregatorResumes int           // resumes from the last audited checkpoint
+	VignetteRetries   int           // mechanism vignettes retried after a fault
+	BackoffSimulated  time.Duration // total backoff a real deployment would have waited
 }
 
 // NewDeployment registers N devices and runs the trusted setup (Section 5.1:
@@ -298,6 +328,22 @@ type keyMaterial struct {
 	muShares     []shamir.Share
 	threshold    int
 	holder       sortition.Committee
+
+	// lost marks holder positions whose member dropped mid-vignette: their
+	// shares are gone, so hand-offs must re-deal from the survivors.
+	lost []bool
+}
+
+// markLost records dropped holder positions (keyed like holder/shares).
+func (km *keyMaterial) markLost(dropped map[int]bool) {
+	if km.lost == nil {
+		km.lost = make([]bool, len(km.lambdaShares))
+	}
+	for i := range km.lost {
+		if dropped[i] {
+			km.lost[i] = true
+		}
+	}
 }
 
 // keygen runs the key-generation committee: a fresh Paillier keypair whose
@@ -351,23 +397,67 @@ func (d *Deployment) keygen(committee sortition.Committee) (*keyMaterial, error)
 // new committee via VSR (Section 5.2); as long as both committees have an
 // honest majority the new committee can decrypt, and members of the two
 // committees cannot collude to recover the key.
-func (km *keyMaterial) handoff(to sortition.Committee, metrics *Metrics) error {
+//
+// The hand-off is the DealerFailure injection point: on every attempt, each
+// surviving holder may vanish before dealing (a pure function of the plan
+// seed, the transfer sequence, the attempt, and the dealer position). As
+// long as at least threshold dealers survive, the protocol re-deals from the
+// survivors' shares — the Lagrange combination only needs a reconstructing
+// subset, and each share carries its evaluation point. Below the threshold
+// the attempt fails with vsr.ErrInsufficientShares and the policy backs off
+// and retries; exhaustion fails closed with ErrHandoffFailed.
+func (km *keyMaterial) handoff(d *Deployment, to sortition.Committee) error {
+	seq := d.transferSeq
+	d.transferSeq++
 	newN := len(to)
 	newT := newN/2 + 1
-	lambda, err := vsr.Redistribute(km.group, km.lambdaShares, km.threshold, newN, newT)
-	if err != nil {
-		return fmt.Errorf("runtime: VSR lambda: %w", err)
+	var lastErr error
+	for attempt := 0; attempt < handoffBackoff.attempts; attempt++ {
+		if attempt > 0 {
+			d.Metrics.VSRRedeals++
+			d.Metrics.BackoffSimulated += handoffBackoff.delay(attempt - 1)
+		}
+		var lambda, mu []shamir.Share
+		for i := range km.lambdaShares {
+			if i < len(km.lost) && km.lost[i] {
+				continue // dropped mid-vignette earlier; its share is gone
+			}
+			if d.cfg.Faults.Fires(faults.DealerFailure, seq, attempt, i) {
+				d.Metrics.DealerFailures++
+				d.cfg.Faults.Record(faults.Fault{
+					Kind: faults.DealerFailure, Idx: []int{seq, attempt, i},
+					Note: fmt.Sprintf("dealer %d vanished during hand-off %d (attempt %d)", i, seq, attempt),
+				})
+				continue
+			}
+			lambda = append(lambda, km.lambdaShares[i])
+			mu = append(mu, km.muShares[i])
+		}
+		if len(lambda) < km.threshold {
+			lastErr = fmt.Errorf("%d of %d dealers survived, need %d: %w",
+				len(lambda), len(km.lambdaShares), km.threshold, vsr.ErrInsufficientShares)
+			continue
+		}
+		newLambda, err := vsr.Redistribute(km.group, lambda, km.threshold, newN, newT)
+		if err != nil {
+			lastErr = fmt.Errorf("runtime: VSR lambda: %w", err)
+			continue
+		}
+		newMu, err := vsr.Redistribute(km.group, mu, km.threshold, newN, newT)
+		if err != nil {
+			lastErr = fmt.Errorf("runtime: VSR mu: %w", err)
+			continue
+		}
+		km.lambdaShares = newLambda
+		km.muShares = newMu
+		km.threshold = newT
+		km.holder = to
+		km.lost = nil // the new committee starts with every share present
+		d.Metrics.VSRTransfers++
+		return nil
 	}
-	mu, err := vsr.Redistribute(km.group, km.muShares, km.threshold, newN, newT)
-	if err != nil {
-		return fmt.Errorf("runtime: VSR mu: %w", err)
-	}
-	km.lambdaShares = lambda
-	km.muShares = mu
-	km.threshold = newT
-	km.holder = to
-	metrics.VSRTransfers++
-	return nil
+	return fmt.Errorf("%w: hand-off %d to %d members gave up after %d attempts: %w",
+		ErrHandoffFailed, seq, newN, handoffBackoff.attempts, lastErr)
 }
 
 // reconstructKey lets the current holding committee (honest majority
@@ -385,10 +475,19 @@ func (km *keyMaterial) reconstructKey() (*ahe.PrivateKey, error) {
 	return ahe.FromSecrets(km.pub, lambda, mu), nil
 }
 
-// upload is one device's contribution: the encrypted vector plus its proof.
+// upload is one device's contribution: the encrypted vector plus its proof,
+// and the upload-fault history its pool task observed. Fault counters ride
+// in the struct instead of mutating shared metrics so pool tasks stay
+// write-isolated; the coordinator tallies them in device order
+// (tallyUpload).
 type upload struct {
 	vec   []*ahe.Ciphertext
 	proof *zkp.Proof
+
+	dev      int           // device ID, for the fault log
+	timeouts int           // attempts that timed out
+	backoff  time.Duration // simulated wait between attempts
+	dropped  bool          // gave up after uploadBackoff.attempts
 }
 
 // deviceUpload produces one device's upload for the given one-hot position:
@@ -423,6 +522,36 @@ func (d *Deployment) deviceUpload(km *keyMaterial, dev *Device, width, hot int) 
 	return upload{vec: vec, proof: proof}, nil
 }
 
+// deviceUploadRetry wraps deviceUpload with the upload-timeout injection
+// point and its capped-backoff retry policy. Each attempt's fate is a pure
+// function of (plan seed, device ID, attempt), so the outcome — and the
+// accepted set downstream — is identical at every worker count even though
+// this runs on pool workers. A device that times out uploadBackoff.attempts
+// times in a row is dropped (it behaves exactly like a churned-offline
+// device: its row is simply missing).
+func (d *Deployment) deviceUploadRetry(km *keyMaterial, dev *Device, width, hot int) (upload, error) {
+	var timeouts int
+	var backoff time.Duration
+	for attempt := 0; ; attempt++ {
+		if d.cfg.Faults.Fires(faults.UploadTimeout, dev.ID, attempt) {
+			timeouts++
+			if attempt+1 >= uploadBackoff.attempts {
+				return upload{dev: dev.ID, timeouts: timeouts, backoff: backoff, dropped: true}, nil
+			}
+			backoff += uploadBackoff.delay(attempt)
+			continue
+		}
+		up, err := d.deviceUpload(km, dev, width, hot)
+		if err != nil {
+			return upload{}, err
+		}
+		up.dev = dev.ID
+		up.timeouts = timeouts
+		up.backoff = backoff
+		return up, nil
+	}
+}
+
 // acceptUploads runs the aggregator's sequential side of input collection:
 // traffic accounting and proof verification, in device order (the verifier's
 // replay state is not synchronized, and keeping this loop ordered makes the
@@ -430,6 +559,9 @@ func (d *Deployment) deviceUpload(km *keyMaterial, dev *Device, width, hot int) 
 func (d *Deployment) acceptUploads(verifier *zkp.Verifier, ups []upload) [][]*ahe.Ciphertext {
 	var accepted [][]*ahe.Ciphertext
 	for _, up := range ups {
+		if d.tallyUpload(up) {
+			continue // dropped after upload timeouts: nothing arrived
+		}
 		for _, ct := range up.vec {
 			d.Metrics.DeviceBytesSent += int64(ct.Bytes())
 		}
@@ -462,14 +594,14 @@ func (d *Deployment) collectInputs(km *keyMaterial) ([][]*ahe.Ciphertext, error)
 		}
 	}
 	ups, err := parallel.Map(nil, len(online), d.workers(), func(i int) (upload, error) {
-		return d.deviceUpload(km, online[i], d.cfg.Categories, online[i].Category)
+		return d.deviceUploadRetry(km, online[i], d.cfg.Categories, online[i].Category)
 	})
 	if err != nil {
 		return nil, err
 	}
 	accepted := d.acceptUploads(verifier, ups)
 	if len(accepted) == 0 {
-		return nil, fmt.Errorf("runtime: no valid inputs")
+		return nil, ErrNoValidInputs
 	}
 	return accepted, nil
 }

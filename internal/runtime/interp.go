@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"errors"
 	"fmt"
 
 	"arboretum/internal/ahe"
@@ -87,7 +88,7 @@ func (ip *interp) rotate() error {
 	}
 	next := ip.pool[ip.poolIdx]
 	ip.poolIdx++
-	if err := ip.km.handoff(next, &ip.dep.Metrics); err != nil {
+	if err := ip.km.handoff(ip.dep, next); err != nil {
 		return err
 	}
 	ce, err := ip.dep.newCommittee(next)
@@ -97,6 +98,96 @@ func (ip *interp) rotate() error {
 	ip.ce.flushMetrics()
 	ip.ce = ce
 	return nil
+}
+
+// runVignette executes one mechanism vignette under the recovery policy: the
+// protocol runs against a committee with fault injection armed; a degraded
+// committee (too much churn, but still a reconstructing majority) is replaced
+// from the sortition pool and the attempt repeats with the shares re-dealt to
+// the new members. Any other failure — a broken committee, a protocol error —
+// fails closed immediately: the health gates inside the protocols guarantee
+// nothing was opened or decrypted on the failed attempt, so a retry with
+// fresh noise releases exactly one value per vignette and the privacy charge
+// (taken once, up front) stays correct.
+func (ip *interp) runVignette(input value, protocol func(ce *committeeExec, in value) (value, error)) (value, error) {
+	seq := ip.dep.vignetteSeq
+	ip.dep.vignetteSeq++
+	ce, err := ip.mechanismEngine(input)
+	if err != nil {
+		return value{}, err
+	}
+	var lastErr error
+	for attempt := 0; attempt < vignetteBackoff.attempts; attempt++ {
+		if attempt > 0 {
+			ip.dep.Metrics.VignetteRetries++
+			ip.dep.Metrics.BackoffSimulated += vignetteBackoff.delay(attempt - 1)
+		}
+		ce.beginVignette(seq, attempt)
+		out, err := protocol(ce, input)
+		ce.endVignette()
+		if err == nil {
+			return out, nil
+		}
+		if !errors.Is(err, ErrCommitteeDegraded) {
+			return value{}, err // fail closed: broken committee or protocol error
+		}
+		lastErr = err
+		ce, input, err = ip.reform(ce, input)
+		if err != nil {
+			return value{}, err
+		}
+	}
+	return value{}, fmt.Errorf("runtime: vignette %d did not complete after %d attempts: %w",
+		seq, vignetteBackoff.attempts, lastErr)
+}
+
+// reform replaces a degraded committee with the next spare from the
+// sortition pool: the key hand-off re-deals from the surviving share-holders
+// (the lost members cannot contribute dealings), live shared values migrate
+// to the new committee's MPC, and the vignette input follows them.
+func (ip *interp) reform(broken *committeeExec, input value) (*committeeExec, value, error) {
+	if ip.poolIdx >= len(ip.pool) {
+		return nil, value{}, fmt.Errorf("%w: cannot replace degraded committee", ErrNoSpareCommittee)
+	}
+	next := ip.pool[ip.poolIdx]
+	ip.poolIdx++
+	ip.dep.Metrics.Reformations++
+	if ip.km.holder.Equal(broken.members) {
+		// The degraded committee holds the key: its lost members cannot
+		// deal, so mark them before the hand-off skips them.
+		ip.km.markLost(broken.lost)
+	}
+	if err := ip.km.handoff(ip.dep, next); err != nil {
+		return nil, value{}, err
+	}
+	ce, err := ip.dep.newCommittee(next)
+	if err != nil {
+		return nil, value{}, err
+	}
+	// Migrate every live value held by the broken committee. Map iteration
+	// order does not matter: Transfer moves each value independently and the
+	// byte/round metrics are order-insensitive sums.
+	for name, v := range ip.env {
+		if v.eng == broken {
+			moved, err := ip.toSharedIn(ce, v)
+			if err != nil {
+				return nil, value{}, err
+			}
+			ip.env[name] = moved
+		}
+	}
+	if input.eng == broken {
+		moved, err := ip.toSharedIn(ce, input)
+		if err != nil {
+			return nil, value{}, err
+		}
+		input = moved
+	}
+	broken.flushMetrics()
+	if ip.ce == broken {
+		ip.ce = ce
+	}
+	return ce, input, nil
 }
 
 // engineOf returns the committee where an operation on the given values

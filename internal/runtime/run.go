@@ -115,7 +115,7 @@ func (d *Deployment) Run(src string, opts RunOptions) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		as, perBin, err := aggregateWithAudit(km.pub, binned, d.cfg.ByzantineAggregator)
+		as, perBin, err := aggregateWithAudit(km.pub, binned, d.cfg.ByzantineAggregator, d.cfg.Faults, &d.Metrics)
 		if err != nil {
 			return nil, err
 		}
@@ -140,7 +140,7 @@ func (d *Deployment) Run(src string, opts RunOptions) (*Result, error) {
 				return nil, err
 			}
 		}
-		as, running, err := aggregateWithAudit(km.pub, inputs, d.cfg.ByzantineAggregator)
+		as, running, err := aggregateWithAudit(km.pub, inputs, d.cfg.ByzantineAggregator, d.cfg.Faults, &d.Metrics)
 		if err != nil {
 			return nil, err
 		}
@@ -154,7 +154,7 @@ func (d *Deployment) Run(src string, opts RunOptions) (*Result, error) {
 
 	// Hand the key to the operations committee via VSR (Section 5.2), then
 	// run the program with that committee attached.
-	if err := km.handoff(committees[1], &d.Metrics); err != nil {
+	if err := km.handoff(d, committees[1]); err != nil {
 		return nil, err
 	}
 	ce, err := d.newCommittee(committees[1])

@@ -70,7 +70,7 @@ func (d *Deployment) collectBinnedInputs(km *keyMaterial) ([][]*ahe.Ciphertext, 
 	}
 	ups, err := parallel.Map(nil, len(online), d.workers(), func(i int) (upload, error) {
 		hot := chosen[i]*cats + online[i].Category
-		return d.deviceUpload(km, online[i], width, hot)
+		return d.deviceUploadRetry(km, online[i], width, hot)
 	})
 	if err != nil {
 		return nil, nil, err
@@ -78,6 +78,9 @@ func (d *Deployment) collectBinnedInputs(km *keyMaterial) ([][]*ahe.Ciphertext, 
 	var accepted [][]*ahe.Ciphertext
 	var bins []int
 	for i, up := range ups {
+		if d.tallyUpload(up) {
+			continue // dropped after exhausting upload retries
+		}
 		for _, ct := range up.vec {
 			d.Metrics.DeviceBytesSent += int64(ct.Bytes())
 		}
@@ -91,7 +94,7 @@ func (d *Deployment) collectBinnedInputs(km *keyMaterial) ([][]*ahe.Ciphertext, 
 		bins = append(bins, chosen[i])
 	}
 	if len(accepted) == 0 {
-		return nil, nil, fmt.Errorf("runtime: no valid binned inputs")
+		return nil, nil, fmt.Errorf("%w: no binned inputs survived", ErrNoValidInputs)
 	}
 	return accepted, bins, nil
 }

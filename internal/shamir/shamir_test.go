@@ -251,3 +251,74 @@ func BenchmarkReconstruct40(b *testing.B) {
 		}
 	}
 }
+
+// TestReconstructEveryThresholdSubset checks the exact threshold boundary:
+// every 3-of-5 subset reconstructs the secret, and no subset needs a fourth
+// share — the property VSR re-dealing from arbitrary survivors relies on.
+func TestReconstructEveryThresholdSubset(t *testing.T) {
+	f := field(t)
+	secret := big.NewInt(31337)
+	shares, err := f.Split(secret, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < 5; a++ {
+		for b := a + 1; b < 5; b++ {
+			for c := b + 1; c < 5; c++ {
+				subset := []Share{shares[a], shares[b], shares[c]}
+				got, err := f.Reconstruct(subset, 3)
+				if err != nil {
+					t.Fatalf("subset {%d,%d,%d}: %v", a, b, c, err)
+				}
+				if got.Cmp(secret) != 0 {
+					t.Errorf("subset {%d,%d,%d} reconstructed %v, want %v",
+						a, b, c, got, secret)
+				}
+			}
+		}
+	}
+}
+
+// TestReconstructDuplicateIndexVariants pins duplicate-index handling:
+// duplicates inside the threshold prefix are rejected, while extra shares
+// beyond the first t are never consulted (Reconstruct's documented
+// first-t-shares contract).
+func TestReconstructDuplicateIndexVariants(t *testing.T) {
+	f := field(t)
+	secret := big.NewInt(99)
+	shares, _ := f.Split(secret, 5, 3)
+	// Duplicate at the front: rejected.
+	if _, err := f.Reconstruct([]Share{shares[2], shares[2], shares[4]}, 3); err == nil {
+		t.Error("duplicate index inside the threshold prefix accepted")
+	}
+	// x=0 smuggled in: rejected (it would leak the constant term trivially).
+	if _, err := f.Reconstruct([]Share{{X: 0, Y: big.NewInt(1)}, shares[1], shares[2]}, 3); err == nil {
+		t.Error("share at x=0 accepted")
+	}
+	// A duplicate past the threshold prefix is ignored, not an error.
+	got, err := f.Reconstruct([]Share{shares[0], shares[1], shares[2], shares[2]}, 3)
+	if err != nil {
+		t.Fatalf("trailing duplicate rejected: %v", err)
+	}
+	if got.Cmp(secret) != 0 {
+		t.Errorf("reconstructed %v, want %v", got, secret)
+	}
+}
+
+// TestWrongDealingShareShiftsSecret documents why VSR needs commitments: a
+// share dealt from the wrong polynomial (here: a tampered Y) reconstructs to
+// a *wrong* secret without any error from plain Shamir — only the
+// commitment check in internal/vsr can catch it.
+func TestWrongDealingShareShiftsSecret(t *testing.T) {
+	f := field(t)
+	secret := big.NewInt(424242)
+	shares, _ := f.Split(secret, 5, 3)
+	bad := Share{X: shares[0].X, Y: new(big.Int).Add(shares[0].Y, big.NewInt(1))}
+	got, err := f.Reconstruct([]Share{bad, shares[1], shares[2]}, 3)
+	if err != nil {
+		t.Fatalf("tampered share rejected by plain Shamir: %v", err)
+	}
+	if got.Cmp(secret) == 0 {
+		t.Error("tampered share still reconstructed the true secret")
+	}
+}

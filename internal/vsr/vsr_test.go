@@ -1,6 +1,7 @@
 package vsr
 
 import (
+	"errors"
 	"math/big"
 	"testing"
 
@@ -181,5 +182,29 @@ func BenchmarkRedistribute5to7(b *testing.B) {
 		if _, err := Redistribute(g, old, 3, 7, 4); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestInsufficientSharesTyped: both VSR entry points report share shortfalls
+// through the typed ErrInsufficientShares, which the runtime's hand-off
+// recovery matches with errors.Is to decide between re-dealing and failing
+// closed.
+func TestInsufficientSharesTyped(t *testing.T) {
+	g := DefaultGroup()
+	field := g.Field()
+	old, _ := field.Split(big.NewInt(7), 5, 3)
+	if _, err := Redistribute(g, old[:2], 3, 7, 4); !errors.Is(err, ErrInsufficientShares) {
+		t.Errorf("Redistribute with 2 of 3 shares: got %v, want ErrInsufficientShares", err)
+	}
+	d, err := Deal(g, old[0], 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Combine(g, []*Dealing{d}, 1, 3); !errors.Is(err, ErrInsufficientShares) {
+		t.Errorf("Combine with 1 of 3 dealings: got %v, want ErrInsufficientShares", err)
+	}
+	// Enough shares: no typed error.
+	if _, err := Redistribute(g, old, 3, 7, 4); err != nil {
+		t.Errorf("full redistribution failed: %v", err)
 	}
 }

@@ -1,0 +1,40 @@
+#!/bin/sh
+# coverage_gate.sh — fail if internal/runtime statement coverage regresses.
+#
+# Runs the full test suite with a coverage profile and compares
+# internal/runtime's statement coverage against the checked-in baseline,
+# which was measured immediately before the fault-injection PR landed.
+# The gate is one-way: raise BASELINE when coverage improves, never lower
+# it to make a PR pass. The profile is left at coverage.out so CI can
+# upload it as an artifact.
+#
+# Usage: sh scripts/coverage_gate.sh [out-file]
+
+set -e
+
+# Statement coverage of arboretum/internal/runtime before this gate existed.
+BASELINE=75.5
+
+out="${1:-coverage.out}"
+
+echo "== go test -coverprofile=$out ./..."
+go test -count=1 -coverprofile="$out" ./...
+
+# A profile line is "file.go:start,end numStatements hitCount"; sum the
+# statements and the covered statements of internal/runtime only.
+pct=$(awk -F'[ ]' '
+    $1 ~ /^arboretum\/internal\/runtime\// {
+        total += $2
+        if ($3 > 0) covered += $2
+    }
+    END {
+        if (total == 0) { print "0"; exit }
+        printf "%.1f", 100 * covered / total
+    }
+' "$out")
+
+echo "== internal/runtime coverage: ${pct}% (baseline ${BASELINE}%)"
+if awk "BEGIN { exit !($pct < $BASELINE) }"; then
+    echo "coverage gate: internal/runtime dropped below the ${BASELINE}% baseline" >&2
+    exit 1
+fi

@@ -14,3 +14,12 @@ func TestSecrecyCritical(t *testing.T) {
 func TestDeterministicBench(t *testing.T) {
 	analysistest.Run(t, randsource.Analyzer, "internal/ahe")
 }
+
+// TestSimulationExempt pins the fault-injection carve-out: internal/faults is
+// SecrecyCritical by path but SimulationExempt, so its seeded math/rand draws
+// must produce zero findings. The testdata file has no // want comments;
+// analysistest fails on any unexpected diagnostic, so this test breaks if the
+// exemption is ever dropped from the policy table.
+func TestSimulationExempt(t *testing.T) {
+	analysistest.Run(t, randsource.Analyzer, "internal/faults")
+}

@@ -1,0 +1,19 @@
+// Package faults is randsource analyzer testdata: a SecrecyCritical package
+// that is also SimulationExempt, so its seeded math/rand draws produce no
+// findings. This file deliberately carries no expectation comments, and
+// analysistest fails the regression test on any unexpected diagnostic — i.e.
+// whenever the exemption stops applying.
+package faults
+
+import "math/rand"
+
+// Pick is a deterministic simulation draw: seeded replay state, not a secret.
+func Pick(seed int64, n int) int {
+	return rand.New(rand.NewSource(seed)).Intn(n)
+}
+
+// Uniform is a second use site, proving the whole package is exempt rather
+// than a single annotated line.
+func Uniform(seed int64) float64 {
+	return rand.New(rand.NewSource(seed)).Float64()
+}

@@ -43,6 +43,18 @@ var SecrecyCritical = Set{
 	"internal/sortition": true,
 	"internal/mechanism": true,
 	"internal/runtime":   true,
+	"internal/faults":    true,
+}
+
+// SimulationExempt lists SecrecyCritical packages that are pure simulation
+// machinery: their randomness decides which *injected faults* fire, never key
+// material, shares, or noise, and replayability from a small seed is the
+// whole point (docs/FAULTS.md). The randsource math/rand ban is lifted there
+// wholesale — no per-site //arblint:ignore needed — so fault-schedule code
+// stays readable while the policy table still records the exception
+// explicitly.
+var SimulationExempt = Set{
+	"internal/faults": true,
 }
 
 // DeterministicBench lists the packages whose *bench_test.go files must not
