@@ -1,0 +1,412 @@
+// Command arbload drives an arboretumd analyst gateway with concurrent
+// analysts, as the load-test engine behind scripts/loadtest.sh.
+//
+// Usage:
+//
+//	arbload -addr 127.0.0.1:8750 -smoke
+//	arbload -addr 127.0.0.1:8750 -clients 8 -queries 24 -tenants 4
+//
+// -smoke runs the API-conformance pass CI uses: it exercises every
+// endpoint of docs/SERVICE.md (health, tenant create/list/budget, query
+// submit/list/status/result/cancel), including a typed budget-exhausted
+// rejection and a cancel of a queued job, and asserts the tenant's budget
+// debit equals exactly the committed certificate spend. It expects the
+// daemon to run with -job-workers 1 so a second submission stays queued
+// behind the first (scripts/loadtest.sh arranges this).
+//
+// Without -smoke it hammers the gateway: -queries submissions spread
+// round-robin over -tenants tenants from -clients concurrent clients,
+// polled to completion. It retries rate-limited (429) and queue-full
+// (503) submissions — so a tight daemon -rate is exercised, not fatal —
+// and fails if any job fails, any budget is oversubscribed, or any
+// tenant's spent ε differs from its completed jobs × the per-query ε. It
+// prints a throughput/latency summary: the gateway's tracked baseline.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"arboretum/internal/parallel"
+)
+
+// countQuery is the cheap fixed-price workload: a Laplace count with ε = 1
+// (its certificate is exactly ε=1.0, which makes budget arithmetic exact).
+const countQuery = "aggr = sum(db);\nnoised = laplace(aggr[0], 1.0);\noutput(declassify(noised));"
+
+// countEpsilon is countQuery's certified price.
+const countEpsilon = 1.0
+
+// overBudgetQuery prices above any smoke tenant's remaining ε.
+const overBudgetQuery = "aggr = sum(db);\nnoised = laplace(aggr[0], 50.0);\noutput(declassify(noised));"
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8750", "arboretumd address")
+	smoke := flag.Bool("smoke", false, "run the API conformance pass instead of the load test")
+	clients := flag.Int("clients", 8, "concurrent analyst clients")
+	queries := flag.Int("queries", 24, "total queries to submit")
+	tenants := flag.Int("tenants", 4, "tenants to spread load across")
+	timeout := flag.Duration("timeout", 3*time.Minute, "per-job completion timeout")
+	flag.Parse()
+
+	c := &client{base: "http://" + *addr, timeout: *timeout}
+	var err error
+	if *smoke {
+		err = runSmoke(c)
+	} else {
+		err = runLoad(c, *clients, *queries, *tenants)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "arbload:", err)
+		os.Exit(1)
+	}
+}
+
+// client is a minimal JSON API client for the docs/SERVICE.md surface.
+type client struct {
+	base    string
+	timeout time.Duration
+}
+
+// apiErr mirrors the service error envelope.
+type apiErr struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+// call performs one request and decodes the JSON response into out (may be
+// nil). It returns the status code and, for non-2xx, the error envelope.
+func (c *client) call(method, path string, body, out any) (int, *apiErr, error) {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return 0, nil, err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, c.base+path, rd)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, nil, err
+	}
+	if resp.StatusCode >= 300 {
+		var e apiErr
+		_ = json.Unmarshal(data, &e)
+		return resp.StatusCode, &e, nil
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			return resp.StatusCode, nil, fmt.Errorf("%s %s: decode: %w", method, path, err)
+		}
+	}
+	return resp.StatusCode, nil, nil
+}
+
+// job mirrors the service's job view.
+type job struct {
+	ID           string    `json:"id"`
+	Tenant       string    `json:"tenant"`
+	State        string    `json:"state"`
+	Epsilon      float64   `json:"epsilon"`
+	SpentEpsilon float64   `json:"spent_epsilon"`
+	Outputs      []float64 `json:"outputs"`
+	Error        string    `json:"error"`
+	ErrorCode    string    `json:"error_code"`
+}
+
+// balance mirrors ledger.Balance.
+type balance struct {
+	Tenant      string  `json:"tenant"`
+	EpsTotal    float64 `json:"eps_total"`
+	EpsSpent    float64 `json:"eps_spent"`
+	EpsReserved float64 `json:"eps_reserved"`
+	Queries     int     `json:"queries"`
+}
+
+// ensureTenant creates the tenant, tolerating one that already exists
+// (ledger files persist across daemon restarts).
+func (c *client) ensureTenant(id string, eps float64) error {
+	status, e, err := c.call("POST", "/v1/tenants", map[string]any{"tenant": id, "epsilon": eps}, nil)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusCreated && (e == nil || e.Error.Code != "tenant_exists") {
+		return fmt.Errorf("create tenant %s: status %d (%+v)", id, status, e)
+	}
+	return nil
+}
+
+// submit posts one query, retrying rate-limit and queue-full rejections.
+func (c *client) submit(tenant, source string) (job, error) {
+	deadline := time.Now().Add(c.timeout)
+	for {
+		var j job
+		status, e, err := c.call("POST", "/v1/queries", map[string]any{"tenant": tenant, "source": source}, &j)
+		if err != nil {
+			return job{}, err
+		}
+		if status == http.StatusAccepted {
+			return j, nil
+		}
+		if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+			if time.Now().After(deadline) {
+				return job{}, fmt.Errorf("submit for %s: still throttled at deadline (%+v)", tenant, e)
+			}
+			time.Sleep(50 * time.Millisecond)
+			continue
+		}
+		return job{}, fmt.Errorf("submit for %s: status %d (%+v)", tenant, status, e)
+	}
+}
+
+// wait polls the status endpoint until the job is terminal, then fetches
+// the result.
+func (c *client) wait(id string) (job, error) {
+	deadline := time.Now().Add(c.timeout)
+	for {
+		var j job
+		status, e, err := c.call("GET", "/v1/queries/"+id, nil, &j)
+		if err != nil {
+			return job{}, err
+		}
+		if status != http.StatusOK {
+			return job{}, fmt.Errorf("status %s: %d (%+v)", id, status, e)
+		}
+		switch j.State {
+		case "done", "failed", "canceled":
+			var full job
+			if status, e, err := c.call("GET", "/v1/queries/"+id+"/result", nil, &full); err != nil || status != http.StatusOK {
+				return job{}, fmt.Errorf("result %s: %d (%+v): %v", id, status, e, err)
+			}
+			return full, nil
+		}
+		if time.Now().After(deadline) {
+			return job{}, fmt.Errorf("job %s still %s after %v", id, j.State, c.timeout)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func (c *client) budget(tenant string) (balance, error) {
+	var b balance
+	status, e, err := c.call("GET", "/v1/tenants/"+tenant+"/budget", nil, &b)
+	if err != nil || status != http.StatusOK {
+		return b, fmt.Errorf("budget %s: %d (%+v): %v", tenant, status, e, err)
+	}
+	return b, nil
+}
+
+// runSmoke is the endpoint-by-endpoint conformance pass (see the command
+// comment). It assumes a fresh ledger and a single-job-worker daemon.
+func runSmoke(c *client) error {
+	// 1. Health.
+	var health map[string]any
+	if status, e, err := c.call("GET", "/healthz", nil, &health); err != nil || status != http.StatusOK {
+		return fmt.Errorf("healthz: %d (%+v): %v", status, e, err)
+	}
+	if health["status"] != "ok" {
+		return fmt.Errorf("healthz: %v", health)
+	}
+	// 2. Tenants: create two, list, read a budget.
+	if err := c.ensureTenant("smoke-a", 3.5); err != nil {
+		return err
+	}
+	if err := c.ensureTenant("smoke-b", 1.0); err != nil {
+		return err
+	}
+	var listed struct {
+		Tenants []balance `json:"tenants"`
+	}
+	if status, e, err := c.call("GET", "/v1/tenants", nil, &listed); err != nil || status != http.StatusOK {
+		return fmt.Errorf("list tenants: %d (%+v): %v", status, e, err)
+	}
+	if len(listed.Tenants) < 2 {
+		return fmt.Errorf("list tenants: %d tenants, want ≥ 2", len(listed.Tenants))
+	}
+	b0, err := c.budget("smoke-a")
+	if err != nil {
+		return err
+	}
+	if b0.EpsTotal != 3.5 {
+		return fmt.Errorf("smoke-a eps_total = %g, want 3.5", b0.EpsTotal)
+	}
+	// 3. Submit one query (runs) and a second (stays queued behind it —
+	// the daemon runs one job at a time in smoke mode), cancel the second.
+	j1, err := c.submit("smoke-a", countQuery)
+	if err != nil {
+		return err
+	}
+	if j1.Epsilon != countEpsilon {
+		return fmt.Errorf("job reserved ε = %g, want %g", j1.Epsilon, countEpsilon)
+	}
+	j2, err := c.submit("smoke-a", countQuery)
+	if err != nil {
+		return err
+	}
+	var canceled job
+	if status, e, err := c.call("DELETE", "/v1/queries/"+j2.ID, nil, &canceled); err != nil || status != http.StatusOK {
+		return fmt.Errorf("cancel %s: %d (%+v): %v", j2.ID, status, e, err)
+	}
+	// 4. Over-budget submission is rejected with a typed error before
+	// executing: smoke-b holds ε=1, the query needs ε=50.
+	if status, e, err := c.call("POST", "/v1/queries",
+		map[string]any{"tenant": "smoke-b", "source": overBudgetQuery}, nil); err != nil {
+		return err
+	} else if status != http.StatusConflict || e == nil || e.Error.Code != "budget_exhausted" {
+		return fmt.Errorf("over-budget submit: status %d code %+v, want 409 budget_exhausted", status, e)
+	}
+	// 5. First job completes and releases outputs.
+	done, err := c.wait(j1.ID)
+	if err != nil {
+		return err
+	}
+	if done.State != "done" {
+		return fmt.Errorf("job %s: state %s (%s: %s)", j1.ID, done.State, done.ErrorCode, done.Error)
+	}
+	if len(done.Outputs) == 0 {
+		return fmt.Errorf("job %s: no outputs", j1.ID)
+	}
+	if done.SpentEpsilon != countEpsilon {
+		return fmt.Errorf("job %s: spent ε = %g, want %g", j1.ID, done.SpentEpsilon, countEpsilon)
+	}
+	// 6. The ledger debited exactly the committed certificate: one done
+	// query spent, the canceled reservation released.
+	a, err := c.budget("smoke-a")
+	if err != nil {
+		return err
+	}
+	if a.EpsSpent != countEpsilon || a.EpsReserved != 0 || a.Queries != 1 {
+		return fmt.Errorf("smoke-a balance after session = %+v, want spent %g, reserved 0, 1 query", a, countEpsilon)
+	}
+	b, err := c.budget("smoke-b")
+	if err != nil {
+		return err
+	}
+	if b.EpsSpent != 0 || b.EpsReserved != 0 {
+		return fmt.Errorf("smoke-b balance = %+v, want untouched", b)
+	}
+	// 7. The job listing shows the session.
+	var jobs struct {
+		Jobs []job `json:"jobs"`
+	}
+	if status, e, err := c.call("GET", "/v1/queries?tenant=smoke-a", nil, &jobs); err != nil || status != http.StatusOK {
+		return fmt.Errorf("list jobs: %d (%+v): %v", status, e, err)
+	}
+	states := map[string]int{}
+	for _, j := range jobs.Jobs {
+		states[j.State]++
+	}
+	if states["done"] != 1 || states["canceled"] != 1 {
+		return fmt.Errorf("job states = %v, want one done and one canceled", states)
+	}
+	fmt.Println("arbload: smoke ok — all endpoints exercised, budgets exact")
+	return nil
+}
+
+// runLoad spreads `queries` count-query submissions over `tenants` tenants
+// from `clients` concurrent clients and verifies the ledger afterwards.
+func runLoad(c *client, clients, queries, tenants int) error {
+	if tenants < 1 || clients < 1 || queries < 1 {
+		return fmt.Errorf("need positive -clients/-queries/-tenants")
+	}
+	names := make([]string, tenants)
+	for i := range names {
+		names[i] = fmt.Sprintf("load-%d", i)
+		// Budget every tenant generously: the load test measures
+		// throughput, not rejection (the smoke pass covers rejection).
+		if err := c.ensureTenant(names[i], float64(queries)*countEpsilon); err != nil {
+			return err
+		}
+	}
+	before := make(map[string]balance, tenants)
+	for _, n := range names {
+		b, err := c.budget(n)
+		if err != nil {
+			return err
+		}
+		before[n] = b
+	}
+
+	var mu sync.Mutex
+	var latencies []time.Duration
+	perTenantDone := map[string]int{}
+	start := time.Now()
+	err := parallel.ForEach(nil, queries, clients, func(i int) error {
+		tenant := names[i%tenants]
+		t0 := time.Now()
+		j, err := c.submit(tenant, countQuery)
+		if err != nil {
+			return err
+		}
+		fin, err := c.wait(j.ID)
+		if err != nil {
+			return err
+		}
+		if fin.State != "done" {
+			return fmt.Errorf("job %s for %s: %s (%s: %s)", j.ID, tenant, fin.State, fin.ErrorCode, fin.Error)
+		}
+		mu.Lock()
+		latencies = append(latencies, time.Since(t0))
+		perTenantDone[tenant]++
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	// The ledger invariant, from the outside: each tenant's spend moved by
+	// exactly (completed queries × the per-query certificate ε), nothing is
+	// left reserved, and no balance is oversubscribed.
+	for _, n := range names {
+		b, err := c.budget(n)
+		if err != nil {
+			return err
+		}
+		wantSpent := before[n].EpsSpent + float64(perTenantDone[n])*countEpsilon
+		if math.Abs(b.EpsSpent-wantSpent) > 1e-9 {
+			return fmt.Errorf("tenant %s: spent ε = %g, want %g (double-spend or lost commit)", n, b.EpsSpent, wantSpent)
+		}
+		if b.EpsReserved != 0 {
+			return fmt.Errorf("tenant %s: ε %g still reserved after drain", n, b.EpsReserved)
+		}
+		if b.EpsSpent > b.EpsTotal+1e-9 {
+			return fmt.Errorf("tenant %s: oversubscribed: spent %g of %g", n, b.EpsSpent, b.EpsTotal)
+		}
+	}
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	var sum time.Duration
+	for _, l := range latencies {
+		sum += l
+	}
+	fmt.Printf("arbload: %d queries, %d tenants, %d clients in %v (%.2f q/s)\n",
+		queries, tenants, clients, elapsed.Round(time.Millisecond),
+		float64(queries)/elapsed.Seconds())
+	fmt.Printf("arbload: latency mean %v p50 %v max %v; budgets exact for all tenants\n",
+		(sum / time.Duration(len(latencies))).Round(time.Millisecond),
+		latencies[len(latencies)/2].Round(time.Millisecond),
+		latencies[len(latencies)-1].Round(time.Millisecond))
+	return nil
+}

@@ -1,0 +1,158 @@
+// Command arboretumd is the Arboretum analyst gateway: a long-lived,
+// multi-tenant HTTP server that accepts federated-analytics queries,
+// certifies them as differentially private, meters each analyst's (ε, δ)
+// privacy budget across queries in a durable ledger, and executes admitted
+// jobs asynchronously on simulated deployments.
+//
+// Usage:
+//
+//	arboretumd [-addr :8750] [-ledger arboretumd.ledger] \
+//	           [-tenants "alice=5,bob=3"] \
+//	           [-devices 96] [-categories 8] [-committee 5] [-seed 1] \
+//	           [-workers 0] [-job-workers 2] [-queue 64] \
+//	           [-rate 5] [-burst 10] [-max-inflight 4] \
+//	           [-faults ""] [-secure-noise]
+//
+// The API (submit/status/result/cancel, tenant budgets, /healthz) is
+// documented in docs/SERVICE.md; -tenants seeds budgets idempotently
+// ("id=ε" or "id=ε:δ" entries, existing tenants keep their history), and
+// -faults applies a default fault-injection schedule to every job's
+// deployment (docs/FAULTS.md). The daemon prints "listening on ADDR" once
+// it serves; -addr :0 picks a free port (scripts/loadtest.sh relies on
+// both). On SIGINT/SIGTERM it stops accepting work, finishes running
+// jobs, and closes the ledger; reservations of jobs that never ran are
+// resolved fail-closed by WAL replay at the next start.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"arboretum/internal/faults"
+	"arboretum/internal/service"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "arboretumd:", err)
+		os.Exit(1)
+	}
+}
+
+// parseTenants parses the -tenants flag: comma-separated "id=ε" or
+// "id=ε:δ" entries.
+func parseTenants(spec string) ([]service.TenantSpec, error) {
+	var out []service.TenantSpec
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	for _, entry := range strings.Split(spec, ",") {
+		id, budget, ok := strings.Cut(strings.TrimSpace(entry), "=")
+		if !ok || id == "" {
+			return nil, fmt.Errorf("tenant entry %q: want id=epsilon or id=epsilon:delta", entry)
+		}
+		epsStr, delStr, hasDelta := strings.Cut(budget, ":")
+		eps, err := strconv.ParseFloat(epsStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("tenant %q: epsilon %q: %v", id, epsStr, err)
+		}
+		del := 1e-6
+		if hasDelta {
+			if del, err = strconv.ParseFloat(delStr, 64); err != nil {
+				return nil, fmt.Errorf("tenant %q: delta %q: %v", id, delStr, err)
+			}
+		}
+		out = append(out, service.TenantSpec{ID: id, Epsilon: eps, Delta: del})
+	}
+	return out, nil
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("arboretumd", flag.ExitOnError)
+	addr := fs.String("addr", ":8750", "listen address (:0 picks a free port)")
+	ledgerPath := fs.String("ledger", "arboretumd.ledger", "privacy-budget WAL path")
+	tenants := fs.String("tenants", "", `tenants to seed, e.g. "alice=5,bob=3" or "alice=5:1e-6"`)
+	devices := fs.Int("devices", 96, "simulated devices per job deployment")
+	categories := fs.Int("categories", 8, "one-hot categories per device input")
+	committee := fs.Int("committee", 5, "committee size")
+	seed := fs.Int64("seed", 1, "base seed; job j runs on seed+j")
+	workers := fs.Int("workers", 0, "per-job runtime worker pool (0 = ARBORETUM_WORKERS, then GOMAXPROCS)")
+	jobWorkers := fs.Int("job-workers", 2, "jobs executing concurrently")
+	queue := fs.Int("queue", 64, "submit queue depth (full queue = 503)")
+	rate := fs.Float64("rate", 5, "per-tenant sustained submissions per second (0 = unlimited)")
+	burst := fs.Int("burst", 10, "per-tenant submission burst")
+	maxInflight := fs.Int("max-inflight", 4, "per-tenant queued+running job cap (0 = unlimited)")
+	faultSpec := fs.String("faults", "", `default fault schedule per job, e.g. "seed=7,upload=0.1" (docs/FAULTS.md)`)
+	ledgerFaults := fs.String("ledger-faults", "", `WAL crash schedule for chaos testing, e.g. "seed=1,wal=0.01"`)
+	secureNoise := fs.Bool("secure-noise", false, "draw committee noise from crypto/rand (production)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tens, err := parseTenants(*tenants)
+	if err != nil {
+		return err
+	}
+	crashPlan, err := faults.Parse(*ledgerFaults)
+	if err != nil {
+		return fmt.Errorf("-ledger-faults: %w", err)
+	}
+	srv, err := service.New(service.Config{
+		LedgerPath:    *ledgerPath,
+		Tenants:       tens,
+		Devices:       *devices,
+		Categories:    *categories,
+		CommitteeSize: *committee,
+		Seed:          *seed,
+		SecureNoise:   *secureNoise,
+		Workers:       *workers,
+		JobWorkers:    *jobWorkers,
+		QueueDepth:    *queue,
+		Rate:          *rate,
+		Burst:         *burst,
+		MaxInFlight:   *maxInflight,
+		FaultSpec:     *faultSpec,
+		LedgerFaults:  crashPlan,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		srv.Close()
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	// The sentinel line scripts wait for; with -addr :0 it is also how they
+	// learn the port.
+	fmt.Printf("arboretumd: listening on %s (ledger %s)\n", ln.Addr(), *ledgerPath)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		srv.Close()
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Println("arboretumd: shutting down")
+	shCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		srv.Close()
+		return err
+	}
+	return srv.Close()
+}

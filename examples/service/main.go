@@ -1,0 +1,175 @@
+// Service: Arboretum as a long-lived multi-tenant gateway. Two analysts —
+// a health-ministry team and a university lab — share one arboretumd-style
+// server in process; each submits differentially private queries over HTTP
+// and is metered against its own durable (ε, δ) budget. The demo then
+// reopens the ledger WAL the way a restarted daemon would, showing that the
+// balances replay to exactly the committed spend.
+//
+//	go run ./examples/service
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"time"
+
+	"arboretum/internal/ledger"
+	"arboretum/internal/service"
+)
+
+// One Laplace count, certified at ε = 1 per run.
+const countQuery = `aggr = sum(db);
+noised = laplace(aggr[0], 1.0);
+output(declassify(noised));`
+
+func main() {
+	dir, err := os.MkdirTemp("", "arboretum-service")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	walPath := filepath.Join(dir, "budget.ledger")
+
+	// Start the gateway exactly as cmd/arboretumd does, with two tenants.
+	srv, err := service.New(service.Config{
+		LedgerPath: walPath,
+		Tenants: []service.TenantSpec{
+			{ID: "health-ministry", Epsilon: 3, Delta: 1e-6},
+			{ID: "university-lab", Epsilon: 1, Delta: 1e-6},
+		},
+		Devices:       64,
+		Categories:    4,
+		CommitteeSize: 3,
+		Seed:          7,
+		JobWorkers:    2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Close()
+	fmt.Printf("gateway up at %s, ledger %s\n\n", ts.URL, walPath)
+
+	// Each tenant submits a query; the ministry runs a second one. The lab's
+	// second attempt must bounce: its whole ε=1 went to the first query.
+	ids := map[string]string{}
+	for _, sub := range []struct{ tenant, label string }{
+		{"health-ministry", "ministry-1"},
+		{"university-lab", "lab-1"},
+		{"health-ministry", "ministry-2"},
+	} {
+		id, err := submit(ts.URL, sub.tenant)
+		if err != nil {
+			log.Fatalf("%s: %v", sub.label, err)
+		}
+		fmt.Printf("submitted %-10s for %-15s -> job %s\n", sub.label, sub.tenant, id)
+		ids[sub.label] = id
+	}
+	if _, err := submit(ts.URL, "university-lab"); err == nil {
+		log.Fatal("over-budget submission was admitted")
+	} else {
+		fmt.Printf("\nlab-2 refused before execution: %v\n\n", err)
+	}
+
+	for label, id := range ids {
+		state, spent, err := wait(ts.URL, id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s finished %s, ε spent %.3f\n", label, state, spent)
+	}
+
+	fmt.Println("\nper-tenant balances (independent metering):")
+	printBalances(ts.URL)
+
+	// A restarted daemon sees the same numbers: close everything and replay
+	// the WAL like ledger.Open at startup does.
+	ts.Close()
+	if err := srv.Close(); err != nil {
+		log.Fatal(err)
+	}
+	replayed, err := ledger.Open(walPath, ledger.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer replayed.Close()
+	fmt.Println("\nafter reopening the WAL (simulated restart):")
+	for _, b := range replayed.Tenants() {
+		fmt.Printf("  %-15s spent ε=%.3f of %.0f, reserved %.3f, %d queries\n",
+			b.TenantID, b.EpsSpent, b.EpsTotal, b.EpsReserved, b.Queries)
+	}
+}
+
+func submit(base, tenant string) (string, error) {
+	body, _ := json.Marshal(map[string]string{"tenant": tenant, "source": countQuery})
+	resp, err := http.Post(base+"/v1/queries", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	var out struct {
+		ID    string `json:"id"`
+		Error *struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return "", err
+	}
+	if out.Error != nil {
+		return "", fmt.Errorf("%s: %s", out.Error.Code, out.Error.Message)
+	}
+	return out.ID, nil
+}
+
+func wait(base, id string) (state string, spent float64, err error) {
+	for deadline := time.Now().Add(2 * time.Minute); time.Now().Before(deadline); time.Sleep(100 * time.Millisecond) {
+		resp, err := http.Get(base + "/v1/queries/" + id)
+		if err != nil {
+			return "", 0, err
+		}
+		var j struct {
+			State        string  `json:"state"`
+			SpentEpsilon float64 `json:"spent_epsilon"`
+			Error        string  `json:"error"`
+		}
+		derr := json.NewDecoder(resp.Body).Decode(&j)
+		resp.Body.Close()
+		if derr != nil {
+			return "", 0, derr
+		}
+		switch j.State {
+		case "done":
+			return j.State, j.SpentEpsilon, nil
+		case "failed", "canceled":
+			return j.State, 0, fmt.Errorf("job %s: %s (%s)", id, j.State, j.Error)
+		}
+	}
+	return "", 0, fmt.Errorf("job %s: timed out", id)
+}
+
+func printBalances(base string) {
+	resp, err := http.Get(base + "/v1/tenants")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Tenants []ledger.Balance `json:"tenants"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		log.Fatal(err)
+	}
+	for _, b := range out.Tenants {
+		fmt.Printf("  %-15s spent ε=%.3f of %.0f, %d queries, %.3f remaining\n",
+			b.TenantID, b.EpsSpent, b.EpsTotal, b.Queries, b.EpsAvailable())
+	}
+}

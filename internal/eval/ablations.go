@@ -1,3 +1,7 @@
+// Design ablations (the "what did each planner idea buy" table): plan each
+// evaluation query with planner features switched off one at a time and
+// compare costs against the full planner.
+
 package eval
 
 import (

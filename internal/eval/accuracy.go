@@ -1,3 +1,7 @@
+// Accuracy-versus-epsilon trials: repeated end-to-end runs per ε on small
+// simulated deployments, reporting how often the DP answer matches the
+// true answer.
+
 package eval
 
 import (

@@ -1,3 +1,6 @@
+// CSV renderers: every generator's rows as machine-readable files for
+// cmd/experiments -out, one column set per table/figure.
+
 package eval
 
 import (

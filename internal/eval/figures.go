@@ -1,3 +1,7 @@
+// Generators for the paper's figures: planner timings (Fig. 9), scaling
+// with deployment size (Fig. 10), power draw (Fig. 11), the search-space
+// ablation, and device heterogeneity.
+
 package eval
 
 import (

@@ -1,3 +1,7 @@
+// Cross-validation of the cost model: planned (predicted) costs versus
+// costs measured by actually executing each query on a simulated
+// deployment.
+
 package eval
 
 import (

@@ -48,11 +48,19 @@ const (
 	// chunk; it must resume from the last checkpointed partial sum.
 	// Coordinates: (chunk index, attempt).
 	AggregatorCrash
+	// WALCrash: the analyst-gateway daemon dies while appending one record
+	// to the privacy-budget ledger WAL (internal/ledger). Coordinates:
+	// (record sequence, stage), where stage 0 crashes before any byte is
+	// written and stage 1 crashes after a torn partial write. A forced
+	// "wal@N" therefore crashes before record N reaches the disk; rates
+	// exercise both stages. Recovery is the ledger's replay on reopen
+	// (docs/SERVICE.md).
+	WALCrash
 
 	numKinds
 )
 
-var kindNames = [numKinds]string{"upload", "dropout", "dealer", "crash"}
+var kindNames = [numKinds]string{"upload", "dropout", "dealer", "crash", "wal"}
 
 // String returns the kind's spec-string name.
 func (k Kind) String() string {
@@ -245,7 +253,7 @@ func (p *Plan) Fired() []Fault {
 //	<kind>=<rate> an independent per-injection-point probability in [0, 1]
 //	<kind>@<seq>  a forced fault (see Force)
 //
-// with kinds upload, dropout, dealer, crash — e.g.
+// with kinds upload, dropout, dealer, crash, wal — e.g.
 // "seed=7,upload=0.05,dropout=0.01,crash@1". An empty spec returns a nil
 // plan (no injection).
 func Parse(spec string) (*Plan, error) {

@@ -136,6 +136,32 @@ func TestParseStringRoundTrip(t *testing.T) {
 	}
 }
 
+// The "wal" kind (ledger append crashes) parses, round-trips, and follows
+// the Force contract: a forced wal@N fires only at stage 0 of record N.
+func TestParseWALKind(t *testing.T) {
+	p, err := Parse("seed=3,wal=0.5,wal@4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Fires(WALCrash, 4, 0) {
+		t.Fatal("forced wal@4 did not fire before record 4")
+	}
+	if WALCrash.String() != "wal" {
+		t.Fatalf("WALCrash.String() = %q", WALCrash)
+	}
+	q, err := Parse(p.String())
+	if err != nil {
+		t.Fatalf("canonical form %q does not re-parse: %v", p.String(), err)
+	}
+	for seq := 1; seq < 50; seq++ {
+		for stage := 0; stage < 2; stage++ {
+			if p.Fires(WALCrash, seq, stage) != q.Fires(WALCrash, seq, stage) {
+				t.Fatalf("round-tripped plan decides differently at (%d, %d)", seq, stage)
+			}
+		}
+	}
+}
+
 func TestParseEmptyAndErrors(t *testing.T) {
 	if p, err := Parse("  "); err != nil || p != nil {
 		t.Fatalf("empty spec = (%v, %v), want (nil, nil)", p, err)

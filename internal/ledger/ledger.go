@@ -1,0 +1,503 @@
+// Package ledger is the durable per-tenant privacy-budget ledger behind the
+// arboretumd analyst gateway (docs/SERVICE.md): every tenant (analyst) holds
+// an (ε, δ) allowance, and every query moves through a three-step budget
+// lifecycle that extends the runtime's single-query fail-closed contract
+// across queries and process restarts:
+//
+//	reserve — at admission, before anything executes, the query's certified
+//	          (ε, δ) is held against the tenant's balance; a reservation
+//	          that would oversubscribe the balance fails with
+//	          ErrBudgetExhausted and nothing runs.
+//	commit  — on success, exactly the certificate's spend becomes permanent
+//	          and the reservation is consumed.
+//	release — on failure or cancellation, the reservation returns to the
+//	          balance; a query that failed closed spends nothing.
+//
+// Durability is a JSON-lines write-ahead log: each state transition is one
+// checksummed record appended and fsynced before the transition takes
+// effect, so the on-disk ledger is never behind the in-memory one. Opening
+// a ledger replays the log; a torn final line (the signature of a crash
+// mid-append) is detected by its checksum and truncated, while a corrupt
+// interior record fails Open with ErrCorrupt rather than guessing at
+// balances. Reservations that were in flight when the process died are
+// *kept held* by replay — never silently released, because the crash may
+// have happened after the query's DP release but before the commit record
+// became durable. The daemon resolves them at startup with CommitDangling,
+// charging each at its full reserved amount: since a reservation is exactly
+// the certificate's ε, the recovered balance equals the balance a
+// crash-free run would have reached, and spend is never under-counted
+// (never-double-spend's dual). Crash points in the append path are
+// simulation-injectable through an internal/faults plan (the "wal" kind),
+// which is how the crash-recovery tests and the chaos-style service tests
+// drive mid-commit failures deterministically.
+//
+// All methods are safe for concurrent use; admission-time reservations are
+// serialized under one mutex, so concurrent analysts can never jointly
+// oversubscribe a tenant (ledger_test.go's race pass pins this).
+package ledger
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+
+	"arboretum/internal/faults"
+)
+
+// Typed failure modes. Handlers map these to API error codes, so they are
+// part of the service contract (docs/SERVICE.md).
+var (
+	// ErrBudgetExhausted rejects a reservation that would oversubscribe the
+	// tenant's remaining (ε, δ). The query must not execute.
+	ErrBudgetExhausted = errors.New("ledger: privacy budget exhausted")
+	// ErrNoTenant is returned for operations on an unknown tenant.
+	ErrNoTenant = errors.New("ledger: unknown tenant")
+	// ErrTenantExists rejects creating a tenant that already exists.
+	ErrTenantExists = errors.New("ledger: tenant already exists")
+	// ErrNoReservation is returned by Commit/Release without a matching
+	// outstanding reservation (including a second Commit for the same job —
+	// the double-spend guard).
+	ErrNoReservation = errors.New("ledger: no such reservation")
+	// ErrCorrupt means replay found a record that is syntactically broken or
+	// fails its checksum before the final line. The ledger refuses to guess.
+	ErrCorrupt = errors.New("ledger: corrupt ledger record")
+	// ErrCrashed is the simulated process death injected by a faults plan
+	// ("wal" kind): the ledger is poisoned exactly as if the daemon had died
+	// mid-append and must be reopened (replayed) before further use.
+	ErrCrashed = errors.New("ledger: simulated crash during WAL append")
+)
+
+// Op is a WAL record type.
+type Op string
+
+// The four record types of the budget lifecycle.
+const (
+	OpCreate  Op = "create"  // tenant registered with its (ε, δ) totals
+	OpReserve Op = "reserve" // job admission: hold (ε, δ)
+	OpCommit  Op = "commit"  // job success: spend ≤ reserved, refund the rest
+	OpRelease Op = "release" // job failure/cancel: refund the reservation
+)
+
+// Record is one WAL line. Sum covers every other field, so replay can tell
+// a torn tail from a decodable-but-tampered record.
+type Record struct {
+	Seq    uint64  `json:"seq"`
+	Op     Op      `json:"op"`
+	Tenant string  `json:"tenant"`
+	Job    string  `json:"job,omitempty"`
+	Eps    float64 `json:"eps,omitempty"`
+	Del    float64 `json:"del,omitempty"`
+	Note   string  `json:"note,omitempty"`
+	Sum    string  `json:"sum"`
+}
+
+// checksum binds the record fields; hex-truncated SHA-256 keeps lines short
+// while torn or edited lines still fail with overwhelming probability.
+func (r *Record) checksum() string {
+	h := sha256.Sum256([]byte(fmt.Sprintf("%d|%s|%s|%s|%.17g|%.17g|%s",
+		r.Seq, r.Op, r.Tenant, r.Job, r.Eps, r.Del, r.Note)))
+	return hex.EncodeToString(h[:8])
+}
+
+// Balance is one tenant's budget state. Available ε is
+// Total − Spent − Reserved; δ likewise.
+type Balance struct {
+	TenantID    string  `json:"tenant"`
+	EpsTotal    float64 `json:"eps_total"`
+	DelTotal    float64 `json:"del_total"`
+	EpsSpent    float64 `json:"eps_spent"`
+	DelSpent    float64 `json:"del_spent"`
+	EpsReserved float64 `json:"eps_reserved"`
+	DelReserved float64 `json:"del_reserved"`
+	Queries     int     `json:"queries"` // committed queries
+}
+
+// EpsAvailable is the ε a new reservation may draw from.
+func (b Balance) EpsAvailable() float64 { return b.EpsTotal - b.EpsSpent - b.EpsReserved }
+
+// DelAvailable is the δ a new reservation may draw from.
+func (b Balance) DelAvailable() float64 { return b.DelTotal - b.DelSpent - b.DelReserved }
+
+// reservation is one outstanding hold, keyed by (tenant, job).
+type reservation struct {
+	eps, del float64
+}
+
+// Options configures Open.
+type Options struct {
+	// Crash injects simulated process deaths into the WAL append path (the
+	// faults "wal" kind, coordinates (record sequence, stage)); nil injects
+	// nothing. Used by the crash-recovery tests and chaos-style service
+	// tests; a production daemon leaves it nil.
+	Crash *faults.Plan
+}
+
+// Ledger is a durable privacy-budget ledger. Create one with Open.
+type Ledger struct {
+	mu       sync.Mutex
+	f        *os.File
+	path     string
+	seq      uint64
+	tenants  map[string]*Balance
+	reserved map[string]reservation // key: tenant + "\x00" + job
+	crash    *faults.Plan
+	dead     bool // poisoned by a simulated crash; reopen to recover
+}
+
+// Open opens (creating if absent) the ledger at path and replays its WAL.
+// A checksum-invalid final line is treated as a torn append and truncated;
+// any earlier invalid record fails with ErrCorrupt.
+func Open(path string, opts Options) (*Ledger, error) {
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("ledger: read %s: %w", path, err)
+	}
+	l := &Ledger{
+		path:     path,
+		tenants:  map[string]*Balance{},
+		reserved: map[string]reservation{},
+		crash:    opts.Crash,
+	}
+	good, err := l.replay(data)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("ledger: open %s: %w", path, err)
+	}
+	// Drop the torn tail (if any) so the next append starts on a line
+	// boundary, then position at the end of the intact prefix.
+	if err := f.Truncate(int64(good)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("ledger: truncate torn tail: %w", err)
+	}
+	if _, err := f.Seek(int64(good), 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("ledger: seek: %w", err)
+	}
+	l.f = f
+	return l, nil
+}
+
+// replay applies every intact record of data and returns the byte length of
+// the intact prefix. The final record may be torn (crash mid-append); any
+// earlier bad record is ErrCorrupt.
+func (l *Ledger) replay(data []byte) (int, error) {
+	good := 0
+	for len(data) > 0 {
+		line := data
+		rest := []byte(nil)
+		if i := bytes.IndexByte(data, '\n'); i >= 0 {
+			line, rest = data[:i], data[i+1:]
+		} else {
+			// No terminating newline: the append died mid-line.
+			return good, nil
+		}
+		var r Record
+		if err := json.Unmarshal(line, &r); err != nil || r.Sum != r.checksum() {
+			if len(rest) == 0 {
+				return good, nil // torn final line
+			}
+			return 0, fmt.Errorf("%w: record %d (byte offset %d)", ErrCorrupt, l.seq+1, good)
+		}
+		if r.Seq != l.seq+1 {
+			if len(rest) == 0 {
+				return good, nil // a replayed-but-stale tail record
+			}
+			return 0, fmt.Errorf("%w: sequence %d after %d", ErrCorrupt, r.Seq, l.seq)
+		}
+		if err := l.apply(&r); err != nil {
+			return 0, fmt.Errorf("%w: record %d: %v", ErrCorrupt, r.Seq, err)
+		}
+		l.seq = r.Seq
+		good += len(line) + 1
+		data = rest
+	}
+	return good, nil
+}
+
+// apply folds one validated record into the in-memory state.
+func (l *Ledger) apply(r *Record) error {
+	key := r.Tenant + "\x00" + r.Job
+	switch r.Op {
+	case OpCreate:
+		if _, ok := l.tenants[r.Tenant]; ok {
+			return fmt.Errorf("duplicate create for tenant %q", r.Tenant)
+		}
+		l.tenants[r.Tenant] = &Balance{TenantID: r.Tenant, EpsTotal: r.Eps, DelTotal: r.Del}
+	case OpReserve:
+		b, ok := l.tenants[r.Tenant]
+		if !ok {
+			return fmt.Errorf("reserve for unknown tenant %q", r.Tenant)
+		}
+		if _, dup := l.reserved[key]; dup {
+			return fmt.Errorf("duplicate reservation %q/%q", r.Tenant, r.Job)
+		}
+		b.EpsReserved += r.Eps
+		b.DelReserved += r.Del
+		l.reserved[key] = reservation{eps: r.Eps, del: r.Del}
+	case OpCommit:
+		b, ok := l.tenants[r.Tenant]
+		res, held := l.reserved[key]
+		if !ok || !held {
+			return fmt.Errorf("commit without reservation %q/%q", r.Tenant, r.Job)
+		}
+		b.EpsReserved -= res.eps
+		b.DelReserved -= res.del
+		b.EpsSpent += r.Eps
+		b.DelSpent += r.Del
+		b.Queries++
+		delete(l.reserved, key)
+	case OpRelease:
+		b, ok := l.tenants[r.Tenant]
+		res, held := l.reserved[key]
+		if !ok || !held {
+			return fmt.Errorf("release without reservation %q/%q", r.Tenant, r.Job)
+		}
+		b.EpsReserved -= res.eps
+		b.DelReserved -= res.del
+		delete(l.reserved, key)
+	default:
+		return fmt.Errorf("unknown op %q", r.Op)
+	}
+	return nil
+}
+
+// append writes one record durably (fsync) and only then applies it, so the
+// disk is never behind memory. The two WALCrash stages straddle the write:
+// stage 0 dies before any byte reaches the file, stage 1 after a torn
+// half-record — both poison the ledger like a real process death.
+func (l *Ledger) append(r *Record) error {
+	if l.dead {
+		return ErrCrashed
+	}
+	r.Seq = l.seq + 1
+	r.Sum = r.checksum()
+	line, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("ledger: marshal: %w", err)
+	}
+	line = append(line, '\n')
+	if l.crash.Fires(faults.WALCrash, int(r.Seq), 0) {
+		l.die(r, 0, "crashed before WAL append")
+		return fmt.Errorf("%w (before record %d)", ErrCrashed, r.Seq)
+	}
+	if l.crash.Fires(faults.WALCrash, int(r.Seq), 1) {
+		// Torn write: half the line reaches the disk, no newline, no fsync.
+		if _, err := l.f.Write(line[:len(line)/2]); err != nil {
+			return fmt.Errorf("ledger: append: %w", err)
+		}
+		l.die(r, 1, "crashed mid-append (torn record)")
+		return fmt.Errorf("%w (torn record %d)", ErrCrashed, r.Seq)
+	}
+	if _, err := l.f.Write(line); err != nil {
+		return fmt.Errorf("ledger: append: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("ledger: fsync: %w", err)
+	}
+	if err := l.apply(r); err != nil {
+		// The record is durable but inconsistent with memory — a programming
+		// error, not an I/O race; poison the ledger rather than diverge.
+		l.dead = true
+		return fmt.Errorf("ledger: apply: %w", err)
+	}
+	l.seq = r.Seq
+	return nil
+}
+
+// die records the injected crash and poisons the ledger until reopened.
+func (l *Ledger) die(r *Record, stage int, note string) {
+	l.dead = true
+	l.crash.Record(faults.Fault{
+		Kind: faults.WALCrash, Idx: []int{int(r.Seq), stage},
+		Note: fmt.Sprintf("%s %s/%s: %s", r.Op, r.Tenant, r.Job, note),
+	})
+}
+
+// CreateTenant registers a tenant with its lifetime (ε, δ) allowance.
+func (l *Ledger) CreateTenant(tenant string, eps, del float64) error {
+	if tenant == "" || strings.ContainsAny(tenant, "\x00\n") {
+		return fmt.Errorf("ledger: invalid tenant id %q", tenant)
+	}
+	if eps <= 0 || del < 0 {
+		return fmt.Errorf("ledger: invalid budget ε=%g δ=%g for tenant %q", eps, del, tenant)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.tenants[tenant]; ok {
+		return fmt.Errorf("%w: %q", ErrTenantExists, tenant)
+	}
+	return l.append(&Record{Op: OpCreate, Tenant: tenant, Eps: eps, Del: del})
+}
+
+// EnsureTenant creates the tenant if absent; an existing tenant keeps its
+// recorded allowance and history (the daemon's -tenants flag is idempotent
+// across restarts).
+func (l *Ledger) EnsureTenant(tenant string, eps, del float64) error {
+	err := l.CreateTenant(tenant, eps, del)
+	if errors.Is(err, ErrTenantExists) {
+		return nil
+	}
+	return err
+}
+
+// Reserve holds (eps, del) of the tenant's budget for a job at admission.
+// It fails with ErrBudgetExhausted — before anything executes — when the
+// hold would oversubscribe the balance, and with ErrNoTenant for an unknown
+// tenant. Reservations are serialized, so concurrent Reserve calls can
+// never jointly exceed the balance.
+func (l *Ledger) Reserve(tenant, job string, eps, del float64) error {
+	if eps <= 0 || del < 0 {
+		return fmt.Errorf("ledger: invalid reservation ε=%g δ=%g", eps, del)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, ok := l.tenants[tenant]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoTenant, tenant)
+	}
+	if _, dup := l.reserved[tenant+"\x00"+job]; dup {
+		return fmt.Errorf("ledger: job %q already has a reservation", job)
+	}
+	if eps > b.EpsAvailable()+epsSlack || del > b.DelAvailable()+epsSlack {
+		return fmt.Errorf("%w: tenant %q needs ε=%g, has %g of %g (%g spent, %g reserved)",
+			ErrBudgetExhausted, tenant, eps, b.EpsAvailable(), b.EpsTotal, b.EpsSpent, b.EpsReserved)
+	}
+	return l.append(&Record{Op: OpReserve, Tenant: tenant, Job: job, Eps: eps, Del: del})
+}
+
+// epsSlack absorbs float64 rounding when a reservation exactly drains the
+// balance (ε values are sums of certificate terms, each ≪ 1e9).
+const epsSlack = 1e-9
+
+// Commit makes exactly (eps, del) of the job's reservation permanent and
+// refunds the remainder. Committing more than was reserved is refused — the
+// reservation is the certified worst case, so an overrun means the
+// execution disagreed with the certificate.
+func (l *Ledger) Commit(tenant, job string, eps, del float64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	res, ok := l.reserved[tenant+"\x00"+job]
+	if !ok {
+		return fmt.Errorf("%w: %q/%q", ErrNoReservation, tenant, job)
+	}
+	if eps > res.eps+epsSlack || del > res.del+epsSlack {
+		return fmt.Errorf("ledger: commit ε=%g δ=%g exceeds reservation ε=%g δ=%g for %q/%q",
+			eps, del, res.eps, res.del, tenant, job)
+	}
+	return l.append(&Record{Op: OpCommit, Tenant: tenant, Job: job, Eps: eps, Del: del})
+}
+
+// Release returns the job's whole reservation to the tenant's balance.
+func (l *Ledger) Release(tenant, job string, note string) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.reserved[tenant+"\x00"+job]; !ok {
+		return fmt.Errorf("%w: %q/%q", ErrNoReservation, tenant, job)
+	}
+	return l.append(&Record{Op: OpRelease, Tenant: tenant, Job: job, Note: note})
+}
+
+// CommitDangling resolves every reservation left over from a previous
+// process (replay keeps them held): each is committed at its full reserved
+// amount, charging the crashed query as spent. Fail-closed in the only safe
+// direction — the crash may have happened after the DP release but before
+// the commit record became durable, and a reservation equals the
+// certificate's spend, so the recovered balance matches a crash-free run
+// and spend is never under-counted. It returns the resolved job keys.
+func (l *Ledger) CommitDangling(note string) ([]string, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	keys := make([]string, 0, len(l.reserved))
+	for key := range l.reserved {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	resolved := make([]string, 0, len(keys))
+	for _, key := range keys {
+		res := l.reserved[key]
+		tenant, job, _ := strings.Cut(key, "\x00")
+		err := l.append(&Record{
+			Op: OpCommit, Tenant: tenant, Job: job,
+			Eps: res.eps, Del: res.del, Note: note,
+		})
+		if err != nil {
+			return resolved, err
+		}
+		resolved = append(resolved, tenant+"/"+job)
+	}
+	return resolved, nil
+}
+
+// Dangling returns the outstanding reservations as "tenant/job" keys, in
+// sorted order. After CommitDangling at startup, a non-empty result means
+// those jobs are currently running.
+func (l *Ledger) Dangling() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]string, 0, len(l.reserved))
+	for key := range l.reserved {
+		tenant, job, _ := strings.Cut(key, "\x00")
+		out = append(out, tenant+"/"+job)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Balance returns a copy of the tenant's budget state.
+func (l *Ledger) Balance(tenant string) (Balance, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, ok := l.tenants[tenant]
+	if !ok {
+		return Balance{}, false
+	}
+	return *b, true
+}
+
+// Tenants returns every tenant's balance, sorted by tenant id.
+func (l *Ledger) Tenants() []Balance {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Balance, 0, len(l.tenants))
+	for _, b := range l.tenants {
+		out = append(out, *b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].TenantID < out[j].TenantID })
+	return out
+}
+
+// Path returns the WAL file path.
+func (l *Ledger) Path() string { return l.path }
+
+// Seq returns the sequence number of the last durable record.
+func (l *Ledger) Seq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// Close flushes and closes the WAL file. The ledger must not be used after.
+func (l *Ledger) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Sync()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	l.dead = true
+	return err
+}

@@ -1,0 +1,264 @@
+package ledger
+
+import (
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"arboretum/internal/parallel"
+)
+
+// openT opens a ledger in a temp dir and registers cleanup.
+func openT(t *testing.T, path string, opts Options) *Ledger {
+	t.Helper()
+	l, err := Open(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l
+}
+
+func wantBalance(t *testing.T, l *Ledger, tenant string, spent, reserved float64, queries int) {
+	t.Helper()
+	b, ok := l.Balance(tenant)
+	if !ok {
+		t.Fatalf("tenant %q missing", tenant)
+	}
+	if math.Abs(b.EpsSpent-spent) > 1e-12 || math.Abs(b.EpsReserved-reserved) > 1e-12 || b.Queries != queries {
+		t.Fatalf("%s balance = spent %g reserved %g queries %d, want %g/%g/%d",
+			tenant, b.EpsSpent, b.EpsReserved, b.Queries, spent, reserved, queries)
+	}
+}
+
+func TestLifecycleAndReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	l := openT(t, path, Options{})
+	if err := l.CreateTenant("alice", 5, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.CreateTenant("bob", 3, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	// alice: one committed query (exact spend), one released.
+	if err := l.Reserve("alice", "j1", 1.5, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit("alice", "j1", 1.5, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Reserve("alice", "j2", 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Release("alice", "j2", "failed closed"); err != nil {
+		t.Fatal(err)
+	}
+	// bob: a reservation committed below the reserved worst case refunds
+	// the difference.
+	if err := l.Reserve("bob", "j3", 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit("bob", "j3", 0.5, 0); err != nil {
+		t.Fatal(err)
+	}
+	wantBalance(t, l, "alice", 1.5, 0, 1)
+	wantBalance(t, l, "bob", 0.5, 0, 1)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replay restores the identical state and the ledger stays writable.
+	r := openT(t, path, Options{})
+	wantBalance(t, r, "alice", 1.5, 0, 1)
+	wantBalance(t, r, "bob", 0.5, 0, 1)
+	if got := r.Tenants(); len(got) != 2 || got[0].TenantID != "alice" || got[1].TenantID != "bob" {
+		t.Fatalf("Tenants() = %v", got)
+	}
+	if err := r.Reserve("alice", "j4", 3.5, 0); err != nil {
+		t.Fatal(err)
+	}
+	wantBalance(t, r, "alice", 1.5, 3.5, 1)
+}
+
+func TestTypedRejections(t *testing.T) {
+	l := openT(t, filepath.Join(t.TempDir(), "wal"), Options{})
+	if err := l.CreateTenant("alice", 1, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.CreateTenant("alice", 1, 1e-6); !errors.Is(err, ErrTenantExists) {
+		t.Fatalf("duplicate create = %v, want ErrTenantExists", err)
+	}
+	if err := l.EnsureTenant("alice", 99, 1); err != nil {
+		t.Fatalf("EnsureTenant on existing = %v", err)
+	}
+	if b, _ := l.Balance("alice"); b.EpsTotal != 1 {
+		t.Fatalf("EnsureTenant overwrote the allowance: %v", b)
+	}
+	if err := l.Reserve("mallory", "j", 0.1, 0); !errors.Is(err, ErrNoTenant) {
+		t.Fatalf("unknown tenant = %v, want ErrNoTenant", err)
+	}
+	// A rejected reservation leaves spend (and everything else) unchanged.
+	if err := l.Reserve("alice", "j", 1.5, 0); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("oversized reserve = %v, want ErrBudgetExhausted", err)
+	}
+	wantBalance(t, l, "alice", 0, 0, 0)
+	if err := l.Commit("alice", "ghost", 0.1, 0); !errors.Is(err, ErrNoReservation) {
+		t.Fatalf("commit without reservation = %v, want ErrNoReservation", err)
+	}
+	if err := l.Release("alice", "ghost", ""); !errors.Is(err, ErrNoReservation) {
+		t.Fatalf("release without reservation = %v, want ErrNoReservation", err)
+	}
+	// Double commit: the second is the double-spend guard.
+	if err := l.Reserve("alice", "j1", 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit("alice", "j1", 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit("alice", "j1", 1, 0); !errors.Is(err, ErrNoReservation) {
+		t.Fatalf("double commit = %v, want ErrNoReservation", err)
+	}
+	// Committing above the reservation is refused.
+	if err := l.CreateTenant("carol", 10, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Reserve("carol", "j2", 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit("carol", "j2", 2, 0); err == nil {
+		t.Fatal("commit above reservation accepted")
+	}
+	wantBalance(t, l, "carol", 0, 1, 0)
+}
+
+// TestConcurrentReservationsNeverOversubscribe is the race pass: 64 analyst
+// goroutines race to reserve ε=1 from a 10-ε tenant; exactly 10 may win.
+func TestConcurrentReservationsNeverOversubscribe(t *testing.T) {
+	l := openT(t, filepath.Join(t.TempDir(), "wal"), Options{})
+	if err := l.CreateTenant("alice", 10, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	const attempts = 64
+	wins, err := parallel.Map(nil, attempts, 16, func(i int) (bool, error) {
+		err := l.Reserve("alice", "job-"+string(rune('A'+i/26))+string(rune('a'+i%26)), 1, 0)
+		if err != nil && !errors.Is(err, ErrBudgetExhausted) {
+			return false, err
+		}
+		return err == nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	won := 0
+	for _, w := range wins {
+		if w {
+			won++
+		}
+	}
+	if won != 10 {
+		t.Fatalf("%d reservations won, want exactly 10", won)
+	}
+	wantBalance(t, l, "alice", 0, 10, 0)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// And the oversubscription guard survives replay.
+	r := openT(t, l.Path(), Options{})
+	wantBalance(t, r, "alice", 0, 10, 0)
+	if err := r.Reserve("alice", "late", 0.5, 0); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("post-replay reserve = %v, want ErrBudgetExhausted", err)
+	}
+}
+
+// TestTornTailTruncated: a half-written final record (the disk state a
+// crash mid-append leaves behind) is detected and truncated; the intact
+// prefix replays and the file accepts new appends on a clean boundary.
+func TestTornTailTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	l := openT(t, path, Options{})
+	if err := l.CreateTenant("alice", 5, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Reserve("alice", "j1", 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"seq":3,"op":"commit","tenant":"al`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	r := openT(t, path, Options{})
+	wantBalance(t, r, "alice", 0, 1, 0) // the torn commit never happened
+	if err := r.Commit("alice", "j1", 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rr := openT(t, path, Options{})
+	wantBalance(t, rr, "alice", 1, 0, 1)
+}
+
+// TestCorruptInteriorRefused: a bad record before the tail is not a torn
+// append — the ledger refuses to guess at balances.
+func TestCorruptInteriorRefused(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	l := openT(t, path, Options{})
+	if err := l.CreateTenant("alice", 5, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Reserve("alice", "j1", 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit("alice", "j1", 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip the reserve record's epsilon (keeping it valid JSON): the
+	// checksum catches the edit.
+	mut := strings.Replace(string(data), `"op":"reserve","tenant":"alice","job":"j1","eps":1`,
+		`"op":"reserve","tenant":"alice","job":"j1","eps":4`, 1)
+	if mut == string(data) {
+		t.Fatal("test setup: reserve record not found")
+	}
+	if err := os.WriteFile(path, []byte(mut), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, Options{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open over corrupt interior = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestInvalidInputs(t *testing.T) {
+	l := openT(t, filepath.Join(t.TempDir(), "wal"), Options{})
+	for _, tc := range []struct {
+		id       string
+		eps, del float64
+	}{
+		{"", 1, 0}, {"a\nb", 1, 0}, {"ok", 0, 0}, {"ok", -1, 0}, {"ok", 1, -1},
+	} {
+		if err := l.CreateTenant(tc.id, tc.eps, tc.del); err == nil {
+			t.Errorf("CreateTenant(%q, %g, %g) accepted", tc.id, tc.eps, tc.del)
+		}
+	}
+	if err := l.CreateTenant("alice", 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Reserve("alice", "j", 0, 0); err == nil {
+		t.Error("zero-ε reservation accepted")
+	}
+}

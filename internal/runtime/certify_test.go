@@ -1,0 +1,42 @@
+package runtime
+
+import (
+	"testing"
+)
+
+// Certify is the gateway's admission pricer: it must agree exactly with the
+// certificate Run later attaches, because the ledger reserves the former and
+// commits the latter.
+func TestCertifyMatchesRunCertificate(t *testing.T) {
+	const n, categories = 64, 4
+	src := `aggr = sum(db);
+noised = laplace(aggr[0], 1.0);
+output(declassify(noised));`
+	cert, err := Certify(src, n, categories)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Epsilon <= 0 {
+		t.Fatalf("certified ε = %g, want > 0", cert.Epsilon)
+	}
+	d := smallDeployment(t, n, categories)
+	res, err := d.Run(src, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Certificate.Epsilon != cert.Epsilon || res.Certificate.Delta != cert.Delta {
+		t.Fatalf("Certify (ε=%g, δ=%g) disagrees with Run's certificate (ε=%g, δ=%g)",
+			cert.Epsilon, cert.Delta, res.Certificate.Epsilon, res.Certificate.Delta)
+	}
+}
+
+// Certification is a pure function of (source, n, categories) — no
+// deployment, no side effects — and rejects non-private programs.
+func TestCertifyRejects(t *testing.T) {
+	if _, err := Certify("aggr = sum(db);\noutput(declassify(aggr[0]));", 64, 4); err == nil {
+		t.Error("unnoised release certified")
+	}
+	if _, err := Certify("this is not a program", 64, 4); err == nil {
+		t.Error("unparseable program certified")
+	}
+}

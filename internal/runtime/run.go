@@ -6,13 +6,11 @@ import (
 
 	"arboretum/internal/ahe"
 	"arboretum/internal/fixed"
-	"arboretum/internal/lang"
 	"arboretum/internal/mechanism"
 	"arboretum/internal/parallel"
 	"arboretum/internal/privacy"
 	"arboretum/internal/queries"
 	"arboretum/internal/sortition"
-	"arboretum/internal/types"
 )
 
 // RunOptions selects execution-level choices the planner normally makes.
@@ -39,20 +37,9 @@ type Result struct {
 // ZKP-checked input collection, audited aggregation, committee vignettes,
 // and returns the released outputs.
 func (d *Deployment) Run(src string, opts RunOptions) (*Result, error) {
-	prog, err := lang.Parse(src)
+	prog, cert, err := certifyProgram(src, d.cfg.N, d.cfg.Categories)
 	if err != nil {
-		return nil, fmt.Errorf("runtime: parse: %w", err)
-	}
-	info, err := types.Infer(prog, types.DBInfo{
-		N: int64(d.cfg.N), Width: int64(d.cfg.Categories),
-		ElemRange: types.Range{Lo: 0, Hi: 1},
-	})
-	if err != nil {
-		return nil, fmt.Errorf("runtime: types: %w", err)
-	}
-	cert, err := privacy.Certify(prog, info, privacy.DefaultOptions)
-	if err != nil {
-		return nil, fmt.Errorf("runtime: certification: %w", err)
+		return nil, err
 	}
 
 	// Sortition for this query round: committee 0 generates keys

@@ -1,0 +1,182 @@
+package service
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// JobState is a job's position in the queued → running → terminal lifecycle.
+type JobState string
+
+// The job states. Done, Failed, and Canceled are terminal.
+const (
+	JobQueued   JobState = "queued"
+	JobRunning  JobState = "running"
+	JobDone     JobState = "done"
+	JobFailed   JobState = "failed"
+	JobCanceled JobState = "canceled"
+)
+
+// Job is one analyst query moving through the gateway. The exported fields
+// are the status-endpoint view; Outputs and FaultReport are additionally
+// exposed by the result endpoint once the job is terminal.
+type Job struct {
+	ID     string   `json:"id"`
+	Tenant string   `json:"tenant"`
+	State  JobState `json:"state"`
+
+	// Epsilon and Delta are the certified worst case reserved at admission;
+	// SpentEpsilon/SpentDelta are the committed spend (zero unless Done).
+	Epsilon      float64 `json:"epsilon"`
+	Delta        float64 `json:"delta"`
+	SpentEpsilon float64 `json:"spent_epsilon"`
+	SpentDelta   float64 `json:"spent_delta"`
+
+	// Started and Finished are the zero time until the job reaches the
+	// corresponding state.
+	Submitted time.Time `json:"submitted"`
+	Started   time.Time `json:"started"`
+	Finished  time.Time `json:"finished"`
+
+	// Error and ErrorCode are set on Failed jobs (docs/SERVICE.md's code
+	// table); a fail-closed runtime error carries code "failed_closed".
+	Error     string `json:"error,omitempty"`
+	ErrorCode string `json:"error_code,omitempty"`
+
+	Outputs        []float64 `json:"outputs,omitempty"`
+	AcceptedInputs int       `json:"accepted_inputs,omitempty"`
+	SampledDevices int       `json:"sampled_devices,omitempty"`
+	FaultReport    string    `json:"fault_report,omitempty"`
+
+	source string
+	faults string // per-job fault spec ("" = server default)
+	seq    uint64 // submission sequence; seeds the job's deployment
+}
+
+// store is the in-memory job table plus the work queue the executor pool
+// drains. Jobs are never evicted (a restarted daemon starts empty — the
+// durable state is the ledger, and docs/SERVICE.md documents the split).
+type store struct {
+	mu   sync.Mutex
+	jobs map[string]*Job
+	seq  uint64
+	// queue feeds the executor pool. Enqueue fails fast when full (the
+	// admission path maps that to 503) instead of blocking the handler.
+	queue chan *Job
+}
+
+func newStore(depth int) *store {
+	if depth <= 0 {
+		depth = 64
+	}
+	return &store{jobs: map[string]*Job{}, queue: make(chan *Job, depth)}
+}
+
+// newJobID returns a 16-hex-digit random job id.
+func newJobID() (string, error) {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("service: job id: %w", err)
+	}
+	return hex.EncodeToString(b[:]), nil
+}
+
+// add registers a queued job and enqueues it; it fails without registering
+// when the queue is full.
+func (st *store) add(j *Job) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.seq++
+	j.seq = st.seq
+	j.State = JobQueued
+	select {
+	case st.queue <- j:
+	default:
+		return errQueueFull
+	}
+	st.jobs[j.ID] = j
+	return nil
+}
+
+// get returns a snapshot of the job (copied under the lock, so handlers
+// never see a half-updated job while the executor mutates it).
+func (st *store) get(id string) (Job, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j, ok := st.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return *j, true
+}
+
+// byTenant returns snapshots of the tenant's jobs, newest first.
+func (st *store) byTenant(tenant string) []Job {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var out []Job
+	for _, j := range st.jobs {
+		if j.Tenant == tenant {
+			out = append(out, *j)
+		}
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].seq > out[k].seq })
+	return out
+}
+
+// counts tallies jobs by state (the health endpoint's queue gauge).
+func (st *store) counts() map[JobState]int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := map[JobState]int{}
+	for _, j := range st.jobs {
+		out[j.State]++
+	}
+	return out
+}
+
+// inFlight counts the tenant's non-terminal jobs (the per-tenant
+// concurrency cap consulted at admission).
+func (st *store) inFlight(tenant string) int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	n := 0
+	for _, j := range st.jobs {
+		if j.Tenant == tenant && (j.State == JobQueued || j.State == JobRunning) {
+			n++
+		}
+	}
+	return n
+}
+
+// cancel transitions a queued job to Canceled. Running jobs are not
+// cancelable: their committee vignettes may already have released DP noise,
+// so the budget outcome must come from the run itself. The executor skips
+// canceled jobs when it dequeues them.
+func (st *store) cancel(id string) (Job, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j, ok := st.jobs[id]
+	if !ok {
+		return Job{}, errNoJob
+	}
+	if j.State != JobQueued {
+		return *j, errNotCancelable
+	}
+	j.State = JobCanceled
+	j.Finished = time.Now()
+	return *j, nil
+}
+
+// update mutates a job under the store lock.
+func (st *store) update(id string, fn func(*Job)) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if j, ok := st.jobs[id]; ok {
+		fn(j)
+	}
+}

@@ -1,0 +1,60 @@
+package service
+
+import (
+	"sync"
+	"time"
+)
+
+// tenantLimiter is a per-tenant token bucket: each tenant may submit at
+// most `burst` queries instantly and `rate` queries per second sustained.
+// A zero rate disables limiting. The clock is injectable so tests can
+// drive refill deterministically.
+type tenantLimiter struct {
+	mu      sync.Mutex
+	rate    float64 // tokens per second
+	burst   float64 // bucket capacity
+	now     func() time.Time
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newTenantLimiter(rate float64, burst int, now func() time.Time) *tenantLimiter {
+	if now == nil {
+		now = time.Now
+	}
+	b := float64(burst)
+	if b < 1 {
+		b = 1
+	}
+	return &tenantLimiter{rate: rate, burst: b, now: now, buckets: map[string]*bucket{}}
+}
+
+// Allow consumes one token from the tenant's bucket, reporting whether the
+// submission is admitted.
+func (l *tenantLimiter) Allow(tenant string) bool {
+	if l == nil || l.rate <= 0 {
+		return true
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	b, ok := l.buckets[tenant]
+	if !ok {
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[tenant] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * l.rate
+	b.last = now
+	if b.tokens > l.burst {
+		b.tokens = l.burst
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}

@@ -1,0 +1,329 @@
+// Package service is arboretumd's analyst gateway: the long-lived,
+// multi-tenant HTTP surface over the one-shot certify → plan → execute
+// pipeline that cmd/arboretum runs per invocation. It has three parts —
+// transport (handlers.go: the /v1 API of docs/SERVICE.md), a job store
+// with an asynchronous executor pool (jobs.go, this file; the pool is
+// internal/parallel.ForEach draining a bounded queue), and the admission
+// path that welds the two to internal/ledger's durable per-tenant
+// privacy-budget ledger.
+//
+// The budget lifecycle is the service's core contract. At admission the
+// query is certified (runtime.Certify) and exactly the certificate's
+// (ε, δ) is reserved in the ledger — a query whose certified cost exceeds
+// the tenant's remaining budget is rejected with a typed error before
+// anything executes. Each admitted job then runs on its own simulated
+// deployment (seeded from the server seed and the job sequence, so any
+// job replays bit-for-bit) whose runtime budget equals the reservation,
+// extending the runtime's fail-closed guarantee to the service boundary:
+// on success the ledger commits exactly the executed certificate's spend;
+// on failure — including fault-injected fail-closed runs — the
+// reservation is released and the tenant spends nothing. Budgets are
+// thereby metered across queries, across tenants independently, and
+// across daemon restarts (the ledger WAL replays; in-flight reservations
+// are resolved fail-closed at startup).
+//
+// Per-tenant token-bucket rate limiting, a per-tenant in-flight cap, and
+// a bounded queue protect the executor; scripts/loadtest.sh drives the
+// whole stack with concurrent analysts and asserts the never-double-spend
+// invariant from the outside.
+//
+// Concurrency: jobs are independent by construction — each owns a private
+// runtime.Deployment (a Deployment is not safe for concurrent use, so one
+// is never shared), the job table and ledger serialize under their own
+// mutexes, and all fan-out goes through internal/parallel (the executor
+// pool here, the per-device work inside each deployment via
+// Config.Workers). See docs/CONCURRENCY.md.
+package service
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"arboretum/internal/faults"
+	"arboretum/internal/ledger"
+	"arboretum/internal/parallel"
+	"arboretum/internal/runtime"
+)
+
+// TenantSpec seeds one tenant's budget at startup (idempotent across
+// restarts: an existing tenant keeps its recorded allowance and history).
+type TenantSpec struct {
+	ID      string
+	Epsilon float64
+	Delta   float64
+}
+
+// Config shapes the gateway.
+type Config struct {
+	// LedgerPath is the privacy-budget WAL (required).
+	LedgerPath string
+	// Tenants are created if absent when the server starts.
+	Tenants []TenantSpec
+
+	// Deployment shape for job execution: each job runs on its own
+	// simulated deployment of Devices devices (default 96), Categories
+	// categories (default 8), committees of CommitteeSize (default 5),
+	// seeded Seed+job-sequence.
+	Devices       int
+	Categories    int
+	CommitteeSize int
+	Seed          int64
+	// SecureNoise draws committee noise from crypto/rand instead of the
+	// seeded simulation stream (a production deployment must set it; the
+	// default keeps job runs replayable from their seed).
+	SecureNoise bool
+
+	// Workers bounds each job's runtime worker pool (0 = auto).
+	// JobWorkers bounds how many jobs execute concurrently (default 2).
+	// QueueDepth bounds the submit queue (default 64; full queue = 503).
+	Workers    int
+	JobWorkers int
+	QueueDepth int
+
+	// Rate/Burst are the per-tenant token bucket: Rate submissions per
+	// second sustained, Burst instantly (0 disables). MaxInFlight caps a
+	// tenant's queued+running jobs (0 = unlimited).
+	Rate        float64
+	Burst       int
+	MaxInFlight int
+
+	// FaultSpec is the default fault-injection schedule applied to every
+	// job's deployment (docs/FAULTS.md); a submission may override it.
+	// LedgerFaults injects simulated crashes into the ledger's WAL append
+	// path (the "wal" kind) — chaos testing only.
+	FaultSpec    string
+	LedgerFaults *faults.Plan
+
+	// Logf receives operational log lines (default log.Printf).
+	Logf func(format string, args ...any)
+}
+
+// Server is a running gateway. Create with New, expose via Handler, stop
+// with Close.
+type Server struct {
+	cfg     Config
+	ledger  *ledger.Ledger
+	store   *store
+	limiter *tenantLimiter
+	started time.Time
+
+	// hold, when non-nil, makes executor workers block on it before each
+	// dequeued job — a test hook for deterministic queue scenarios.
+	hold chan struct{}
+
+	closeOnce   sync.Once
+	closeErr    error
+	workersDone chan struct{}
+}
+
+// New opens the ledger, resolves reservations left dangling by a previous
+// process (fail-closed: each is committed at its reserved amount — see
+// ledger.CommitDangling), seeds the configured tenants, and starts the
+// executor pool.
+func New(cfg Config) (*Server, error) {
+	return newServer(cfg, nil)
+}
+
+// newServer is New plus the executor hold gate (nil in production; tests
+// install a channel to keep dequeued jobs parked deterministically).
+func newServer(cfg Config, hold chan struct{}) (*Server, error) {
+	if cfg.LedgerPath == "" {
+		return nil, fmt.Errorf("service: Config.LedgerPath is required")
+	}
+	if cfg.Devices == 0 {
+		cfg.Devices = 96
+	}
+	if cfg.Categories == 0 {
+		cfg.Categories = 8
+	}
+	if cfg.CommitteeSize == 0 {
+		cfg.CommitteeSize = 5
+	}
+	if cfg.JobWorkers <= 0 {
+		cfg.JobWorkers = 2
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	if _, err := faults.Parse(cfg.FaultSpec); err != nil {
+		return nil, fmt.Errorf("service: default fault spec: %w", err)
+	}
+	led, err := ledger.Open(cfg.LedgerPath, ledger.Options{Crash: cfg.LedgerFaults})
+	if err != nil {
+		return nil, err
+	}
+	if recovered, err := led.CommitDangling("crash-recovery"); err != nil {
+		led.Close()
+		return nil, fmt.Errorf("service: crash recovery: %w", err)
+	} else if len(recovered) > 0 {
+		cfg.Logf("service: recovered %d dangling reservation(s) as spent: %v", len(recovered), recovered)
+	}
+	for _, t := range cfg.Tenants {
+		if err := led.EnsureTenant(t.ID, t.Epsilon, t.Delta); err != nil {
+			led.Close()
+			return nil, err
+		}
+	}
+	s := &Server{
+		cfg:         cfg,
+		ledger:      led,
+		store:       newStore(cfg.QueueDepth),
+		limiter:     newTenantLimiter(cfg.Rate, cfg.Burst, nil),
+		started:     time.Now(),
+		hold:        hold,
+		workersDone: make(chan struct{}),
+	}
+	go s.runWorkers()
+	return s, nil
+}
+
+// runWorkers drains the queue on a pool of JobWorkers workers. ForEach
+// gives the pool the repo-wide worker discipline for free: panic
+// forwarding, and one place (internal/parallel) where goroutines are born.
+func (s *Server) runWorkers() {
+	defer close(s.workersDone)
+	n := s.cfg.JobWorkers
+	err := parallel.ForEach(nil, n, n, func(int) error {
+		for j := range s.store.queue {
+			if s.hold != nil {
+				<-s.hold
+			}
+			s.execute(j)
+		}
+		return nil
+	})
+	if err != nil {
+		s.cfg.Logf("service: executor pool: %v", err)
+	}
+}
+
+// Ledger exposes the budget ledger (read paths are used by handlers and
+// tests; the job lifecycle is the only writer).
+func (s *Server) Ledger() *ledger.Ledger { return s.ledger }
+
+// Close stops accepting executor work, waits for running jobs, and closes
+// the ledger. Queued jobs that never ran keep their reservations: replay
+// resolves them fail-closed at next startup, exactly like a crash. Close is
+// idempotent; repeated calls return the first result.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		close(s.store.queue)
+		<-s.workersDone
+		s.closeErr = s.ledger.Close()
+	})
+	return s.closeErr
+}
+
+// execute runs one dequeued job end to end and settles its reservation.
+func (s *Server) execute(j *Job) {
+	if canceled := func() bool {
+		// A job canceled while queued was already released; skip it.
+		snap, ok := s.store.get(j.ID)
+		return !ok || snap.State != JobQueued
+	}(); canceled {
+		return
+	}
+	s.store.update(j.ID, func(j *Job) {
+		j.State = JobRunning
+		j.Started = time.Now()
+	})
+
+	res, report, err := s.runDeployment(j)
+	if err != nil {
+		code := classify(err)
+		if lerr := s.ledger.Release(j.Tenant, j.ID, code); lerr != nil {
+			// The release did not become durable (e.g. an injected WAL
+			// crash): ε stays reserved and startup recovery settles it
+			// fail-closed. Surface the ledger failure, keep the run error.
+			s.cfg.Logf("service: release %s/%s: %v", j.Tenant, j.ID, lerr)
+		}
+		s.store.update(j.ID, func(j *Job) {
+			j.State = JobFailed
+			j.Finished = time.Now()
+			j.Error = err.Error()
+			j.ErrorCode = code
+			j.FaultReport = report
+		})
+		return
+	}
+	// Commit exactly the executed certificate's spend, durably, before the
+	// result becomes visible: a crash between run and commit leaves the
+	// reservation dangling, and recovery charges it — never under-counts.
+	if err := s.ledger.Commit(j.Tenant, j.ID, res.Certificate.Epsilon, res.Certificate.Delta); err != nil {
+		s.cfg.Logf("service: commit %s/%s: %v", j.Tenant, j.ID, err)
+		s.store.update(j.ID, func(j *Job) {
+			j.State = JobFailed
+			j.Finished = time.Now()
+			j.Error = fmt.Sprintf("budget commit failed (epsilon remains charged): %v", err)
+			j.ErrorCode = "ledger_error"
+			j.FaultReport = report
+		})
+		return
+	}
+	outs := make([]float64, len(res.Outputs))
+	for i, o := range res.Outputs {
+		outs[i] = o.Float()
+	}
+	s.store.update(j.ID, func(j *Job) {
+		j.State = JobDone
+		j.Finished = time.Now()
+		j.SpentEpsilon = res.Certificate.Epsilon
+		j.SpentDelta = res.Certificate.Delta
+		j.Outputs = outs
+		j.AcceptedInputs = res.Accepted
+		j.SampledDevices = res.Sampled
+		j.FaultReport = report
+	})
+}
+
+// runDeployment builds the job's private deployment and runs the query.
+// The deployment's budget is exactly the reservation, so the runtime's own
+// budget check enforces the admission decision end to end.
+func (s *Server) runDeployment(j *Job) (*runtime.Result, string, error) {
+	spec := j.faults
+	if spec == "" {
+		spec = s.cfg.FaultSpec
+	}
+	plan, err := faults.Parse(spec)
+	if err != nil {
+		return nil, "", fmt.Errorf("fault spec: %w", err)
+	}
+	dep, err := runtime.NewDeployment(runtime.Config{
+		N:             s.cfg.Devices,
+		Categories:    s.cfg.Categories,
+		CommitteeSize: s.cfg.CommitteeSize,
+		Seed:          s.cfg.Seed + int64(j.seq),
+		BudgetEpsilon: j.Epsilon,
+		Workers:       s.cfg.Workers,
+		SecureNoise:   s.cfg.SecureNoise,
+		Faults:        plan,
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	res, err := dep.Run(j.source, runtime.RunOptions{})
+	report := ""
+	if spec != "" {
+		report = dep.FaultReport()
+	}
+	return res, report, err
+}
+
+// classify maps an execution error to an API error code: every typed
+// fail-closed runtime error keeps its contract visible at the service
+// boundary, anything else is an internal failure.
+func classify(err error) string {
+	for _, e := range []error{
+		runtime.ErrCommitteeBroken, runtime.ErrCommitteeDegraded,
+		runtime.ErrNoSpareCommittee, runtime.ErrHandoffFailed,
+		runtime.ErrAggregatorFailed, runtime.ErrNoValidInputs,
+	} {
+		if errors.Is(err, e) {
+			return "failed_closed"
+		}
+	}
+	return "execution_error"
+}

@@ -1,0 +1,443 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"arboretum/internal/faults"
+	"arboretum/internal/ledger"
+	"arboretum/internal/runtime"
+)
+
+// countQuery is the fixed-price test query: a Laplace count over the
+// one-hot database, certifying at exactly ε=1.
+const countQuery = "aggr = sum(db);\nnoised = laplace(aggr[0], 1.0);\noutput(declassify(noised));"
+
+// testConfig is a small, fast deployment shape shared by the suite.
+func testConfig(t *testing.T) Config {
+	t.Helper()
+	return Config{
+		LedgerPath:    filepath.Join(t.TempDir(), "ledger"),
+		Devices:       16,
+		Categories:    4,
+		CommitteeSize: 3,
+		Seed:          1,
+		JobWorkers:    2,
+		Logf:          t.Logf,
+	}
+}
+
+// startT builds a gateway (optionally with the executor hold gate) plus an
+// httptest front end, and tears both down.
+func startT(t *testing.T, cfg Config, hold chan struct{}) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := newServer(cfg, hold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+// call does one JSON round trip and decodes the response into out (ignored
+// when nil), returning the status code.
+func call(t *testing.T, method, url string, body, out any) int {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("%s %s: decode %q: %v", method, url, data, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// errorCode extracts the typed code from an error envelope.
+type errEnvelope struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+func submit(t *testing.T, base, tenant, source string) (Job, int, string) {
+	t.Helper()
+	var raw json.RawMessage
+	code := call(t, "POST", base+"/v1/queries", map[string]string{"tenant": tenant, "source": source}, &raw)
+	if code == http.StatusAccepted {
+		var j Job
+		if err := json.Unmarshal(raw, &j); err != nil {
+			t.Fatal(err)
+		}
+		return j, code, ""
+	}
+	var e errEnvelope
+	if err := json.Unmarshal(raw, &e); err != nil {
+		t.Fatal(err)
+	}
+	return Job{}, code, e.Error.Code
+}
+
+// waitTerminal polls status until the job leaves queued/running.
+func waitTerminal(t *testing.T, base, id string) Job {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		var j Job
+		if code := call(t, "GET", base+"/v1/queries/"+id, nil, &j); code != http.StatusOK {
+			t.Fatalf("status %s: HTTP %d", id, code)
+		}
+		switch j.State {
+		case JobDone, JobFailed, JobCanceled:
+			return j
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish in 60s", id)
+	return Job{}
+}
+
+func budget(t *testing.T, base, tenant string) ledger.Balance {
+	t.Helper()
+	var b ledger.Balance
+	if code := call(t, "GET", base+"/v1/tenants/"+tenant+"/budget", nil, &b); code != http.StatusOK {
+		t.Fatalf("budget %s: HTTP %d", tenant, code)
+	}
+	return b
+}
+
+// TestTwoTenantSession is the headline acceptance scenario: two tenants run
+// queries through one gateway, each metered against its own budget; when a
+// tenant's remaining ε cannot price the next certificate, that query is
+// rejected with a typed error before execution while the other tenant is
+// unaffected.
+func TestTwoTenantSession(t *testing.T) {
+	cfg := testConfig(t)
+	price, err := runtime.Certify(countQuery, cfg.Devices, cfg.Categories)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Tenants = []TenantSpec{
+		{ID: "alice", Epsilon: 3 * price.Epsilon, Delta: 1e-6},
+		{ID: "bob", Epsilon: price.Epsilon, Delta: 1e-6}, // exactly one query
+	}
+	_, ts := startT(t, cfg, nil)
+
+	ja, code, _ := submit(t, ts.URL, "alice", countQuery)
+	if code != http.StatusAccepted {
+		t.Fatalf("alice submit: HTTP %d", code)
+	}
+	jb, code, _ := submit(t, ts.URL, "bob", countQuery)
+	if code != http.StatusAccepted {
+		t.Fatalf("bob submit: HTTP %d", code)
+	}
+	if ja.Epsilon != price.Epsilon || jb.Epsilon != price.Epsilon {
+		t.Fatalf("admitted prices %g/%g, want %g", ja.Epsilon, jb.Epsilon, price.Epsilon)
+	}
+
+	fa, fb := waitTerminal(t, ts.URL, ja.ID), waitTerminal(t, ts.URL, jb.ID)
+	if fa.State != JobDone || fb.State != JobDone {
+		t.Fatalf("states %s/%s (%s / %s), want done/done", fa.State, fb.State, fa.Error, fb.Error)
+	}
+	var res Job
+	if code := call(t, "GET", ts.URL+"/v1/queries/"+ja.ID+"/result", nil, &res); code != http.StatusOK {
+		t.Fatalf("result: HTTP %d", code)
+	}
+	if len(res.Outputs) != 1 {
+		t.Fatalf("outputs = %v, want one released value", res.Outputs)
+	}
+
+	// Independent metering: spend equals exactly the sum of committed
+	// certificates, per tenant.
+	ba, bb := budget(t, ts.URL, "alice"), budget(t, ts.URL, "bob")
+	if math.Abs(ba.EpsSpent-price.Epsilon) > 1e-9 || ba.EpsReserved != 0 || ba.Queries != 1 {
+		t.Fatalf("alice balance %+v, want spent=%g", ba, price.Epsilon)
+	}
+	if math.Abs(bb.EpsSpent-price.Epsilon) > 1e-9 || bb.EpsReserved != 0 || bb.Queries != 1 {
+		t.Fatalf("bob balance %+v, want spent=%g", bb, price.Epsilon)
+	}
+
+	// bob is now exhausted: the next query is refused before execution with
+	// a typed error and no balance change; alice still has budget.
+	if _, code, ec := submit(t, ts.URL, "bob", countQuery); code != http.StatusConflict || ec != "budget_exhausted" {
+		t.Fatalf("over-budget submit = HTTP %d code %q, want 409 budget_exhausted", code, ec)
+	}
+	if after := budget(t, ts.URL, "bob"); after != bb {
+		t.Fatalf("rejected query changed bob's balance: %+v -> %+v", bb, after)
+	}
+	if _, code, _ := submit(t, ts.URL, "alice", countQuery); code != http.StatusAccepted {
+		t.Fatalf("alice blocked by bob's exhaustion: HTTP %d", code)
+	}
+}
+
+// TestAdmissionRejections covers every pre-execution refusal: none of these
+// may touch the ledger or enqueue work.
+func TestAdmissionRejections(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.Tenants = []TenantSpec{{ID: "alice", Epsilon: 0.5, Delta: 1e-6}}
+	s, ts := startT(t, cfg, nil)
+
+	cases := []struct {
+		name    string
+		body    any
+		code    int
+		errCode string
+	}{
+		{"over budget (ε=1 > 0.5) refused before execution",
+			map[string]string{"tenant": "alice", "source": countQuery},
+			http.StatusConflict, "budget_exhausted"},
+		{"non-private program",
+			map[string]string{"tenant": "alice", "source": "aggr = sum(db);\noutput(declassify(aggr[0]));"},
+			http.StatusBadRequest, "not_private"},
+		{"unknown tenant",
+			map[string]string{"tenant": "mallory", "source": countQuery},
+			http.StatusNotFound, "no_tenant"},
+		{"bad fault spec",
+			map[string]string{"tenant": "alice", "source": countQuery, "faults": "frob=1"},
+			http.StatusBadRequest, "bad_request"},
+		{"missing fields", map[string]string{"tenant": "alice"},
+			http.StatusBadRequest, "bad_request"},
+	}
+	for _, tc := range cases {
+		var e errEnvelope
+		if code := call(t, "POST", ts.URL+"/v1/queries", tc.body, &e); code != tc.code || e.Error.Code != tc.errCode {
+			t.Errorf("%s: HTTP %d code %q, want %d %q", tc.name, code, e.Error.Code, tc.code, tc.errCode)
+		}
+	}
+	if b := budget(t, ts.URL, "alice"); b.EpsSpent != 0 || b.EpsReserved != 0 {
+		t.Fatalf("rejections moved the balance: %+v", b)
+	}
+	if n := len(s.store.byTenant("alice")); n != 0 {
+		t.Fatalf("%d jobs registered by rejected submissions", n)
+	}
+	if got := s.ledger.Seq(); got != 1 { // only the tenant-create record
+		t.Fatalf("ledger advanced to seq %d on rejected submissions", got)
+	}
+}
+
+// TestCancelQueuedReleasesReservation: with one parked executor, a second
+// submission stays queued; canceling it returns its ε immediately, and the
+// executor later skips the canceled job without running it.
+func TestCancelQueuedReleasesReservation(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.JobWorkers = 1
+	cfg.Tenants = []TenantSpec{{ID: "alice", Epsilon: 10, Delta: 1e-6}}
+	hold := make(chan struct{})
+	_, ts := startT(t, cfg, hold)
+
+	j1, code, _ := submit(t, ts.URL, "alice", countQuery) // dequeued, parked at the gate
+	if code != http.StatusAccepted {
+		t.Fatalf("submit 1: HTTP %d", code)
+	}
+	j2, code, _ := submit(t, ts.URL, "alice", countQuery) // stays queued
+	if code != http.StatusAccepted {
+		t.Fatalf("submit 2: HTTP %d", code)
+	}
+	if b := budget(t, ts.URL, "alice"); math.Abs(b.EpsReserved-j1.Epsilon-j2.Epsilon) > 1e-9 {
+		t.Fatalf("reserved %g, want both admissions held", b.EpsReserved)
+	}
+
+	var got Job
+	if code := call(t, "DELETE", ts.URL+"/v1/queries/"+j2.ID, nil, &got); code != http.StatusOK || got.State != JobCanceled {
+		t.Fatalf("cancel = HTTP %d state %s", code, got.State)
+	}
+	if b := budget(t, ts.URL, "alice"); math.Abs(b.EpsReserved-j1.Epsilon) > 1e-9 {
+		t.Fatalf("cancel did not release: reserved %g", b.EpsReserved)
+	}
+	// Result of a canceled job is its terminal record, not 409.
+	if code := call(t, "GET", ts.URL+"/v1/queries/"+j2.ID+"/result", nil, &got); code != http.StatusOK || got.State != JobCanceled {
+		t.Fatalf("canceled result = HTTP %d state %s", code, got.State)
+	}
+
+	close(hold) // run j1, skip canceled j2
+	f1 := waitTerminal(t, ts.URL, j1.ID)
+	if f1.State != JobDone {
+		t.Fatalf("j1 = %s (%s)", f1.State, f1.Error)
+	}
+	if f2 := waitTerminal(t, ts.URL, j2.ID); f2.State != JobCanceled || len(f2.Outputs) != 0 {
+		t.Fatalf("canceled job ran: %+v", f2)
+	}
+	b := budget(t, ts.URL, "alice")
+	if math.Abs(b.EpsSpent-j1.Epsilon) > 1e-9 || b.EpsReserved != 0 || b.Queries != 1 {
+		t.Fatalf("final balance %+v, want only j1 spent", b)
+	}
+	// Terminal jobs are not cancelable.
+	var e errEnvelope
+	if code := call(t, "DELETE", ts.URL+"/v1/queries/"+j1.ID, nil, &e); code != http.StatusConflict || e.Error.Code != "not_cancelable" {
+		t.Fatalf("cancel done job = HTTP %d %q", code, e.Error.Code)
+	}
+}
+
+// TestRateAndInFlightLimits exercises the two 429 paths without running any
+// deployment: the parked job is canceled before the gate opens.
+func TestRateAndInFlightLimits(t *testing.T) {
+	t.Run("rate", func(t *testing.T) {
+		cfg := testConfig(t)
+		cfg.JobWorkers = 1
+		cfg.Rate, cfg.Burst = 0.0001, 1 // one instant token, refill ~3h away
+		cfg.Tenants = []TenantSpec{{ID: "alice", Epsilon: 10, Delta: 1e-6}}
+		hold := make(chan struct{})
+		_, ts := startT(t, cfg, hold)
+		j1, code, _ := submit(t, ts.URL, "alice", countQuery)
+		if code != http.StatusAccepted {
+			t.Fatalf("first submit: HTTP %d", code)
+		}
+		if _, code, ec := submit(t, ts.URL, "alice", countQuery); code != http.StatusTooManyRequests || ec != "rate_limited" {
+			t.Fatalf("second submit = HTTP %d %q, want 429 rate_limited", code, ec)
+		}
+		call(t, "DELETE", ts.URL+"/v1/queries/"+j1.ID, nil, nil)
+		close(hold)
+	})
+	t.Run("inflight", func(t *testing.T) {
+		cfg := testConfig(t)
+		cfg.JobWorkers = 1
+		cfg.MaxInFlight = 1
+		cfg.Tenants = []TenantSpec{{ID: "alice", Epsilon: 10, Delta: 1e-6}}
+		hold := make(chan struct{})
+		_, ts := startT(t, cfg, hold)
+		j1, code, _ := submit(t, ts.URL, "alice", countQuery)
+		if code != http.StatusAccepted {
+			t.Fatalf("first submit: HTTP %d", code)
+		}
+		if _, code, ec := submit(t, ts.URL, "alice", countQuery); code != http.StatusTooManyRequests || ec != "too_many_inflight" {
+			t.Fatalf("second submit = HTTP %d %q, want 429 too_many_inflight", code, ec)
+		}
+		call(t, "DELETE", ts.URL+"/v1/queries/"+j1.ID, nil, nil)
+		close(hold)
+	})
+}
+
+// TestWALCrashRecovery is the chaos acceptance scenario: the ledger WAL
+// crashes (injected via internal/faults) exactly on the job's commit
+// record, after the deployment ran. The job reports ledger_error, the ε
+// stays reserved on disk, and a restarted gateway replays the WAL and
+// settles the dangling reservation fail-closed — final balances are
+// identical to a crash-free run's and stable across further replays.
+func TestWALCrashRecovery(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.Tenants = []TenantSpec{{ID: "alice", Epsilon: 5, Delta: 1e-6}}
+	// Record 1 = tenant create, 2 = reserve at admission, 3 = the commit.
+	cfg.LedgerFaults = faults.New(1).Force(faults.WALCrash, 3)
+	s, ts := startT(t, cfg, nil)
+
+	j, code, _ := submit(t, ts.URL, "alice", countQuery)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	f := waitTerminal(t, ts.URL, j.ID)
+	if f.State != JobFailed || f.ErrorCode != "ledger_error" {
+		t.Fatalf("job under wal@3 = %s/%s (%s), want failed/ledger_error", f.State, f.ErrorCode, f.Error)
+	}
+	// In memory and on disk the reservation is still held.
+	if b, _ := s.ledger.Balance("alice"); b.EpsReserved != j.Epsilon || b.EpsSpent != 0 {
+		t.Fatalf("post-crash balance %+v", b)
+	}
+	ts.Close()
+	s.Close()
+
+	// Restart on the same WAL, no fault plan: startup recovery commits the
+	// dangling reservation at its certified price.
+	cfg2 := testConfig(t)
+	cfg2.LedgerPath = cfg.LedgerPath
+	cfg2.Tenants = cfg.Tenants
+	s2, err := New(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, ok := s2.Ledger().Balance("alice")
+	if !ok || math.Abs(b.EpsSpent-j.Epsilon) > 1e-9 || b.EpsReserved != 0 || b.Queries != 1 {
+		t.Fatalf("recovered balance %+v, want spent=%g reserved=0 queries=1", b, j.Epsilon)
+	}
+	if d := s2.Ledger().Dangling(); len(d) != 0 {
+		t.Fatalf("dangling after recovery: %v", d)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A plain replay of the recovered WAL reproduces identical balances.
+	l, err := ledger.Open(cfg.LedgerPath, ledger.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if rb, _ := l.Balance("alice"); rb != b {
+		t.Fatalf("replay diverged: %+v vs %+v", rb, b)
+	}
+}
+
+// TestHealthAndTenantEndpoints rounds out the API surface.
+func TestHealthAndTenantEndpoints(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.JobWorkers = 1
+	hold := make(chan struct{})
+	_, ts := startT(t, cfg, hold)
+	defer close(hold)
+
+	var h struct {
+		Status  string `json:"status"`
+		Tenants int    `json:"tenants"`
+	}
+	if code := call(t, "GET", ts.URL+"/healthz", nil, &h); code != http.StatusOK || h.Status != "ok" {
+		t.Fatalf("healthz = HTTP %d %+v", code, h)
+	}
+	var b ledger.Balance
+	if code := call(t, "POST", ts.URL+"/v1/tenants",
+		map[string]any{"tenant": "carol", "epsilon": 2.0}, &b); code != http.StatusCreated {
+		t.Fatalf("create tenant: HTTP %d", code)
+	}
+	if b.EpsTotal != 2 || b.DelTotal != 1e-6 { // δ defaulted
+		t.Fatalf("created balance %+v", b)
+	}
+	var e errEnvelope
+	if code := call(t, "POST", ts.URL+"/v1/tenants",
+		map[string]any{"tenant": "carol", "epsilon": 2.0}, &e); code != http.StatusConflict || e.Error.Code != "tenant_exists" {
+		t.Fatalf("duplicate tenant = HTTP %d %q", code, e.Error.Code)
+	}
+	var list struct {
+		Tenants []ledger.Balance `json:"tenants"`
+	}
+	if code := call(t, "GET", ts.URL+"/v1/tenants", nil, &list); code != http.StatusOK || len(list.Tenants) != 1 {
+		t.Fatalf("list tenants = HTTP %d %+v", code, list)
+	}
+	if code := call(t, "GET", ts.URL+"/v1/tenants/nobody/budget", nil, &e); code != http.StatusNotFound {
+		t.Fatalf("unknown budget: HTTP %d", code)
+	}
+	if code := call(t, "GET", ts.URL+"/v1/queries/nope", nil, &e); code != http.StatusNotFound || e.Error.Code != "no_job" {
+		t.Fatalf("unknown job = HTTP %d %q", code, e.Error.Code)
+	}
+	if code := call(t, "GET", fmt.Sprintf("%s/v1/queries?tenant=", ts.URL), nil, &e); code != http.StatusBadRequest {
+		t.Fatalf("listing without tenant: HTTP %d", code)
+	}
+}

@@ -37,6 +37,12 @@ go test ./...
 
 if [ "${ARBORETUM_CHECK_FAST:-0}" = "1" ]; then
     echo "== skipping go test -race ./... (ARBORETUM_CHECK_FAST=1)"
+    # The fast path trades the race pass for the arboretumd end-to-end
+    # smoke: start a daemon, exercise every docs/SERVICE.md endpoint, and
+    # assert exact budget debits (the slow path already covers the service
+    # packages under the race detector above).
+    echo "== scripts/loadtest.sh -smoke"
+    sh scripts/loadtest.sh -smoke
 else
     echo "== go test -race ./..."
     go test -race ./...

@@ -1,0 +1,93 @@
+#!/bin/sh
+# Load-test (and smoke-test) the arboretumd analyst gateway.
+#
+#   scripts/loadtest.sh            # load run: concurrent analysts, throughput report
+#   scripts/loadtest.sh -smoke     # CI conformance pass: every docs/SERVICE.md
+#                                  # endpoint, typed budget rejection, exact debits
+#
+# Both modes build arboretumd + arbload, start a daemon on a free port with
+# a fresh temporary ledger, drive it over HTTP, and shut it down. The load
+# run's q/s + latency summary is the gateway's tracked throughput baseline.
+# Tunables (environment): ARBORETUM_LOAD_CLIENTS (default 8),
+# ARBORETUM_LOAD_QUERIES (default 24), ARBORETUM_LOAD_TENANTS (default 4),
+# ARBORETUM_LOAD_DEVICES (simulated devices per job, default 64).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+MODE=load
+if [ "${1:-}" = "-smoke" ]; then
+    MODE=smoke
+fi
+
+CLIENTS="${ARBORETUM_LOAD_CLIENTS:-8}"
+QUERIES="${ARBORETUM_LOAD_QUERIES:-24}"
+TENANTS="${ARBORETUM_LOAD_TENANTS:-4}"
+DEVICES="${ARBORETUM_LOAD_DEVICES:-64}"
+
+WORKDIR="$(mktemp -d)"
+DAEMON_LOG="$WORKDIR/arboretumd.log"
+LEDGER="$WORKDIR/arboretumd.ledger"
+DAEMON_PID=""
+
+cleanup() {
+    if [ -n "$DAEMON_PID" ] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+        kill "$DAEMON_PID" 2>/dev/null || true
+        wait "$DAEMON_PID" 2>/dev/null || true
+    fi
+    rm -rf "$WORKDIR"
+}
+trap cleanup EXIT INT TERM
+
+echo "== go build arboretumd + arbload"
+go build -o "$WORKDIR/arboretumd" ./cmd/arboretumd
+go build -o "$WORKDIR/arbload" ./cmd/arbload
+
+# The smoke pass needs -job-workers 1 so its second submission stays queued
+# (it cancels a queued job); the load run gets more executors and no rate
+# limit so throughput, not throttling, is measured.
+if [ "$MODE" = smoke ]; then
+    JOB_WORKERS=1
+else
+    JOB_WORKERS=4
+fi
+
+echo "== starting arboretumd (devices=$DEVICES, job-workers=$JOB_WORKERS)"
+"$WORKDIR/arboretumd" -addr 127.0.0.1:0 -ledger "$LEDGER" \
+    -devices "$DEVICES" -job-workers "$JOB_WORKERS" -queue 256 \
+    -rate 0 -max-inflight 0 > "$DAEMON_LOG" 2>&1 &
+DAEMON_PID=$!
+
+# Wait for the "listening on" line and extract the picked port.
+ADDR=""
+i=0
+while [ $i -lt 100 ]; do
+    ADDR="$(sed -n 's/^arboretumd: listening on \([^ ]*\).*/\1/p' "$DAEMON_LOG" 2>/dev/null | head -n 1)"
+    if [ -n "$ADDR" ]; then
+        break
+    fi
+    if ! kill -0 "$DAEMON_PID" 2>/dev/null; then
+        echo "arboretumd exited before listening:" >&2
+        cat "$DAEMON_LOG" >&2
+        exit 1
+    fi
+    i=$((i + 1))
+    sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+    echo "arboretumd never reported its address:" >&2
+    cat "$DAEMON_LOG" >&2
+    exit 1
+fi
+echo "== arboretumd at $ADDR"
+
+if [ "$MODE" = smoke ]; then
+    "$WORKDIR/arbload" -addr "$ADDR" -smoke
+else
+    "$WORKDIR/arbload" -addr "$ADDR" \
+        -clients "$CLIENTS" -queries "$QUERIES" -tenants "$TENANTS"
+fi
+
+echo "== ledger tail"
+tail -n 5 "$LEDGER"
+echo "ok"
