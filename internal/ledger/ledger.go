@@ -15,11 +15,14 @@
 //
 // Durability is a JSON-lines write-ahead log: each state transition is one
 // checksummed record appended and fsynced before the transition takes
-// effect, so the on-disk ledger is never behind the in-memory one. Opening
-// a ledger replays the log; a torn final line (the signature of a crash
-// mid-append) is detected by its checksum and truncated, while a corrupt
-// interior record fails Open with ErrCorrupt rather than guessing at
-// balances. Reservations that were in flight when the process died are
+// effect, so the on-disk ledger is never behind the in-memory one. Open
+// takes an exclusive advisory lock on the WAL (released when the process
+// exits, however it exits), so two daemons can never interleave appends
+// into one ledger. Opening a ledger replays the log; a torn final line
+// (the signature of a crash mid-append: unterminated or not decodable as a
+// record) is truncated, while any record that was durably written whole —
+// including the final one — but fails its checksum is corruption and fails
+// Open with ErrCorrupt rather than guessing at balances. Reservations that were in flight when the process died are
 // *kept held* by replay — never silently released, because the crash may
 // have happened after the query's DP release but before the commit record
 // became durable. The daemon resolves them at startup with CommitDangling,
@@ -43,10 +46,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
 	"sync"
+	"syscall"
 
 	"arboretum/internal/faults"
 )
@@ -72,6 +77,9 @@ var (
 	// ("wal" kind): the ledger is poisoned exactly as if the daemon had died
 	// mid-append and must be reopened (replayed) before further use.
 	ErrCrashed = errors.New("ledger: simulated crash during WAL append")
+	// ErrLocked means another live process holds the WAL: Open refuses
+	// rather than let two daemons interleave conflicting sequence numbers.
+	ErrLocked = errors.New("ledger: ledger file held by another process")
 )
 
 // Op is a WAL record type.
@@ -151,12 +159,26 @@ type Ledger struct {
 	dead     bool // poisoned by a simulated crash; reopen to recover
 }
 
-// Open opens (creating if absent) the ledger at path and replays its WAL.
-// A checksum-invalid final line is treated as a torn append and truncated;
-// any earlier invalid record fails with ErrCorrupt.
+// Open opens (creating if absent) the ledger at path, takes an exclusive
+// advisory lock on it (ErrLocked when another process holds it), and
+// replays its WAL. A torn final line — unterminated or not decodable as a
+// record — is truncated; any durably written record that fails validation
+// fails with ErrCorrupt.
 func Open(path string, opts Options) (*Ledger, error) {
-	data, err := os.ReadFile(path)
-	if err != nil && !os.IsNotExist(err) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("ledger: open %s: %w", path, err)
+	}
+	// One writer per WAL: two daemons replaying and appending to the same
+	// ledger would interleave conflicting sequence numbers. The lock rides
+	// the descriptor, so the kernel releases it on any process death.
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%w: %s", ErrLocked, path)
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
 		return nil, fmt.Errorf("ledger: read %s: %w", path, err)
 	}
 	l := &Ledger{
@@ -167,11 +189,8 @@ func Open(path string, opts Options) (*Ledger, error) {
 	}
 	good, err := l.replay(data)
 	if err != nil {
+		f.Close()
 		return nil, err
-	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("ledger: open %s: %w", path, err)
 	}
 	// Drop the torn tail (if any) so the next append starts on a line
 	// boundary, then position at the end of the intact prefix.
@@ -202,11 +221,18 @@ func (l *Ledger) replay(data []byte) (int, error) {
 			return good, nil
 		}
 		var r Record
-		if err := json.Unmarshal(line, &r); err != nil || r.Sum != r.checksum() {
+		if err := json.Unmarshal(line, &r); err != nil {
 			if len(rest) == 0 {
-				return good, nil // torn final line
+				return good, nil // undecodable final line: a torn append
 			}
 			return 0, fmt.Errorf("%w: record %d (byte offset %d)", ErrCorrupt, l.seq+1, good)
+		}
+		if r.Sum != r.checksum() {
+			// A decodable, newline-terminated record was written whole — a
+			// torn append can't include the trailing newline. A checksum
+			// failure here is corruption of a durable record (possibly a
+			// reserve or commit), even on the final line: refuse to guess.
+			return 0, fmt.Errorf("%w: record %d (byte offset %d): checksum mismatch", ErrCorrupt, l.seq+1, good)
 		}
 		if r.Seq != l.seq+1 {
 			if len(rest) == 0 {
@@ -315,8 +341,15 @@ func (l *Ledger) append(r *Record) error {
 }
 
 // die records the injected crash and poisons the ledger until reopened.
+// The descriptor is closed the way the kernel would on a real process
+// death — in particular releasing the advisory lock so the "restarted"
+// process can Open the WAL.
 func (l *Ledger) die(r *Record, stage int, note string) {
 	l.dead = true
+	if l.f != nil {
+		l.f.Close()
+		l.f = nil
+	}
 	l.crash.Record(faults.Fault{
 		Kind: faults.WALCrash, Idx: []int{int(r.Seq), stage},
 		Note: fmt.Sprintf("%s %s/%s: %s", r.Op, r.Tenant, r.Job, note),
@@ -368,16 +401,19 @@ func (l *Ledger) Reserve(tenant, job string, eps, del float64) error {
 	if _, dup := l.reserved[tenant+"\x00"+job]; dup {
 		return fmt.Errorf("ledger: job %q already has a reservation", job)
 	}
-	if eps > b.EpsAvailable()+epsSlack || del > b.DelAvailable()+epsSlack {
+	if eps > b.EpsAvailable()+slack(b.EpsTotal) || del > b.DelAvailable()+slack(b.DelTotal) {
 		return fmt.Errorf("%w: tenant %q needs ε=%g, has %g of %g (%g spent, %g reserved)",
 			ErrBudgetExhausted, tenant, eps, b.EpsAvailable(), b.EpsTotal, b.EpsSpent, b.EpsReserved)
 	}
 	return l.append(&Record{Op: OpReserve, Tenant: tenant, Job: job, Eps: eps, Del: del})
 }
 
-// epsSlack absorbs float64 rounding when a reservation exactly drains the
-// balance (ε values are sums of certificate terms, each ≪ 1e9).
-const epsSlack = 1e-9
+// slack absorbs float64 rounding when a hold exactly drains a balance (the
+// compared values are sums of certificate terms). It scales with the
+// quantity being compared so that δ budgets (~1e-6) get a tolerance of a
+// few thousand ulps, not a fixed absolute slack that would permit genuine
+// oversubscription at δ's magnitude.
+func slack(scale float64) float64 { return scale * 1e-12 }
 
 // Commit makes exactly (eps, del) of the job's reservation permanent and
 // refunds the remainder. Committing more than was reserved is refused — the
@@ -390,7 +426,7 @@ func (l *Ledger) Commit(tenant, job string, eps, del float64) error {
 	if !ok {
 		return fmt.Errorf("%w: %q/%q", ErrNoReservation, tenant, job)
 	}
-	if eps > res.eps+epsSlack || del > res.del+epsSlack {
+	if eps > res.eps+slack(res.eps) || del > res.del+slack(res.del) {
 		return fmt.Errorf("ledger: commit ε=%g δ=%g exceeds reservation ε=%g δ=%g for %q/%q",
 			eps, del, res.eps, res.del, tenant, job)
 	}

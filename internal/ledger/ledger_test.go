@@ -209,6 +209,79 @@ func TestTornTailTruncated(t *testing.T) {
 	wantBalance(t, rr, "alice", 1, 0, 1)
 }
 
+// TestCorruptTailRefused: a newline-terminated, decodable final record with
+// a bad checksum is not a torn append (a torn append cannot include the
+// trailing newline) — it is bit-rot of a durably fsynced record, possibly a
+// reserve or commit, and silently dropping it would under-count spend. The
+// "refuse to guess" contract applies to the tail too.
+func TestCorruptTailRefused(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	l := openT(t, path, Options{})
+	if err := l.CreateTenant("alice", 5, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Reserve("alice", "j1", 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit("alice", "j1", 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip the final (commit) record's epsilon, keeping it valid JSON with
+	// its newline intact: the checksum catches the edit.
+	mut := strings.Replace(string(data), `"op":"commit","tenant":"alice","job":"j1","eps":1`,
+		`"op":"commit","tenant":"alice","job":"j1","eps":3`, 1)
+	if mut == string(data) {
+		t.Fatal("test setup: commit record not found")
+	}
+	if err := os.WriteFile(path, []byte(mut), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, Options{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open over corrupt tail = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestSecondOpenLocked: the WAL admits one process at a time — a second
+// Open while the first ledger is live fails fast instead of interleaving
+// conflicting sequence numbers; closing the first frees the lock.
+func TestSecondOpenLocked(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	l := openT(t, path, Options{})
+	if err := l.CreateTenant("alice", 5, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, Options{}); !errors.Is(err, ErrLocked) {
+		t.Fatalf("second Open = %v, want ErrLocked", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := openT(t, path, Options{})
+	wantBalance(t, r, "alice", 0, 0, 0)
+}
+
+// TestDeltaSlackIsTight: the rounding slack scales with the budget, so at
+// δ's magnitude (~1e-6) it absorbs ulps only — an absolute 1e-9 slack
+// would wave through this ~0.05% genuine δ oversubscription.
+func TestDeltaSlackIsTight(t *testing.T) {
+	l := openT(t, filepath.Join(t.TempDir(), "wal"), Options{})
+	if err := l.CreateTenant("alice", 5, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Reserve("alice", "j1", 1, 1.0005e-6); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("δ overshoot reserve = %v, want ErrBudgetExhausted", err)
+	}
+	// Exactly draining the δ budget still succeeds.
+	if err := l.Reserve("alice", "j2", 1, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestCorruptInteriorRefused: a bad record before the tail is not a torn
 // append — the ledger refuses to guess at balances.
 func TestCorruptInteriorRefused(t *testing.T) {

@@ -16,6 +16,7 @@ import (
 // maps each to its HTTP status and wire code (docs/SERVICE.md).
 var (
 	errQueueFull     = errors.New("service: job queue full")
+	errShutdown      = errors.New("service: server is shutting down")
 	errNoJob         = errors.New("service: no such job")
 	errNotCancelable = errors.New("service: job is not queued")
 )
@@ -188,9 +189,20 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		source:    req.Source, faults: req.Faults,
 	}
 	if err := s.store.add(j); err != nil {
-		// Undo the reservation: the job never entered the system.
-		if lerr := s.ledger.Release(req.Tenant, id, "queue_full"); lerr != nil {
-			s.cfg.Logf("service: release %s/%s after full queue: %v", req.Tenant, id, lerr)
+		// Undo the reservation: the job never entered the system. (During
+		// shutdown the ledger may already be closed; the release then fails,
+		// the reservation dangles, and startup recovery settles it
+		// fail-closed — same as a crash.)
+		code := "queue_full"
+		if errors.Is(err, errShutdown) {
+			code = "shutting_down"
+		}
+		if lerr := s.ledger.Release(req.Tenant, id, code); lerr != nil {
+			s.cfg.Logf("service: release %s/%s after refused enqueue: %v", req.Tenant, id, lerr)
+		}
+		if errors.Is(err, errShutdown) {
+			s.writeError(w, http.StatusServiceUnavailable, "shutting_down", "server is shutting down")
+			return
 		}
 		s.writeError(w, http.StatusServiceUnavailable, "queue_full",
 			"job queue is full (%d jobs)", cap(s.store.queue))

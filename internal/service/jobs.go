@@ -61,9 +61,10 @@ type Job struct {
 // drains. Jobs are never evicted (a restarted daemon starts empty — the
 // durable state is the ledger, and docs/SERVICE.md documents the split).
 type store struct {
-	mu   sync.Mutex
-	jobs map[string]*Job
-	seq  uint64
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	seq    uint64
+	closed bool // set by close; add refuses afterwards
 	// queue feeds the executor pool. Enqueue fails fast when full (the
 	// admission path maps that to 503) instead of blocking the handler.
 	queue chan *Job
@@ -86,10 +87,13 @@ func newJobID() (string, error) {
 }
 
 // add registers a queued job and enqueues it; it fails without registering
-// when the queue is full.
+// when the queue is full or the store has been closed.
 func (st *store) add(j *Job) error {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	if st.closed {
+		return errShutdown
+	}
 	st.seq++
 	j.seq = st.seq
 	j.State = JobQueued
@@ -100,6 +104,19 @@ func (st *store) add(j *Job) error {
 	}
 	st.jobs[j.ID] = j
 	return nil
+}
+
+// close stops admission and closes the queue so the executor pool drains
+// and exits. Taking the mutex serializes it with add's send: a handler
+// racing shutdown gets errShutdown, never a send on a closed channel.
+func (st *store) close() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return
+	}
+	st.closed = true
+	close(st.queue)
 }
 
 // get returns a snapshot of the job (copied under the lock, so handlers
@@ -170,6 +187,25 @@ func (st *store) cancel(id string) (Job, error) {
 	j.State = JobCanceled
 	j.Finished = time.Now()
 	return *j, nil
+}
+
+// claim atomically transitions a dequeued job from Queued to Running. It
+// reports false — and the executor must skip the job — when the job is no
+// longer queued, i.e. it was canceled and its reservation already
+// released. Claim and cancel serialize under the store mutex, so exactly
+// one of a racing claim/cancel pair wins; a check-then-update in two lock
+// acquisitions would let a cancel land in between, refund the budget, and
+// still have the job run.
+func (st *store) claim(id string) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j, ok := st.jobs[id]
+	if !ok || j.State != JobQueued {
+		return false
+	}
+	j.State = JobRunning
+	j.Started = time.Now()
+	return true
 }
 
 // update mutates a job under the store lock.

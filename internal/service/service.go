@@ -204,13 +204,15 @@ func (s *Server) runWorkers() {
 // tests; the job lifecycle is the only writer).
 func (s *Server) Ledger() *ledger.Ledger { return s.ledger }
 
-// Close stops accepting executor work, waits for running jobs, and closes
-// the ledger. Queued jobs that never ran keep their reservations: replay
-// resolves them fail-closed at next startup, exactly like a crash. Close is
-// idempotent; repeated calls return the first result.
+// Close stops admission (late submissions get 503 shutting_down — the
+// store refuses them under its mutex, so Close is safe while handlers are
+// still serving), waits for running jobs, and closes the ledger. Queued
+// jobs that never ran keep their reservations: replay resolves them
+// fail-closed at next startup, exactly like a crash. Close is idempotent;
+// repeated calls return the first result.
 func (s *Server) Close() error {
 	s.closeOnce.Do(func() {
-		close(s.store.queue)
+		s.store.close()
 		<-s.workersDone
 		s.closeErr = s.ledger.Close()
 	})
@@ -219,17 +221,14 @@ func (s *Server) Close() error {
 
 // execute runs one dequeued job end to end and settles its reservation.
 func (s *Server) execute(j *Job) {
-	if canceled := func() bool {
-		// A job canceled while queued was already released; skip it.
-		snap, ok := s.store.get(j.ID)
-		return !ok || snap.State != JobQueued
-	}(); canceled {
+	// Claim Queued→Running atomically: a job canceled while queued has
+	// already had its reservation released and must not run, and the claim
+	// bars any later cancel (the job is Running). The claim is a single
+	// compare-and-swap under the store mutex — a separate check and update
+	// would race a cancel landing in between (see store.claim).
+	if !s.store.claim(j.ID) {
 		return
 	}
-	s.store.update(j.ID, func(j *Job) {
-		j.State = JobRunning
-		j.Started = time.Now()
-	})
 
 	res, report, err := s.runDeployment(j)
 	if err != nil {

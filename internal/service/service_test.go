@@ -3,12 +3,14 @@ package service
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 
@@ -297,6 +299,143 @@ func TestCancelQueuedReleasesReservation(t *testing.T) {
 	var e errEnvelope
 	if code := call(t, "DELETE", ts.URL+"/v1/queries/"+j1.ID, nil, &e); code != http.StatusConflict || e.Error.Code != "not_cancelable" {
 		t.Fatalf("cancel done job = HTTP %d %q", code, e.Error.Code)
+	}
+}
+
+// TestStoreClaimVsCancel pins the atomic Queued→Running transition: a
+// canceled job can never be claimed (its reservation is already released),
+// a claimed job can never be canceled, and a job is claimed at most once.
+func TestStoreClaimVsCancel(t *testing.T) {
+	st := newStore(4)
+	a, b := &Job{ID: "a"}, &Job{ID: "b"}
+	if err := st.add(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.add(b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.cancel("a"); err != nil {
+		t.Fatal(err)
+	}
+	if st.claim("a") {
+		t.Fatal("claimed a canceled job")
+	}
+	if !st.claim("b") {
+		t.Fatal("claim of a queued job refused")
+	}
+	if j, _ := st.get("b"); j.State != JobRunning || j.Started.IsZero() {
+		t.Fatalf("claimed job = %s started %v, want running", j.State, j.Started)
+	}
+	if _, err := st.cancel("b"); !errors.Is(err, errNotCancelable) {
+		t.Fatalf("cancel of a running job = %v, want errNotCancelable", err)
+	}
+	if st.claim("b") {
+		t.Fatal("job claimed twice")
+	}
+	if st.claim("ghost") {
+		t.Fatal("claimed an unknown job")
+	}
+}
+
+// TestCancelExecuteRace races DELETE against the executor dequeuing the
+// same queued job, round after round. Whichever side wins the store mutex,
+// the job either runs and commits or is canceled and released — never a
+// canceled state overwritten by a run whose ε was already refunded. The
+// final spend must be exactly the sum of completed certificates.
+func TestCancelExecuteRace(t *testing.T) {
+	const rounds = 12
+	cfg := testConfig(t)
+	cfg.JobWorkers = 1
+	cfg.Tenants = []TenantSpec{{ID: "alice", Epsilon: 2 * rounds, Delta: 1e-3}}
+	hold := make(chan struct{})
+	_, ts := startT(t, cfg, hold)
+
+	wantSpent, done, canceled := 0.0, 0, 0
+	for i := 0; i < rounds; i++ {
+		j, code, _ := submit(t, ts.URL, "alice", countQuery)
+		if code != http.StatusAccepted {
+			t.Fatalf("round %d: submit HTTP %d", i, code)
+		}
+		// The worker has dequeued j and is parked at the gate; fire the gate
+		// token and the cancel concurrently so claim and cancel race for the
+		// store mutex.
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			hold <- struct{}{}
+		}()
+		go func() {
+			defer wg.Done()
+			req, err := http.NewRequest("DELETE", ts.URL+"/v1/queries/"+j.ID, nil)
+			if err != nil {
+				return
+			}
+			if resp, err := http.DefaultClient.Do(req); err == nil {
+				resp.Body.Close()
+			}
+		}()
+		wg.Wait()
+		switch f := waitTerminal(t, ts.URL, j.ID); f.State {
+		case JobDone:
+			done++
+			wantSpent += f.SpentEpsilon
+		case JobCanceled:
+			canceled++
+			if len(f.Outputs) != 0 || f.SpentEpsilon != 0 {
+				t.Fatalf("round %d: canceled job has outputs/spend: %+v", i, f)
+			}
+		default:
+			t.Fatalf("round %d: job ended %s (%s)", i, f.State, f.Error)
+		}
+	}
+	t.Logf("race rounds: %d done, %d canceled", done, canceled)
+	b := budget(t, ts.URL, "alice")
+	if math.Abs(b.EpsSpent-wantSpent) > 1e-9 || b.EpsReserved != 0 || b.Queries != done {
+		t.Fatalf("balance %+v, want spent=%g reserved=0 queries=%d", b, wantSpent, done)
+	}
+}
+
+// TestSubmitDuringShutdown: Close stops admission under the store mutex, so
+// a submission racing shutdown gets a typed 503 instead of panicking on a
+// closed queue, and its reservation is released.
+func TestSubmitDuringShutdown(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.JobWorkers = 1
+	cfg.Tenants = []TenantSpec{{ID: "alice", Epsilon: 1000, Delta: 1e-3}}
+	hold := make(chan struct{})
+	s, ts := startT(t, cfg, hold)
+
+	if _, code, _ := submit(t, ts.URL, "alice", countQuery); code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", code) // parks the worker at the gate
+	}
+	closed := make(chan error, 1)
+	go func() { closed <- s.Close() }()
+
+	// Close has shut admission (or is about to); keep submitting until the
+	// typed refusal lands. Submissions admitted before the cutover just run
+	// once the gate opens.
+	deadline := time.Now().Add(10 * time.Second)
+	refused := false
+	for !refused && time.Now().Before(deadline) {
+		if _, code, ec := submit(t, ts.URL, "alice", countQuery); code == http.StatusServiceUnavailable {
+			if ec != "shutting_down" {
+				t.Fatalf("refused with %q, want shutting_down", ec)
+			}
+			refused = true
+		}
+	}
+	if !refused {
+		t.Fatal("no shutting_down refusal within 10s of Close")
+	}
+	close(hold) // open the gate: admitted jobs run, then Close completes
+	if err := <-closed; err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Every admitted job settled (committed or released) before the ledger
+	// closed; the refused submission holds nothing.
+	if b, _ := s.Ledger().Balance("alice"); b.EpsReserved != 0 {
+		t.Fatalf("reservations survived shutdown: %+v", b)
 	}
 }
 
