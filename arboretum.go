@@ -223,11 +223,18 @@ type DeploymentConfig struct {
 	Workers int
 	// Faults is a fault-injection schedule, e.g.
 	// "seed=7,upload=0.1,dropout=0.005,crash@1" — comma-separated rates per
-	// fault kind (upload, dropout, dealer, crash) plus forced one-shot
-	// faults (kind@sequence). Schedules are pure functions of the seed, so
-	// a run replays deterministically; see docs/FAULTS.md. Empty disables
-	// injection.
+	// fault kind (upload, dropout, dealer, crash, shard) plus forced
+	// one-shot faults (kind@sequence). Schedules are pure functions of the
+	// seed, so a run replays deterministically; see docs/FAULTS.md. Empty
+	// disables injection.
 	Faults string
+	// StreamIngest routes input collection through the sharded streaming
+	// pipeline (docs/INGEST.md): O(IngestShards × IngestBatch) memory
+	// instead of O(Devices), bit-identical released outputs. IngestShards
+	// and IngestBatch default to 8 and 64 when ≤ 0.
+	StreamIngest bool
+	IngestShards int
+	IngestBatch  int
 }
 
 // Deployment is a running simulated federated-analytics system.
@@ -252,6 +259,9 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 		BudgetEpsilon:       cfg.BudgetEpsilon,
 		Workers:             cfg.Workers,
 		Faults:              plan,
+		StreamIngest:        cfg.StreamIngest,
+		IngestShards:        cfg.IngestShards,
+		IngestBatch:         cfg.IngestBatch,
 	})
 	if err != nil {
 		return nil, err

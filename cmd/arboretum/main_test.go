@@ -134,3 +134,39 @@ func TestRunCmdBadFaultSpec(t *testing.T) {
 		t.Error("bogus fault spec accepted")
 	}
 }
+
+// TestRunCmdStreamMatchesLegacy is the CLI half of the streaming-ingest
+// equivalence contract (docs/INGEST.md): -stream must print a transcript
+// byte-identical to the legacy collection path at the same seed, at any
+// shard/batch shape, including under a forced shard crash (which fires
+// only on the streaming path and recovers from its batch checkpoint).
+func TestRunCmdStreamMatchesLegacy(t *testing.T) {
+	base := []string{"-query", "top1", "-devices", "48", "-committee", "5", "-seed", "7"}
+	legacy, err := captureRun(t, base)
+	if err != nil {
+		t.Fatalf("legacy run: %v", err)
+	}
+	for _, extra := range [][]string{
+		{"-stream"},
+		{"-stream", "-ingest-shards", "3", "-ingest-batch", "5", "-workers", "4"},
+	} {
+		got, err := captureRun(t, append(append([]string{}, base...), extra...))
+		if err != nil {
+			t.Fatalf("stream run %v: %v", extra, err)
+		}
+		if got != legacy {
+			t.Errorf("stream transcript %v diverged from legacy:\n--- legacy ---\n%s\n--- stream ---\n%s", extra, legacy, got)
+		}
+	}
+	crashed, err := captureRun(t, append(append([]string{}, base...),
+		"-stream", "-ingest-batch", "8", "-faults", "seed=7,shard@1"))
+	if err != nil {
+		t.Fatalf("stream run with forced shard crash: %v", err)
+	}
+	if !strings.Contains(crashed, "fault shard[1") {
+		t.Errorf("forced shard crash not in fired log:\n%s", crashed)
+	}
+	if !strings.Contains(crashed, "1 shard crashes (1 resumes)") {
+		t.Errorf("shard crash-then-resume not in recovery summary:\n%s", crashed)
+	}
+}

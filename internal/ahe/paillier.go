@@ -286,17 +286,21 @@ func (pk *PublicKey) MulPlain(a *Ciphertext, k *big.Int) (*Ciphertext, error) {
 // dominated by pool overhead.
 const minParallelSum = 64
 
-// sumRange folds Add sequentially over a non-empty slice.
+// sumRange folds Add sequentially over a non-empty slice. It runs on an
+// Accumulator so the whole range costs one ciphertext allocation (the
+// result) instead of one per addition — this is the inner loop of every Sum
+// chunk and of the streaming-ingest shard aggregators.
 func (pk *PublicKey) sumRange(cts []*Ciphertext) (*Ciphertext, error) {
-	acc := cts[0]
-	var err error
-	for _, ct := range cts[1:] {
-		acc, err = pk.Add(acc, ct)
-		if err != nil {
+	if len(cts) == 1 {
+		return cts[0], nil
+	}
+	acc := Accumulator{pk: pk}
+	for _, ct := range cts {
+		if err := acc.Add(ct); err != nil {
 			return nil, err
 		}
 	}
-	return acc, nil
+	return acc.Value(), nil
 }
 
 // Sum folds Add over a slice of ciphertexts; this is the aggregator's inner

@@ -56,11 +56,17 @@ const (
 	// exercise both stages. Recovery is the ledger's replay on reopen
 	// (docs/SERVICE.md).
 	WALCrash
+	// ShardCrash: a streaming-ingest shard aggregator dies while folding one
+	// upload batch; it must resume from its last batch-boundary checkpoint,
+	// re-verified against the recorded commitment hash (docs/INGEST.md).
+	// Coordinates: (shard, batch, attempt), so a forced "shard@N" crashes
+	// shard N's first fold of its first batch.
+	ShardCrash
 
 	numKinds
 )
 
-var kindNames = [numKinds]string{"upload", "dropout", "dealer", "crash", "wal"}
+var kindNames = [numKinds]string{"upload", "dropout", "dealer", "crash", "wal", "shard"}
 
 // String returns the kind's spec-string name.
 func (k Kind) String() string {
@@ -253,7 +259,7 @@ func (p *Plan) Fired() []Fault {
 //	<kind>=<rate> an independent per-injection-point probability in [0, 1]
 //	<kind>@<seq>  a forced fault (see Force)
 //
-// with kinds upload, dropout, dealer, crash, wal — e.g.
+// with kinds upload, dropout, dealer, crash, wal, shard — e.g.
 // "seed=7,upload=0.05,dropout=0.01,crash@1". An empty spec returns a nil
 // plan (no injection).
 func Parse(spec string) (*Plan, error) {

@@ -162,6 +162,38 @@ func TestParseWALKind(t *testing.T) {
 	}
 }
 
+// The "shard" kind (streaming-ingest shard-aggregator crashes) parses,
+// round-trips, and follows the Force contract: a forced shard@N fires only at
+// shard N's first fold attempt of its first batch.
+func TestParseShardKind(t *testing.T) {
+	p, err := Parse("seed=5,shard=0.25,shard@2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Fires(ShardCrash, 2, 0, 0) {
+		t.Fatal("forced shard@2 did not fire at shard 2's first batch")
+	}
+	if p.Fires(ShardCrash, 2, 1, 0) && p.rates[ShardCrash] == 0 {
+		t.Fatal("forced shard@2 fired at a later batch")
+	}
+	if ShardCrash.String() != "shard" {
+		t.Fatalf("ShardCrash.String() = %q", ShardCrash)
+	}
+	q, err := Parse(p.String())
+	if err != nil {
+		t.Fatalf("canonical form %q does not re-parse: %v", p.String(), err)
+	}
+	for shard := 0; shard < 8; shard++ {
+		for batch := 0; batch < 16; batch++ {
+			for attempt := 0; attempt < 3; attempt++ {
+				if p.Fires(ShardCrash, shard, batch, attempt) != q.Fires(ShardCrash, shard, batch, attempt) {
+					t.Fatalf("round-tripped plan decides differently at (%d, %d, %d)", shard, batch, attempt)
+				}
+			}
+		}
+	}
+}
+
 func TestParseEmptyAndErrors(t *testing.T) {
 	if p, err := Parse("  "); err != nil || p != nil {
 		t.Fatalf("empty spec = (%v, %v), want (nil, nil)", p, err)

@@ -167,7 +167,7 @@ output(top[1]);`,
 func chaosTypedErr(err error) bool {
 	for _, target := range []error{
 		ErrCommitteeBroken, ErrCommitteeDegraded, ErrNoSpareCommittee,
-		ErrHandoffFailed, ErrAggregatorFailed, ErrNoValidInputs,
+		ErrHandoffFailed, ErrAggregatorFailed, ErrShardFailed, ErrNoValidInputs,
 		vsr.ErrInsufficientShares,
 	} {
 		if errors.Is(err, target) {

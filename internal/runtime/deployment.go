@@ -91,10 +91,27 @@ type Config struct {
 
 	// Faults injects typed mid-execution failures (upload timeouts,
 	// committee-member dropout mid-MPC-round, VSR dealer failures,
-	// aggregator crashes) at the runtime's injection points; nil injects
-	// nothing. Schedules are pure functions of the plan's seed, so a run
-	// replays bit-for-bit (docs/FAULTS.md).
+	// aggregator crashes, ingest shard crashes) at the runtime's injection
+	// points; nil injects nothing. Schedules are pure functions of the
+	// plan's seed, so a run replays bit-for-bit (docs/FAULTS.md).
 	Faults *faults.Plan
+
+	// StreamIngest routes input collection through the sharded, streaming
+	// ingest pipeline (docs/INGEST.md): devices upload in batches to
+	// IngestShards per-shard aggregators that verify, fold, and commit
+	// incrementally with O(IngestShards × IngestBatch) ciphertext memory,
+	// then the shard partials combine through the sum-tree machinery. The
+	// accepted set and the released sums are bit-for-bit identical to the
+	// legacy materializing path; the aggregator audit runs on retained
+	// batch samples against the batch-commitment tree instead of the
+	// legacy full-coverage chunk audit. Default false (legacy path).
+	StreamIngest bool
+	// IngestShards and IngestBatch shape the pipeline (defaults 8 and 64).
+	// Both are fixed counts — never derived from GOMAXPROCS — so fault
+	// schedules addressed by (shard, batch, attempt) replay identically on
+	// any machine at any worker count.
+	IngestShards int
+	IngestBatch  int
 }
 
 // Device is one participant.
@@ -161,6 +178,8 @@ type Metrics struct {
 	VSRRedeals        int           // hand-off attempts re-dealt from survivors
 	AggregatorCrashes int           // aggregator step crashes
 	AggregatorResumes int           // resumes from the last audited checkpoint
+	ShardCrashes      int           // ingest shard-aggregator batch-fold crashes
+	ShardResumes      int           // shard resumes from a batch-boundary checkpoint
 	VignetteRetries   int           // mechanism vignettes retried after a fault
 	BackoffSimulated  time.Duration // total backoff a real deployment would have waited
 }

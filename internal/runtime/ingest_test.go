@@ -1,0 +1,528 @@
+package runtime
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"os"
+	"reflect"
+	goruntime "runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"arboretum/internal/ahe"
+	"arboretum/internal/faults"
+)
+
+// --- virtual-population helpers ---
+
+var (
+	ingestKeyOnce sync.Once
+	ingestTestKey *ahe.PrivateKey
+	ingestKeyErr  error
+)
+
+// ingestKey caches one small Paillier key across the virtual-population
+// tests; keygen would otherwise dominate every test body.
+func ingestKey(t testing.TB) *ahe.PrivateKey {
+	t.Helper()
+	ingestKeyOnce.Do(func() {
+		ingestTestKey, ingestKeyErr = ahe.GenerateKey(rand.Reader, 256)
+	})
+	if ingestKeyErr != nil {
+		t.Fatal(ingestKeyErr)
+	}
+	return ingestTestKey
+}
+
+// decryptSums decrypts a combined sum vector into per-cell counts.
+func decryptSums(t *testing.T, sk *ahe.PrivateKey, sums []*ahe.Ciphertext) []int64 {
+	t.Helper()
+	out := make([]int64, len(sums))
+	for c, ct := range sums {
+		if ct == nil {
+			continue
+		}
+		m, err := sk.Decrypt(ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[c] = m.Int64()
+	}
+	return out
+}
+
+// ingestHistogram asserts the decrypted sums equal the population's exact
+// per-category histogram — the strongest form of the no-double-count
+// invariant: any dropped or twice-folded upload shifts a count by ≥1.
+func ingestHistogram(t *testing.T, sk *ahe.PrivateKey, pop *virtualPopulation, res *ingestResult) {
+	t.Helper()
+	got := decryptSums(t, sk, res.sums)
+	want := pop.histogram()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("decrypted sums %v, exact histogram %v", got, want)
+	}
+}
+
+// TestVirtualIngestExactHistogram: a fault-free sharded ingest over a virtual
+// population accepts every device exactly once — the decrypted sums equal the
+// exact histogram — commits one leaf per batch, and the retained-sample audit
+// passes over every shard.
+func TestVirtualIngestExactHistogram(t *testing.T) {
+	sk := ingestKey(t)
+	pop := newVirtualPopulation(99, 2000, 8)
+	res, err := virtualIngest(pop, &sk.PublicKey, 1, 8, 64, 4, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.accepted != pop.n {
+		t.Fatalf("accepted %d of %d devices", res.accepted, pop.n)
+	}
+	ingestHistogram(t, sk, pop, res)
+	// 8 shards × 250 devices = 4 batches each: 32 committed leaves
+	// (sha256.Size bytes each in the shards' flat buffers).
+	var leaves int
+	for _, sr := range res.shards {
+		leaves += len(sr.leaves) / 32
+	}
+	if leaves != 32 || res.tree == nil {
+		t.Fatalf("committed %d batch leaves (tree=%v), want 32", leaves, res.tree != nil)
+	}
+	var m Metrics
+	if err := auditIngest(&sk.PublicKey, res, &m); err != nil {
+		t.Fatalf("audit failed on an honest run: %v", err)
+	}
+	if m.AuditsServed != 24 || m.AuditFailures != 0 {
+		t.Fatalf("audits served=%d failures=%d, want 24/0 (3 per shard)", m.AuditsServed, m.AuditFailures)
+	}
+}
+
+// TestVirtualIngestCrashResumeExact: a forced shard crash restores the
+// batch-boundary checkpoint and refolds only the in-flight batch; the final
+// counts are exactly the histogram, so no device was lost or double-counted.
+func TestVirtualIngestCrashResumeExact(t *testing.T) {
+	sk := ingestKey(t)
+	pop := newVirtualPopulation(99, 2000, 8)
+	plan := faults.New(1).Force(faults.ShardCrash, 2)
+	res, err := virtualIngest(pop, &sk.PublicKey, 2, 8, 64, 4, plan, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, r := res.shards[2].crashes, res.shards[2].resumes; c != 1 || r != 1 {
+		t.Fatalf("shard 2 crashes=%d resumes=%d, want 1/1", c, r)
+	}
+	ingestHistogram(t, sk, pop, res)
+}
+
+// TestVirtualIngestCrashScheduleExact sweeps seeded random crash schedules:
+// every run either completes with the exact histogram (crashes recovered,
+// nothing double-counted) or fails closed with ErrShardFailed. At least one
+// schedule must crash and recover, and at least one must complete.
+func TestVirtualIngestCrashScheduleExact(t *testing.T) {
+	sk := ingestKey(t)
+	pop := newVirtualPopulation(5, 1000, 6)
+	crashes, resumes, completed := 0, 0, 0
+	for seed := uint64(30); seed < 36; seed++ {
+		plan := faults.New(seed).SetRate(faults.ShardCrash, 0.15)
+		res, err := virtualIngest(pop, &sk.PublicKey, seed, 8, 32, 4, plan, nil)
+		if err != nil {
+			if !errors.Is(err, ErrShardFailed) {
+				t.Fatalf("seed %d: untyped failure: %v", seed, err)
+			}
+			continue
+		}
+		completed++
+		for _, sr := range res.shards {
+			crashes += sr.crashes
+			resumes += sr.resumes
+		}
+		ingestHistogram(t, sk, pop, res)
+	}
+	if completed == 0 {
+		t.Fatal("no schedule completed — the crash rate is too hot to test recovery")
+	}
+	if crashes == 0 || resumes == 0 {
+		t.Fatalf("schedules fired %d crashes (%d resumes); want both > 0", crashes, resumes)
+	}
+}
+
+// TestVirtualIngestTotalCrashFailsClosed: when every fold attempt crashes,
+// the shard exhausts its retry budget and the ingest fails closed with the
+// typed error — it never returns partial sums.
+func TestVirtualIngestTotalCrashFailsClosed(t *testing.T) {
+	sk := ingestKey(t)
+	pop := newVirtualPopulation(99, 500, 4)
+	plan := faults.New(9).SetRate(faults.ShardCrash, 1)
+	res, err := virtualIngest(pop, &sk.PublicKey, 3, 4, 32, 4, plan, nil)
+	if err == nil {
+		t.Fatalf("ingest completed under total crash: accepted=%d", res.accepted)
+	}
+	if !errors.Is(err, ErrShardFailed) {
+		t.Fatalf("want ErrShardFailed, got %v", err)
+	}
+}
+
+// --- legacy-vs-streaming equivalence ---
+
+// ingestEqCfg is one run of the equivalence matrix.
+type ingestEqCfg struct {
+	stream        bool
+	shards, batch int
+	workers       int
+}
+
+func (c ingestEqCfg) String() string {
+	if !c.stream {
+		return fmt.Sprintf("legacy/w%d", c.workers)
+	}
+	return fmt.Sprintf("stream/s%d.b%d.w%d", c.shards, c.batch, c.workers)
+}
+
+// ingestEqRun executes one full query with upload faults armed and returns
+// everything the equivalence check compares. Each run gets its own fault
+// plan instance (plans accumulate a fired log) with the same plan seed, so
+// the upload-fault schedule is identical across the matrix.
+func ingestEqRun(t *testing.T, src string, seed int64, cfg ingestEqCfg) (*Result, Metrics, []faults.Fault) {
+	t.Helper()
+	plan := faults.New(77).SetRate(faults.UploadTimeout, 0.12)
+	d, err := NewDeployment(Config{
+		N: 64, Categories: 4, CommitteeSize: 5, Seed: seed, KeyBits: 256,
+		// OfflineTolerance 0.4: churned devices must exercise the ingest's
+		// online slicing, but committee composition rides on crypto/rand
+		// sortition keys — at the default tolerance a 10%-offline population
+		// makes committee viability a per-process dice roll.
+		MaliciousFrac: 0.1, OfflineFrac: 0.1, OfflineTolerance: 0.4,
+		BudgetEpsilon: 1000,
+		Workers:       cfg.workers, Faults: plan,
+		StreamIngest: cfg.stream, IngestShards: cfg.shards, IngestBatch: cfg.batch,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Run(src, RunOptions{})
+	if err != nil {
+		t.Fatalf("%v: %v", cfg, err)
+	}
+	return res, d.Metrics, plan.Fired()
+}
+
+// TestStreamIngestEquivalence is the acceptance matrix: the streaming
+// pipeline must release byte-identical results to the legacy materializing
+// path — same outputs, same accepted set size, same upload/ZKP counters,
+// same fired-fault log — across seeds, worker counts, and shard counts, for
+// both the plain and the binned (secrecy-of-the-sample) protocols, with
+// malicious devices, churned-offline devices, and upload timeouts all armed.
+func TestStreamIngestEquivalence(t *testing.T) {
+	shapes := []struct {
+		name  string
+		seeds []int64
+		src   string
+	}{
+		{"count", []int64{42, 7}, `aggr = sum(db);
+noised = laplace(aggr[0], 5.0);
+output(declassify(noised));`},
+		{"sampled", []int64{42}, `sampleUniform(0.5);
+aggr = sum(db);
+noised = laplace(aggr[0], 5.0);
+output(declassify(noised));`},
+	}
+	variants := []ingestEqCfg{
+		{stream: true, shards: 1, batch: 8, workers: 1},
+		{stream: true, shards: 3, batch: 8, workers: 4},
+		{stream: true, shards: 8, batch: 8, workers: 2},
+	}
+	for _, shape := range shapes {
+		for _, seed := range shape.seeds {
+			t.Run(fmt.Sprintf("%s/seed%d", shape.name, seed), func(t *testing.T) {
+				wantRes, wantM, wantFired := ingestEqRun(t, shape.src, seed, ingestEqCfg{workers: 4})
+				if wantM.ZKPsRejected == 0 {
+					t.Fatal("baseline rejected no proofs; MaliciousFrac is not exercised")
+				}
+				for _, cfg := range variants {
+					res, m, fired := ingestEqRun(t, shape.src, seed, cfg)
+					if !reflect.DeepEqual(res.Outputs, wantRes.Outputs) {
+						t.Errorf("%v: outputs %v, legacy %v", cfg, res.Outputs, wantRes.Outputs)
+					}
+					if res.Accepted != wantRes.Accepted || res.Sampled != wantRes.Sampled {
+						t.Errorf("%v: accepted/sampled %d/%d, legacy %d/%d",
+							cfg, res.Accepted, res.Sampled, wantRes.Accepted, wantRes.Sampled)
+					}
+					got := [5]int{m.ZKPsVerified, m.ZKPsRejected, m.UploadTimeouts, m.UploadRetries, m.UploadsDropped}
+					want := [5]int{wantM.ZKPsVerified, wantM.ZKPsRejected, wantM.UploadTimeouts, wantM.UploadRetries, wantM.UploadsDropped}
+					if got != want {
+						t.Errorf("%v: zkp/upload counters %v, legacy %v", cfg, got, want)
+					}
+					if !reflect.DeepEqual(fired, wantFired) {
+						t.Errorf("%v: fired-fault log diverged from legacy:\n stream: %v\n legacy: %v",
+							cfg, fired, wantFired)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestStreamIngestByzantineDetected: a Byzantine shard aggregator that
+// shifts a mid-stream partial is caught by the retained-sample audit — the
+// corrupted batch no longer recomputes from its predecessor checkpoint.
+func TestStreamIngestByzantineDetected(t *testing.T) {
+	d, err := NewDeployment(Config{
+		N: 64, Categories: 4, CommitteeSize: 5, Seed: 42, KeyBits: 256,
+		BudgetEpsilon: 1000, ByzantineAggregator: true,
+		StreamIngest: true, IngestShards: 8, IngestBatch: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = d.Run(`aggr = sum(db);
+noised = laplace(aggr[0], 5.0);
+output(declassify(noised));`, RunOptions{})
+	if err == nil {
+		t.Fatal("run completed with a Byzantine shard aggregator")
+	}
+	if !strings.Contains(err.Error(), "aggregator misbehavior") {
+		t.Errorf("want an aggregator-misbehavior audit error, got %v", err)
+	}
+	if d.Metrics.AuditFailures == 0 {
+		t.Error("no audit failure recorded for a detected corruption")
+	}
+}
+
+// --- chaos integration (shard crashes inside full end-to-end queries) ---
+
+func chaosStreamDeployment(t *testing.T, plan *faults.Plan, seed int64) *Deployment {
+	t.Helper()
+	d, err := NewDeployment(Config{
+		N: chaosN, Categories: 4, CommitteeSize: 5, Seed: seed, KeyBits: 256,
+		BudgetEpsilon: 1000, Data: chaosData, Faults: plan,
+		StreamIngest: true, IngestShards: 4, IngestBatch: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestChaosStreamSweep runs the chaos shapes over the streaming pipeline
+// with shard crashes armed alongside the other fault kinds: every run
+// completes correctly (per the plan-derived reference) or fails closed with
+// a typed error, and never double-charges the budget.
+func TestChaosStreamSweep(t *testing.T) {
+	certEps := map[string]float64{}
+	for _, shape := range chaosShapes {
+		certEps[shape.name] = chaosBudgetEps(t, shape.src)
+	}
+	var mu sync.Mutex
+	completed, failedClosed, crashed := 0, 0, 0
+	t.Cleanup(func() {
+		t.Logf("stream chaos sweep: %d completed, %d failed closed, %d runs saw shard crashes",
+			completed, failedClosed, crashed)
+		if completed == 0 {
+			t.Error("no schedule completed — rates are too hot to exercise recovery")
+		}
+		if crashed == 0 {
+			t.Error("no schedule fired a shard crash — the ShardCrash injection point is dead")
+		}
+	})
+	for s := 0; s < chaosSchedules; s++ {
+		for _, shape := range chaosShapes {
+			s, shape := s, shape
+			t.Run(fmt.Sprintf("schedule%d/%s", s, shape.name), func(t *testing.T) {
+				t.Parallel()
+				plan := faults.New(uint64(2000+s)).
+					SetRate(faults.UploadTimeout, 0.08).
+					SetRate(faults.MemberDropout, 0.002).
+					SetRate(faults.DealerFailure, 0.08).
+					SetRate(faults.ShardCrash, 0.25)
+				d := chaosStreamDeployment(t, plan, 42)
+				res, err := d.Run(shape.src, RunOptions{})
+				assertBudget(t, d, certEps[shape.name], shape.name)
+				mu.Lock()
+				if d.Metrics.ShardCrashes > 0 {
+					crashed++
+				}
+				mu.Unlock()
+				if err != nil {
+					mu.Lock()
+					failedClosed++
+					mu.Unlock()
+					if !chaosTypedErr(err) {
+						t.Errorf("untyped failure: %v", err)
+					}
+					return
+				}
+				mu.Lock()
+				completed++
+				mu.Unlock()
+				shape.check(t, plan, res.Outputs)
+			})
+		}
+	}
+}
+
+// TestChaosStreamReplayDeterminism: a streaming run under fault injection
+// replays bit-for-bit from its plan seed — outputs, fired-fault coordinates,
+// shard crash/resume counters, and error text all identical.
+func TestChaosStreamReplayDeterminism(t *testing.T) {
+	type trace struct {
+		outputs  string
+		errText  string
+		fired    []faults.Fault
+		counters [6]int
+	}
+	run := func(workers int) trace {
+		plan := faults.New(13).
+			SetRate(faults.UploadTimeout, 0.15).
+			SetRate(faults.ShardCrash, 0.3)
+		d := chaosStreamDeployment(t, plan, 42)
+		d.cfg.Workers = workers
+		res, err := d.Run(chaosShapes[1].src, RunOptions{})
+		m := d.Metrics
+		tr := trace{
+			fired: plan.Fired(),
+			counters: [6]int{
+				m.UploadTimeouts, m.UploadsDropped, m.ShardCrashes,
+				m.ShardResumes, m.ZKPsVerified, m.ZKPsRejected,
+			},
+		}
+		if err != nil {
+			tr.errText = err.Error()
+		} else {
+			tr.outputs = fmt.Sprint(res.Outputs)
+		}
+		return tr
+	}
+	a, b := run(1), run(8)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("replay diverged across worker counts:\n  1 worker:  %+v\n  8 workers: %+v", a, b)
+	}
+}
+
+// TestChaosStreamCrashResumeAudit: a forced shard crash inside a full query
+// resumes from the shard checkpoint, the query completes with the expected
+// count, and the retained-sample audit passes over every shard.
+func TestChaosStreamCrashResumeAudit(t *testing.T) {
+	plan := faults.New(11).Force(faults.ShardCrash, 1)
+	d := chaosStreamDeployment(t, plan, 42)
+	res, err := d.Run(chaosShapes[0].src, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Metrics.ShardCrashes != 1 || d.Metrics.ShardResumes != 1 {
+		t.Errorf("crashes=%d resumes=%d, want 1/1", d.Metrics.ShardCrashes, d.Metrics.ShardResumes)
+	}
+	// 4 shards × 12 devices at batch 8 = 2 batches per shard, both retained
+	// ({first, middle, last} collapses to {0, 1}): 8 audits, none failing.
+	if d.Metrics.AuditsServed != 8 || d.Metrics.AuditFailures != 0 {
+		t.Errorf("audits served=%d failures=%d, want 8/0", d.Metrics.AuditsServed, d.Metrics.AuditFailures)
+	}
+	got, want := res.Outputs[0].Float(), 4.0
+	if got < want-15 || got > want+15 {
+		t.Errorf("count = %g, want ≈%g", got, want)
+	}
+}
+
+// --- benchmarks ---
+
+// benchDevices resolves the ARBORETUM_BENCH_DEVICES population knob.
+func benchDevices(def int) int {
+	if s := os.Getenv("ARBORETUM_BENCH_DEVICES"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
+}
+
+// reportPerDevice attaches ns/device and B/device to a benchmark from the
+// wall clock and the allocator's TotalAlloc delta over the timed section.
+func reportPerDevice(b *testing.B, before goruntime.MemStats, devices int) {
+	var after goruntime.MemStats
+	goruntime.ReadMemStats(&after)
+	ops := float64(b.N) * float64(devices)
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/ops, "ns/device")
+	b.ReportMetric(float64(after.TotalAlloc-before.TotalAlloc)/ops, "B/device")
+}
+
+// BenchmarkIngest drives the sharded, streaming pipeline over a virtual
+// population — the 10^5..10^8-device scaling harness (`scripts/bench.sh
+// ingest` sweeps ARBORETUM_BENCH_DEVICES). Per-device state derives from the
+// population seed inside each shard and uploads fold into pooled
+// accumulators, so allocations and live heap stay O(shards × batch) while
+// ns/device stays flat: the heap-peak-bytes metric is the flatness evidence.
+func BenchmarkIngest(b *testing.B) {
+	n := benchDevices(100000)
+	sk, err := ahe.GenerateKey(rand.Reader, 512)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pop := newVirtualPopulation(7, n, 16)
+	if _, err := pop.templatesFor(&sk.PublicKey); err != nil {
+		b.Fatal(err) // warm the template cache: setup, not ingest work
+	}
+	gauge := &heapGauge{}
+	var before goruntime.MemStats
+	goruntime.ReadMemStats(&before)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := virtualIngest(pop, &sk.PublicKey, uint64(i+1), 0, 0, 0, nil, gauge)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.accepted != n {
+			b.Fatalf("accepted %d of %d devices", res.accepted, n)
+		}
+	}
+	b.StopTimer()
+	reportPerDevice(b, before, n)
+	b.ReportMetric(float64(gauge.peakBytes()), "heap-peak-bytes")
+}
+
+// benchCollect is BenchmarkCollectInputs' body for both collection paths:
+// a full deployment (real per-device encryption), population sized by
+// ARBORETUM_BENCH_DEVICES.
+func benchCollect(b *testing.B, stream bool) {
+	d, err := NewDeployment(Config{
+		N: benchDevices(64), Categories: 16, CommitteeSize: 5, Seed: 7,
+		BudgetEpsilon: 1e9, StreamIngest: stream,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	committees, err := d.selectCommittees(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	km, err := d.keygen(committees[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	var before goruntime.MemStats
+	goruntime.ReadMemStats(&before)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.queryID++ // fresh replay-protection scope per iteration
+		if stream {
+			if _, _, err := d.streamCollectInputs(km); err != nil {
+				b.Fatal(err)
+			}
+		} else if _, err := d.collectInputs(km); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	reportPerDevice(b, before, d.cfg.N)
+}
+
+// BenchmarkCollectInputs times the legacy materializing input phase
+// (encrypt + prove for every online device, then verify) through a full
+// deployment. Run with -cpu 1,4 to compare the sequential fallback against
+// the pool; ARBORETUM_BENCH_DEVICES resizes the population.
+func BenchmarkCollectInputs(b *testing.B) { benchCollect(b, false) }
+
+// BenchmarkCollectInputsStream is the same phase through the sharded,
+// streaming pipeline (verify + fold + commit per batch) — the head-to-head
+// against BenchmarkCollectInputs at identical population and key size.
+func BenchmarkCollectInputsStream(b *testing.B) { benchCollect(b, true) }

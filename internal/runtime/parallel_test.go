@@ -74,32 +74,8 @@ func TestSumTreeDeterministicAcrossWorkers(t *testing.T) {
 
 // --- benchmarks ---
 
-// BenchmarkCollectInputs times the device-side input phase (encrypt + prove
-// for every online device) through a full deployment setup. Run with
-// -cpu 1,4 to compare the sequential fallback against the pool.
-func BenchmarkCollectInputs(b *testing.B) {
-	d, err := NewDeployment(Config{
-		N: 64, Categories: 16, CommitteeSize: 5, Seed: 7, BudgetEpsilon: 1e9,
-	})
-	if err != nil {
-		b.Fatal(err)
-	}
-	committees, err := d.selectCommittees(1)
-	if err != nil {
-		b.Fatal(err)
-	}
-	km, err := d.keygen(committees[0])
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		d.queryID++ // fresh replay-protection scope per iteration
-		if _, err := d.collectInputs(km); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+// BenchmarkCollectInputs moved to ingest_test.go, where it shares the
+// per-device reporting harness with its streaming twin.
 
 // BenchmarkDeviceSumTree times one sum-tree level over 64 encrypted vectors.
 func BenchmarkDeviceSumTree(b *testing.B) {

@@ -36,6 +36,10 @@ var (
 	// ErrNoValidInputs: every device upload was dropped (timeouts, churn)
 	// or rejected (invalid proofs).
 	ErrNoValidInputs = errors.New("runtime: no valid inputs")
+	// ErrShardFailed: a streaming-ingest shard aggregator could not fold a
+	// batch within its retry budget, or a restored batch-boundary
+	// checkpoint did not verify against its recorded commitment.
+	ErrShardFailed = errors.New("runtime: ingest shard failed")
 )
 
 // backoffPolicy is a capped exponential backoff: attempt n waits
@@ -71,6 +75,10 @@ var (
 	// aggregatorBackoff governs aggregator crash-recovery: each retry
 	// restores the last Merkle-audited checkpoint and refolds the chunk.
 	aggregatorBackoff = backoffPolicy{attempts: 3, base: 500 * time.Millisecond, cap: 5 * time.Second}
+	// shardBackoff governs ingest shard-aggregator crash-recovery: each
+	// retry restores the shard's last batch-boundary checkpoint (verified
+	// against its recorded commitment) and refolds the batch.
+	shardBackoff = backoffPolicy{attempts: 3, base: 500 * time.Millisecond, cap: 5 * time.Second}
 )
 
 // tallyUpload folds one device's upload-fault counters into the metrics and
@@ -115,9 +123,9 @@ func (d *Deployment) FaultReport() string {
 		fmt.Fprintf(&b, "  fault %s%v: %s\n", f.Kind, f.Idx, f.Note)
 	}
 	m := d.Metrics
-	fmt.Fprintf(&b, "recovery: %d upload retries (%d devices dropped), %d member dropouts, %d re-formations, %d dealer failures, %d VSR re-deals, %d aggregator crashes (%d resumes), %d vignette retries, %v simulated backoff\n",
+	fmt.Fprintf(&b, "recovery: %d upload retries (%d devices dropped), %d member dropouts, %d re-formations, %d dealer failures, %d VSR re-deals, %d aggregator crashes (%d resumes), %d shard crashes (%d resumes), %d vignette retries, %v simulated backoff\n",
 		m.UploadRetries, m.UploadsDropped, m.MemberDropouts, m.Reformations,
 		m.DealerFailures, m.VSRRedeals, m.AggregatorCrashes, m.AggregatorResumes,
-		m.VignetteRetries, m.BackoffSimulated)
+		m.ShardCrashes, m.ShardResumes, m.VignetteRetries, m.BackoffSimulated)
 	return b.String()
 }

@@ -98,22 +98,43 @@ func (d *Deployment) Run(src string, opts RunOptions) (*Result, error) {
 		accepted int
 	)
 	if rate := sampleRate(prog); rate > 0 && rate < 1 {
-		binned, binOf, err := d.collectBinnedInputs(km)
-		if err != nil {
-			return nil, err
-		}
-		as, perBin, err := aggregateWithAudit(km.pub, binned, d.cfg.ByzantineAggregator, d.cfg.Faults, &d.Metrics)
-		if err != nil {
-			return nil, err
-		}
-		if err := d.runAudits(as); err != nil {
-			return nil, fmt.Errorf("runtime: audit: %w", err)
+		var perBin []*ahe.Ciphertext
+		var binOf []int
+		if d.cfg.StreamIngest {
+			// The streaming pipeline folds and audits as batches arrive
+			// (docs/INGEST.md); only the window decryption remains.
+			perBin, binOf, err = d.streamCollectBinned(km)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			binned, bins, err := d.collectBinnedInputs(km)
+			if err != nil {
+				return nil, err
+			}
+			as, running, err := aggregateWithAudit(km.pub, binned, d.cfg.ByzantineAggregator, d.cfg.Faults, &d.Metrics)
+			if err != nil {
+				return nil, err
+			}
+			if err := d.runAudits(as); err != nil {
+				return nil, fmt.Errorf("runtime: audit: %w", err)
+			}
+			perBin, binOf = running, bins
 		}
 		sums, sampled, err = d.windowSums(km, perBin, binOf, rate)
 		if err != nil {
 			return nil, err
 		}
-		accepted = len(binned)
+		accepted = len(binOf)
+	} else if d.cfg.StreamIngest {
+		// Shard pre-aggregation subsumes both the device sum tree and the
+		// legacy chunked aggregator fold; the sums arrive combined and
+		// audited.
+		sums, accepted, err = d.streamCollectInputs(km)
+		if err != nil {
+			return nil, err
+		}
+		sampled = accepted
 	} else {
 		inputs, err := d.collectInputs(km)
 		if err != nil {
@@ -175,18 +196,18 @@ func (d *Deployment) Run(src string, opts RunOptions) (*Result, error) {
 	}, nil
 }
 
-// deviceSumTree pre-aggregates inputs in device groups of the given fanout
-// (one tree level is enough to exercise the path; deeper trees repeat it).
-// The groups are disjoint, so each one folds as its own pool task; the
-// per-group traffic is tallied into the metrics afterwards in group order,
-// keeping results and metrics identical at every worker count.
-func (d *Deployment) deviceSumTree(pub *ahe.PublicKey, inputs [][]*ahe.Ciphertext, fanout int) ([][]*ahe.Ciphertext, error) {
+// foldGroups folds vectors column-wise in contiguous groups of the given
+// fanout — one pool task per group, partials reassembled in group order, so
+// the output is identical at every worker count. It is the shared tree-level
+// step of deviceSumTree (devices pre-aggregating) and the streaming ingest's
+// hierarchical shard combine, and reports the traffic the folds generated.
+func foldGroups(pub *ahe.PublicKey, inputs [][]*ahe.Ciphertext, fanout, workers int) ([][]*ahe.Ciphertext, int64, error) {
 	nGroups := (len(inputs) + fanout - 1) / fanout
 	type groupSum struct {
 		acc  []*ahe.Ciphertext
 		sent int64
 	}
-	sums, err := parallel.Map(nil, nGroups, d.workers(), func(g int) (groupSum, error) {
+	sums, err := parallel.Map(nil, nGroups, workers, func(g int) (groupSum, error) {
 		start := g * fanout
 		end := start + fanout
 		if end > len(inputs) {
@@ -208,13 +229,26 @@ func (d *Deployment) deviceSumTree(pub *ahe.PublicKey, inputs [][]*ahe.Ciphertex
 		return groupSum{acc: acc, sent: sent}, nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	out := make([][]*ahe.Ciphertext, 0, nGroups)
+	var sent int64
 	for _, gs := range sums {
 		out = append(out, gs.acc)
-		d.Metrics.DeviceBytesSent += gs.sent
+		sent += gs.sent
 	}
+	return out, sent, nil
+}
+
+// deviceSumTree pre-aggregates inputs in device groups of the given fanout
+// (one tree level is enough to exercise the path; deeper trees repeat it).
+// The per-group traffic is device-side, so it tallies into DeviceBytesSent.
+func (d *Deployment) deviceSumTree(pub *ahe.PublicKey, inputs [][]*ahe.Ciphertext, fanout int) ([][]*ahe.Ciphertext, error) {
+	out, sent, err := foldGroups(pub, inputs, fanout, d.workers())
+	if err != nil {
+		return nil, err
+	}
+	d.Metrics.DeviceBytesSent += sent
 	return out, nil
 }
 

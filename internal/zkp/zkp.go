@@ -105,16 +105,27 @@ func satisfies(c Claim, w Witness) bool {
 	}
 }
 
+// statementMsgLen is the statement encoding's fixed length: six uint64
+// fields, little-endian.
+const statementMsgLen = 48
+
+// putStatement writes the canonical statement encoding into buf (at least
+// statementMsgLen bytes). statementTag and Scratch.tag MAC the same bytes,
+// so proofs from either prover path verify under either verifier path.
+func putStatement(buf []byte, s Statement) {
+	binary.LittleEndian.PutUint64(buf[0:], uint64(s.Device))
+	binary.LittleEndian.PutUint64(buf[8:], s.QueryID)
+	binary.LittleEndian.PutUint64(buf[16:], uint64(s.Claim.Kind))
+	binary.LittleEndian.PutUint64(buf[24:], uint64(s.Claim.VectorLen))
+	binary.LittleEndian.PutUint64(buf[32:], uint64(s.Claim.Lo))
+	binary.LittleEndian.PutUint64(buf[40:], uint64(s.Claim.Hi))
+}
+
 func statementTag(key []byte, s Statement) [sha256.Size]byte {
 	mac := hmac.New(sha256.New, key)
-	msg := make([]byte, 0, 48)
-	for _, v := range []uint64{
-		uint64(s.Device), s.QueryID, uint64(s.Claim.Kind),
-		uint64(s.Claim.VectorLen), uint64(s.Claim.Lo), uint64(s.Claim.Hi),
-	} {
-		msg = binary.LittleEndian.AppendUint64(msg, v)
-	}
-	hashing.Write(mac, msg)
+	var msg [statementMsgLen]byte
+	putStatement(msg[:], s)
+	hashing.Write(mac, msg[:])
 	var out [sha256.Size]byte
 	copy(out[:], mac.Sum(nil))
 	return out
@@ -138,11 +149,25 @@ func Forge(s Statement) *Proof {
 	return &Proof{Statement: s, valid: false}
 }
 
-// Verifier checks proofs and enforces replay protection per query.
+// Verifier checks proofs and enforces replay protection per query. It comes
+// in two constructions: NewVerifier holds an explicit device-key map (and a
+// map-backed replay set), while NewVerifierFunc resolves keys on demand over
+// a contiguous device range with a dense replay bitset — O(range/8) bytes of
+// state, which is what lets streaming-ingest shards verify virtual
+// populations of 10^8 devices without materializing a key table.
 type Verifier struct {
 	proverKeys map[int][]byte
 	seen       map[uint64]map[int]bool // queryID → device → used
+
+	keyOf    KeyFunc
+	lo, hi   int                 // accepted device range [lo, hi) (keyOf mode)
+	seenBits map[uint64][]uint64 // queryID → replay bitset over [lo, hi)
 }
+
+// KeyFunc resolves a device's signing key on demand. The returned slice is
+// only read before the next call, so implementations may reuse one buffer.
+// Returning nil rejects the device.
+type KeyFunc func(device int) []byte
 
 // NewVerifier returns a verifier that accepts proofs from the given device
 // keys (device index → signing key).
@@ -154,29 +179,78 @@ func NewVerifier(proverKeys map[int][]byte) *Verifier {
 	return &Verifier{proverKeys: keys, seen: map[uint64]map[int]bool{}}
 }
 
-// Verify checks the proof. It fails for forged proofs, unknown devices,
-// tag mismatches (wrong key or tampered statement), and replays of a proof
-// from the same device in the same query.
-func (v *Verifier) Verify(p *Proof) bool {
+// NewVerifierFunc returns a verifier that accepts proofs from devices in
+// [lo, hi), resolving each signing key through keyOf at verification time.
+func NewVerifierFunc(keyOf KeyFunc, lo, hi int) *Verifier {
+	return &Verifier{keyOf: keyOf, lo: lo, hi: hi, seenBits: map[uint64][]uint64{}}
+}
+
+// key resolves the device's signing key, or nil to reject.
+func (v *Verifier) key(device int) []byte {
+	if v.keyOf != nil {
+		if device < v.lo || device >= v.hi {
+			return nil
+		}
+		return v.keyOf(device)
+	}
+	return v.proverKeys[device]
+}
+
+// markSeen records the (query, device) pair, reporting whether it was fresh.
+func (v *Verifier) markSeen(queryID uint64, device int) bool {
+	if v.keyOf != nil {
+		bits := v.seenBits[queryID]
+		if bits == nil {
+			bits = make([]uint64, (v.hi-v.lo+63)/64)
+			v.seenBits[queryID] = bits
+		}
+		i := device - v.lo
+		w, b := i/64, uint64(1)<<(i%64)
+		if bits[w]&b != 0 {
+			return false
+		}
+		bits[w] |= b
+		return true
+	}
+	q := v.seen[queryID]
+	if q == nil {
+		q = map[int]bool{}
+		v.seen[queryID] = q
+	}
+	if q[device] {
+		return false
+	}
+	q[device] = true
+	return true
+}
+
+// verify is the shared check; a nil scratch takes the allocating tag path.
+func (v *Verifier) verify(p *Proof, sc *Scratch) bool {
 	if p == nil || !p.valid {
 		return false
 	}
-	key, ok := v.proverKeys[p.Statement.Device]
-	if !ok {
+	key := v.key(p.Statement.Device)
+	if key == nil {
 		return false
 	}
-	want := statementTag(key, p.Statement)
+	var want [sha256.Size]byte
+	if sc != nil {
+		want = sc.tag(key, p.Statement)
+	} else {
+		want = statementTag(key, p.Statement)
+	}
 	if !hmac.Equal(want[:], p.tag[:]) {
 		return false
 	}
-	q := v.seen[p.Statement.QueryID]
-	if q == nil {
-		q = map[int]bool{}
-		v.seen[p.Statement.QueryID] = q
-	}
-	if q[p.Statement.Device] {
-		return false // replay
-	}
-	q[p.Statement.Device] = true
-	return true
+	return v.markSeen(p.Statement.QueryID, p.Statement.Device)
 }
+
+// Verify checks the proof. It fails for forged proofs, unknown devices,
+// tag mismatches (wrong key or tampered statement), and replays of a proof
+// from the same device in the same query.
+func (v *Verifier) Verify(p *Proof) bool { return v.verify(p, nil) }
+
+// VerifyScratch is Verify on the pooled tag path: identical outcomes and
+// replay state, zero allocations past the per-query replay set. Callers own
+// the scratch's synchronization along with the verifier's.
+func (v *Verifier) VerifyScratch(sc *Scratch, p *Proof) bool { return v.verify(p, sc) }

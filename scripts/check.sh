@@ -35,6 +35,13 @@ fi
 echo "== go test ./..."
 go test ./...
 
+# Streaming-ingest memory-flatness smoke (docs/INGEST.md): peak heap at 10^6
+# simulated devices must stay within 1.2x of the 10^5 run. Runs without the
+# race detector (the test is !race-tagged: 10^6 instrumented Paillier folds
+# would take minutes and measure the detector's shadow heap, not ours).
+echo "== ingest memory-flatness smoke"
+ARBORETUM_INGEST_SMOKE=1 go test ./internal/runtime -run '^TestIngestMemoryFlat$' -count=1
+
 if [ "${ARBORETUM_CHECK_FAST:-0}" = "1" ]; then
     echo "== skipping go test -race ./... (ARBORETUM_CHECK_FAST=1)"
     # The fast path trades the race pass for the arboretumd end-to-end
