@@ -21,6 +21,22 @@
 // and fails if any job fails, any budget is oversubscribed, or any
 // tenant's spent ε differs from its completed jobs × the per-query ε. It
 // prints a throughput/latency summary: the gateway's tracked baseline.
+//
+// The two -phase modes split that flow around a daemon kill, as the
+// engine behind `scripts/loadtest.sh -kill`:
+//
+//	arbload -addr ... -phase submit -ids FILE -queries 24 -tenants 4
+//	arbload -addr ... -phase verify -ids FILE
+//
+// `-phase submit` submits without waiting, appending one "tenant id"
+// line to FILE per accepted (202) job, and exits cleanly when the daemon
+// is killed mid-burst (transport errors are the expected end of the
+// phase, not a failure). `-phase verify` runs against the restarted
+// daemon: every acknowledged job in FILE must recover to done with the
+// exact certificate spend, every journaled-but-unacknowledged job must
+// be terminal (done, or failed closed as "crashed"), nothing may be left
+// reserved, and each tenant's spent ε must equal its done jobs × the
+// per-query ε — the exact-accounting bar for crash recovery.
 package main
 
 import (
@@ -33,6 +49,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -52,6 +69,8 @@ const overBudgetQuery = "aggr = sum(db);\nnoised = laplace(aggr[0], 50.0);\noutp
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8750", "arboretumd address")
 	smoke := flag.Bool("smoke", false, "run the API conformance pass instead of the load test")
+	phase := flag.String("phase", "", `kill-test phase: "submit" or "verify" (needs -ids)`)
+	ids := flag.String("ids", "", "accepted-job file for -phase (one \"tenant id\" line per job)")
 	clients := flag.Int("clients", 8, "concurrent analyst clients")
 	queries := flag.Int("queries", 24, "total queries to submit")
 	tenants := flag.Int("tenants", 4, "tenants to spread load across")
@@ -60,9 +79,16 @@ func main() {
 
 	c := &client{base: "http://" + *addr, timeout: *timeout}
 	var err error
-	if *smoke {
+	switch {
+	case *smoke:
 		err = runSmoke(c)
-	} else {
+	case *phase == "submit":
+		err = runKillSubmit(c, *queries, *tenants, *ids)
+	case *phase == "verify":
+		err = runKillVerify(c, *ids)
+	case *phase != "":
+		err = fmt.Errorf("unknown -phase %q (want submit or verify)", *phase)
+	default:
 		err = runLoad(c, *clients, *queries, *tenants)
 	}
 	if err != nil {
@@ -408,5 +434,142 @@ func runLoad(c *client, clients, queries, tenants int) error {
 		(sum / time.Duration(len(latencies))).Round(time.Millisecond),
 		latencies[len(latencies)/2].Round(time.Millisecond),
 		latencies[len(latencies)-1].Round(time.Millisecond))
+	return nil
+}
+
+// runKillSubmit is the first half of the kill test: submit without waiting,
+// recording each accepted job as a "tenant id" line in idsPath. The daemon
+// is SIGKILLed mid-burst by the driving script, so a transport error is the
+// phase's expected ending, not a failure — the accepted set on disk is what
+// the verify phase holds recovery to.
+func runKillSubmit(c *client, queries, tenants int, idsPath string) error {
+	if idsPath == "" {
+		return fmt.Errorf("-phase submit needs -ids")
+	}
+	if tenants < 1 || queries < 1 {
+		return fmt.Errorf("need positive -queries/-tenants")
+	}
+	names := make([]string, tenants)
+	for i := range names {
+		names[i] = fmt.Sprintf("kill-%d", i)
+		if err := c.ensureTenant(names[i], float64(queries)*countEpsilon); err != nil {
+			return err
+		}
+	}
+	f, err := os.OpenFile(idsPath, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	accepted := 0
+	for i := 0; i < queries; i++ {
+		j, err := c.submit(names[i%tenants], countQuery)
+		if err != nil {
+			fmt.Printf("arbload: submit phase ended after %d accepted: %v\n", accepted, err)
+			return nil
+		}
+		if _, err := fmt.Fprintf(f, "%s %s\n", j.Tenant, j.ID); err != nil {
+			return err
+		}
+		accepted++
+	}
+	fmt.Printf("arbload: submit phase accepted all %d queries\n", accepted)
+	return nil
+}
+
+// runKillVerify is the second half of the kill test, run against the
+// restarted daemon. Every job acknowledged before the kill must recover to
+// done with the exact certificate spend; jobs the daemon journaled but never
+// acknowledged (their 202 died with the process) must be terminal too —
+// re-executed to done, or failed closed as "crashed" — and each tenant's
+// ledger must balance exactly: nothing reserved, spent ε equal to done jobs
+// × the per-query certificate, query count matching.
+func runKillVerify(c *client, idsPath string) error {
+	if idsPath == "" {
+		return fmt.Errorf("-phase verify needs -ids")
+	}
+	data, err := os.ReadFile(idsPath)
+	if err != nil {
+		return err
+	}
+	acked := map[string][]string{} // tenant → job IDs acknowledged pre-kill
+	total := 0
+	for _, line := range strings.Split(string(data), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) != 2 {
+			return fmt.Errorf("ids file %s: bad line %q", idsPath, line)
+		}
+		acked[fields[0]] = append(acked[fields[0]], fields[1])
+		total++
+	}
+	if total == 0 {
+		return fmt.Errorf("ids file %s records no accepted jobs — the kill fired before the burst started", idsPath)
+	}
+
+	for tenant, ids := range acked {
+		for _, id := range ids {
+			j, err := c.wait(id)
+			if err != nil {
+				return err
+			}
+			if j.State != "done" {
+				return fmt.Errorf("tenant %s job %s: recovered to %s (%s: %s), want done",
+					tenant, id, j.State, j.ErrorCode, j.Error)
+			}
+			if j.SpentEpsilon != countEpsilon {
+				return fmt.Errorf("tenant %s job %s: spent ε = %g, want %g", tenant, id, j.SpentEpsilon, countEpsilon)
+			}
+		}
+	}
+
+	recoveredExtra, failedClosed := 0, 0
+	for tenant, ids := range acked {
+		var listed struct {
+			Jobs []job `json:"jobs"`
+		}
+		if status, e, err := c.call("GET", "/v1/queries?tenant="+tenant, nil, &listed); err != nil || status != http.StatusOK {
+			return fmt.Errorf("list jobs for %s: %d (%+v): %v", tenant, status, e, err)
+		}
+		done := 0
+		for _, lj := range listed.Jobs {
+			// Unacknowledged recovered jobs may still be re-executing when the
+			// acknowledged set finishes; wait polls each to terminal (a no-op
+			// for jobs already there).
+			j, err := c.wait(lj.ID)
+			if err != nil {
+				return err
+			}
+			switch j.State {
+			case "done":
+				done++
+			case "failed":
+				if j.ErrorCode != "crashed" {
+					return fmt.Errorf("tenant %s job %s: failed with %q (%s), want fail-closed \"crashed\"",
+						tenant, j.ID, j.ErrorCode, j.Error)
+				}
+				failedClosed++
+			default:
+				return fmt.Errorf("tenant %s job %s: unexpected terminal state %s", tenant, j.ID, j.State)
+			}
+		}
+		if done < len(ids) {
+			return fmt.Errorf("tenant %s: %d done jobs but %d were acknowledged pre-kill", tenant, done, len(ids))
+		}
+		recoveredExtra += done - len(ids)
+		b, err := c.budget(tenant)
+		if err != nil {
+			return err
+		}
+		wantSpent := float64(done) * countEpsilon
+		if math.Abs(b.EpsSpent-wantSpent) > 1e-9 || b.EpsReserved != 0 || b.Queries != done {
+			return fmt.Errorf("tenant %s: balance %+v, want spent %g, reserved 0, %d queries (double-spend or leaked reservation)",
+				tenant, b, wantSpent, done)
+		}
+	}
+	fmt.Printf("arbload: kill verify ok — %d acknowledged jobs done, %d unacknowledged recovered, %d failed closed, budgets exact\n",
+		total, recoveredExtra, failedClosed)
 	return nil
 }

@@ -6,11 +6,12 @@
 //
 // Usage:
 //
-//	arboretumd [-addr :8750] [-ledger arboretumd.ledger] \
+//	arboretumd [-addr :8750] [-ledger arboretumd.ledger] [-journal PATH] \
 //	           [-tenants "alice=5,bob=3"] \
 //	           [-devices 96] [-categories 8] [-committee 5] [-seed 1] \
 //	           [-workers 0] [-job-workers 2] [-queue 64] \
 //	           [-rate 5] [-burst 10] [-max-inflight 4] \
+//	           [-job-timeout 0] [-retain-jobs 10000] [-drain-timeout 30s] \
 //	           [-faults ""] [-secure-noise]
 //
 // The API (submit/status/result/cancel, tenant budgets, /healthz) is
@@ -19,9 +20,15 @@
 // -faults applies a default fault-injection schedule to every job's
 // deployment (docs/FAULTS.md). The daemon prints "listening on ADDR" once
 // it serves; -addr :0 picks a free port (scripts/loadtest.sh relies on
-// both). On SIGINT/SIGTERM it stops accepting work, finishes running
-// jobs, and closes the ledger; reservations of jobs that never ran are
-// resolved fail-closed by WAL replay at the next start.
+// both).
+//
+// Jobs are crash-resumable: every lifecycle transition is journaled (to
+// -journal, default LEDGER.jobs) before it is observable, and a restarted
+// daemon re-executes journaled in-flight jobs deterministically against
+// their still-held reservations instead of dropping them. On SIGINT or
+// SIGTERM the daemon stops accepting work, gives running jobs up to
+// -drain-timeout to finish, journals the rest for the next start, and
+// closes the journal and ledger.
 package main
 
 import (
@@ -81,6 +88,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("arboretumd", flag.ExitOnError)
 	addr := fs.String("addr", ":8750", "listen address (:0 picks a free port)")
 	ledgerPath := fs.String("ledger", "arboretumd.ledger", "privacy-budget WAL path")
+	journalPath := fs.String("journal", "", "job journal path (default LEDGER.jobs)")
 	tenants := fs.String("tenants", "", `tenants to seed, e.g. "alice=5,bob=3" or "alice=5:1e-6"`)
 	devices := fs.Int("devices", 96, "simulated devices per job deployment")
 	categories := fs.Int("categories", 8, "one-hot categories per device input")
@@ -92,8 +100,12 @@ func run(args []string) error {
 	rate := fs.Float64("rate", 5, "per-tenant sustained submissions per second (0 = unlimited)")
 	burst := fs.Int("burst", 10, "per-tenant submission burst")
 	maxInflight := fs.Int("max-inflight", 4, "per-tenant queued+running job cap (0 = unlimited)")
+	jobTimeout := fs.Duration("job-timeout", 0, "per-job execution deadline (0 = none; submissions may override)")
+	retainJobs := fs.Int("retain-jobs", 0, "terminal jobs kept queryable before eviction (0 = default 10000)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for running jobs (negative = forever)")
 	faultSpec := fs.String("faults", "", `default fault schedule per job, e.g. "seed=7,upload=0.1" (docs/FAULTS.md)`)
 	ledgerFaults := fs.String("ledger-faults", "", `WAL crash schedule for chaos testing, e.g. "seed=1,wal=0.01"`)
+	daemonFaults := fs.String("daemon-faults", "", `daemon death schedule for chaos testing, e.g. "seed=1,daemon=0.01" or "daemon@3.2"`)
 	secureNoise := fs.Bool("secure-noise", false, "draw committee noise from crypto/rand (production)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -106,8 +118,13 @@ func run(args []string) error {
 	if err != nil {
 		return fmt.Errorf("-ledger-faults: %w", err)
 	}
+	daemonPlan, err := faults.Parse(*daemonFaults)
+	if err != nil {
+		return fmt.Errorf("-daemon-faults: %w", err)
+	}
 	srv, err := service.New(service.Config{
 		LedgerPath:    *ledgerPath,
+		JournalPath:   *journalPath,
 		Tenants:       tens,
 		Devices:       *devices,
 		Categories:    *categories,
@@ -120,8 +137,11 @@ func run(args []string) error {
 		Rate:          *rate,
 		Burst:         *burst,
 		MaxInFlight:   *maxInflight,
+		JobTimeout:    *jobTimeout,
+		RetainJobs:    *retainJobs,
 		FaultSpec:     *faultSpec,
 		LedgerFaults:  crashPlan,
+		DaemonFaults:  daemonPlan,
 	})
 	if err != nil {
 		return err
@@ -148,11 +168,15 @@ func run(args []string) error {
 	case <-ctx.Done():
 	}
 	fmt.Println("arboretumd: shutting down")
-	shCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	// Drain first: admission flips to 503 shutting_down, running jobs get up
+	// to -drain-timeout, and whatever remains is journaled for the next
+	// start. Then close the HTTP front end (read-only requests keep working
+	// during the drain).
+	drainErr := srv.Drain(*drainTimeout)
+	shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	if err := httpSrv.Shutdown(shCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		srv.Close()
-		return err
+	if err := httpSrv.Shutdown(shCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) && drainErr == nil {
+		drainErr = err
 	}
-	return srv.Close()
+	return drainErr
 }

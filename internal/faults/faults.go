@@ -62,11 +62,21 @@ const (
 	// Coordinates: (shard, batch, attempt), so a forced "shard@N" crashes
 	// shard N's first fold of its first batch.
 	ShardCrash
+	// DaemonCrash: the arboretumd gateway process dies at a job-lifecycle
+	// boundary (internal/service). Coordinates: (job sequence, stage),
+	// where stage 0 crashes before the claim is journaled, 1 after the
+	// claim is journaled but before execution, 2 mid-execute (the run is
+	// canceled at its next checkpoint, then the daemon dies), and 3 after
+	// the run completes but before the budget commit. A forced "daemon@N"
+	// therefore kills the daemon just as job N is claimed; rates exercise
+	// every stage. Recovery is the job journal's replay + deterministic
+	// re-execution on restart (docs/SERVICE.md).
+	DaemonCrash
 
 	numKinds
 )
 
-var kindNames = [numKinds]string{"upload", "dropout", "dealer", "crash", "wal", "shard"}
+var kindNames = [numKinds]string{"upload", "dropout", "dealer", "crash", "wal", "shard", "daemon"}
 
 // String returns the kind's spec-string name.
 func (k Kind) String() string {
@@ -103,9 +113,10 @@ type Fault struct {
 // record, though the runtime records sequentially to keep log order
 // deterministic.
 type Plan struct {
-	seed   uint64
-	rates  [numKinds]float64
-	forced [numKinds]map[int]bool
+	seed     uint64
+	rates    [numKinds]float64
+	forced   [numKinds]map[int]bool
+	forcedAt [numKinds]map[string]bool
 
 	mu    sync.Mutex
 	fired []Fault
@@ -143,6 +154,31 @@ func (p *Plan) Force(k Kind, seq int) *Plan {
 	}
 	p.forced[k][seq] = true
 	return p
+}
+
+// ForceAt makes kind fire deterministically at the exact injection point
+// idx — every coordinate significant, unlike Force's first-coordinate form
+// (so ForceAt(DaemonCrash, 3, 2) kills the daemon mid-execute of job 3,
+// which "daemon@3" cannot express). The spec form is "kind@a.b.c". It
+// returns the plan for chaining.
+func (p *Plan) ForceAt(k Kind, idx ...int) *Plan {
+	if p.forcedAt[k] == nil {
+		p.forcedAt[k] = map[string]bool{}
+	}
+	p.forcedAt[k][idxKey(idx)] = true
+	return p
+}
+
+// idxKey renders coordinates in the spec's dotted form ("3.2").
+func idxKey(idx []int) string {
+	var b strings.Builder
+	for i, v := range idx {
+		if i > 0 {
+			b.WriteByte('.')
+		}
+		b.WriteString(strconv.Itoa(v))
+	}
+	return b.String()
 }
 
 // domain tags separate the derived streams of the plan's decision functions.
@@ -191,6 +227,9 @@ func (p *Plan) uniform(k Kind, idx []int) float64 {
 func (p *Plan) Fires(k Kind, idx ...int) bool {
 	if p == nil || k < 0 || k >= numKinds {
 		return false
+	}
+	if p.forcedAt[k] != nil && p.forcedAt[k][idxKey(idx)] {
+		return true
 	}
 	if len(idx) > 0 && p.forced[k][idx[0]] {
 		rest := true
@@ -259,7 +298,7 @@ func (p *Plan) Fired() []Fault {
 //	<kind>=<rate> an independent per-injection-point probability in [0, 1]
 //	<kind>@<seq>  a forced fault (see Force)
 //
-// with kinds upload, dropout, dealer, crash, wal, shard — e.g.
+// with kinds upload, dropout, dealer, crash, wal, shard, daemon — e.g.
 // "seed=7,upload=0.05,dropout=0.01,crash@1". An empty spec returns a nil
 // plan (no injection).
 func Parse(spec string) (*Plan, error) {
@@ -278,11 +317,22 @@ func Parse(spec string) (*Plan, error) {
 			if !ok {
 				return nil, fmt.Errorf("faults: unknown kind %q in %q", tok[:at], tok)
 			}
-			seq, err := strconv.Atoi(tok[at+1:])
-			if err != nil || seq < 0 {
-				return nil, fmt.Errorf("faults: bad forced index in %q", tok)
+			// "kind@N" forces the first coordinate (Force); "kind@a.b.c"
+			// pins every coordinate (ForceAt).
+			coords := strings.Split(tok[at+1:], ".")
+			idx := make([]int, len(coords))
+			for i, c := range coords {
+				v, err := strconv.Atoi(c)
+				if err != nil || v < 0 {
+					return nil, fmt.Errorf("faults: bad forced index in %q", tok)
+				}
+				idx[i] = v
 			}
-			p.Force(k, seq)
+			if len(idx) == 1 {
+				p.Force(k, idx[0])
+			} else {
+				p.ForceAt(k, idx...)
+			}
 			continue
 		}
 		eq := strings.IndexByte(tok, '=')
@@ -331,6 +381,16 @@ func (p *Plan) String() string {
 			sort.Ints(seqs)
 			for _, seq := range seqs {
 				parts = append(parts, fmt.Sprintf("%s@%d", k, seq))
+			}
+		}
+		if len(p.forcedAt[k]) > 0 {
+			keys := make([]string, 0, len(p.forcedAt[k]))
+			for key := range p.forcedAt[k] {
+				keys = append(keys, key)
+			}
+			sort.Strings(keys)
+			for _, key := range keys {
+				parts = append(parts, fmt.Sprintf("%s@%s", k, key))
 			}
 		}
 	}

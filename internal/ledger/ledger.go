@@ -13,26 +13,26 @@
 //	release — on failure or cancellation, the reservation returns to the
 //	          balance; a query that failed closed spends nothing.
 //
-// Durability is a JSON-lines write-ahead log: each state transition is one
-// checksummed record appended and fsynced before the transition takes
-// effect, so the on-disk ledger is never behind the in-memory one. Open
-// takes an exclusive advisory lock on the WAL (released when the process
-// exits, however it exits), so two daemons can never interleave appends
-// into one ledger. Opening a ledger replays the log; a torn final line
-// (the signature of a crash mid-append: unterminated or not decodable as a
-// record) is truncated, while any record that was durably written whole —
-// including the final one — but fails its checksum is corruption and fails
-// Open with ErrCorrupt rather than guessing at balances. Reservations that were in flight when the process died are
-// *kept held* by replay — never silently released, because the crash may
-// have happened after the query's DP release but before the commit record
-// became durable. The daemon resolves them at startup with CommitDangling,
-// charging each at its full reserved amount: since a reservation is exactly
-// the certificate's ε, the recovered balance equals the balance a
-// crash-free run would have reached, and spend is never under-counted
-// (never-double-spend's dual). Crash points in the append path are
-// simulation-injectable through an internal/faults plan (the "wal" kind),
-// which is how the crash-recovery tests and the chaos-style service tests
-// drive mid-commit failures deterministically.
+// Durability is a checksummed JSON-lines write-ahead log built on
+// internal/wal: each state transition is one record appended and fsynced
+// before the transition takes effect, so the on-disk ledger is never behind
+// the in-memory one. Open takes an exclusive advisory lock on the WAL
+// (ErrLocked), replays it, truncates a torn final line, and refuses with
+// ErrCorrupt any durably written record that fails validation — the rules
+// documented in the wal package, shared with the gateway's job journal.
+// Reservations that were in flight when the process died are *kept held* by
+// replay — never silently released, because the crash may have happened
+// after the query's DP release but before the commit record became durable.
+// The daemon pairs them at startup with its own job journal and either
+// re-executes the job deterministically (committing exactly the certified
+// spend) or settles fail-closed with CommitDangling, charging each at its
+// full reserved amount: since a reservation is exactly the certificate's ε,
+// the recovered balance equals the balance a crash-free run would have
+// reached, and spend is never under-counted (never-double-spend's dual).
+// Crash points in the append path are simulation-injectable through an
+// internal/faults plan (the "wal" kind), which is how the crash-recovery
+// tests and the chaos-style service tests drive mid-commit failures
+// deterministically.
 //
 // All methods are safe for concurrent use; admission-time reservations are
 // serialized under one mutex, so concurrent analysts can never jointly
@@ -40,24 +40,22 @@
 package ledger
 
 import (
-	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
-	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
-	"os"
 	"sort"
 	"strings"
 	"sync"
-	"syscall"
 
 	"arboretum/internal/faults"
+	"arboretum/internal/wal"
 )
 
 // Typed failure modes. Handlers map these to API error codes, so they are
-// part of the service contract (docs/SERVICE.md).
+// part of the service contract (docs/SERVICE.md). The durability errors are
+// the wal package's sentinels, re-exported so callers keep matching against
+// ledger.ErrCorrupt and friends.
 var (
 	// ErrBudgetExhausted rejects a reservation that would oversubscribe the
 	// tenant's remaining (ε, δ). The query must not execute.
@@ -72,14 +70,14 @@ var (
 	ErrNoReservation = errors.New("ledger: no such reservation")
 	// ErrCorrupt means replay found a record that is syntactically broken or
 	// fails its checksum before the final line. The ledger refuses to guess.
-	ErrCorrupt = errors.New("ledger: corrupt ledger record")
+	ErrCorrupt = wal.ErrCorrupt
 	// ErrCrashed is the simulated process death injected by a faults plan
 	// ("wal" kind): the ledger is poisoned exactly as if the daemon had died
 	// mid-append and must be reopened (replayed) before further use.
-	ErrCrashed = errors.New("ledger: simulated crash during WAL append")
+	ErrCrashed = wal.ErrCrashed
 	// ErrLocked means another live process holds the WAL: Open refuses
 	// rather than let two daemons interleave conflicting sequence numbers.
-	ErrLocked = errors.New("ledger: ledger file held by another process")
+	ErrLocked = wal.ErrLocked
 )
 
 // Op is a WAL record type.
@@ -107,12 +105,34 @@ type Record struct {
 }
 
 // checksum binds the record fields; hex-truncated SHA-256 keeps lines short
-// while torn or edited lines still fail with overwhelming probability.
+// while torn or edited lines still fail with overwhelming probability. It
+// predates internal/wal and is the on-disk format of every existing ledger,
+// so it must not change.
 func (r *Record) checksum() string {
 	h := sha256.Sum256([]byte(fmt.Sprintf("%d|%s|%s|%s|%.17g|%.17g|%s",
 		r.Seq, r.Op, r.Tenant, r.Job, r.Eps, r.Del, r.Note)))
 	return hex.EncodeToString(h[:8])
 }
+
+// The wal.Record plumbing.
+
+// WALSeq returns the record's sequence number.
+func (r *Record) WALSeq() uint64 { return r.Seq }
+
+// SetWALSeq assigns the record's sequence number.
+func (r *Record) SetWALSeq(s uint64) { r.Seq = s }
+
+// WALSum returns the stored checksum.
+func (r *Record) WALSum() string { return r.Sum }
+
+// SetWALSum assigns the stored checksum.
+func (r *Record) SetWALSum(s string) { r.Sum = s }
+
+// WALChecksum computes the canonical checksum.
+func (r *Record) WALChecksum() string { return r.checksum() }
+
+// WALDesc labels the record in injected-crash notes.
+func (r *Record) WALDesc() string { return fmt.Sprintf("%s %s/%s", r.Op, r.Tenant, r.Job) }
 
 // Balance is one tenant's budget state. Available ε is
 // Total − Spent − Reserved; δ likewise.
@@ -138,6 +158,13 @@ type reservation struct {
 	eps, del float64
 }
 
+// Reservation is one outstanding hold as reported by Reservations: the
+// startup-recovery view the service pairs against its job journal.
+type Reservation struct {
+	Tenant, Job string
+	Eps, Del    float64
+}
+
 // Options configures Open.
 type Options struct {
 	// Crash injects simulated process deaths into the WAL append path (the
@@ -150,13 +177,13 @@ type Options struct {
 // Ledger is a durable privacy-budget ledger. Create one with Open.
 type Ledger struct {
 	mu       sync.Mutex
-	f        *os.File
-	path     string
-	seq      uint64
+	log      *wal.Log[*Record]
 	tenants  map[string]*Balance
 	reserved map[string]reservation // key: tenant + "\x00" + job
-	crash    *faults.Plan
-	dead     bool // poisoned by a simulated crash; reopen to recover
+	// committed remembers every (tenant, job) that has a durable commit —
+	// the startup-recovery signal that a crash fell between the budget
+	// commit and the job journal's terminal record (docs/SERVICE.md).
+	committed map[string]bool
 }
 
 // Open opens (creating if absent) the ledger at path, takes an exclusive
@@ -165,92 +192,22 @@ type Ledger struct {
 // record — is truncated; any durably written record that fails validation
 // fails with ErrCorrupt.
 func Open(path string, opts Options) (*Ledger, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("ledger: open %s: %w", path, err)
-	}
-	// One writer per WAL: two daemons replaying and appending to the same
-	// ledger would interleave conflicting sequence numbers. The lock rides
-	// the descriptor, so the kernel releases it on any process death.
-	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("%w: %s", ErrLocked, path)
-	}
-	data, err := io.ReadAll(f)
-	if err != nil {
-		f.Close()
-		return nil, fmt.Errorf("ledger: read %s: %w", path, err)
-	}
 	l := &Ledger{
-		path:     path,
-		tenants:  map[string]*Balance{},
-		reserved: map[string]reservation{},
-		crash:    opts.Crash,
+		tenants:   map[string]*Balance{},
+		reserved:  map[string]reservation{},
+		committed: map[string]bool{},
 	}
-	good, err := l.replay(data)
+	log, err := wal.Open(path, func() *Record { return new(Record) }, l.apply,
+		wal.Options{Crash: opts.Crash, CrashKind: faults.WALCrash})
 	if err != nil {
-		f.Close()
 		return nil, err
 	}
-	// Drop the torn tail (if any) so the next append starts on a line
-	// boundary, then position at the end of the intact prefix.
-	if err := f.Truncate(int64(good)); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("ledger: truncate torn tail: %w", err)
-	}
-	if _, err := f.Seek(int64(good), 0); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("ledger: seek: %w", err)
-	}
-	l.f = f
+	l.log = log
 	return l, nil
 }
 
-// replay applies every intact record of data and returns the byte length of
-// the intact prefix. The final record may be torn (crash mid-append); any
-// earlier bad record is ErrCorrupt.
-func (l *Ledger) replay(data []byte) (int, error) {
-	good := 0
-	for len(data) > 0 {
-		line := data
-		rest := []byte(nil)
-		if i := bytes.IndexByte(data, '\n'); i >= 0 {
-			line, rest = data[:i], data[i+1:]
-		} else {
-			// No terminating newline: the append died mid-line.
-			return good, nil
-		}
-		var r Record
-		if err := json.Unmarshal(line, &r); err != nil {
-			if len(rest) == 0 {
-				return good, nil // undecodable final line: a torn append
-			}
-			return 0, fmt.Errorf("%w: record %d (byte offset %d)", ErrCorrupt, l.seq+1, good)
-		}
-		if r.Sum != r.checksum() {
-			// A decodable, newline-terminated record was written whole — a
-			// torn append can't include the trailing newline. A checksum
-			// failure here is corruption of a durable record (possibly a
-			// reserve or commit), even on the final line: refuse to guess.
-			return 0, fmt.Errorf("%w: record %d (byte offset %d): checksum mismatch", ErrCorrupt, l.seq+1, good)
-		}
-		if r.Seq != l.seq+1 {
-			if len(rest) == 0 {
-				return good, nil // a replayed-but-stale tail record
-			}
-			return 0, fmt.Errorf("%w: sequence %d after %d", ErrCorrupt, r.Seq, l.seq)
-		}
-		if err := l.apply(&r); err != nil {
-			return 0, fmt.Errorf("%w: record %d: %v", ErrCorrupt, r.Seq, err)
-		}
-		l.seq = r.Seq
-		good += len(line) + 1
-		data = rest
-	}
-	return good, nil
-}
-
-// apply folds one validated record into the in-memory state.
+// apply folds one validated record into the in-memory state. It runs under
+// the wal mutex (replay at Open, then every durable append).
 func (l *Ledger) apply(r *Record) error {
 	key := r.Tenant + "\x00" + r.Job
 	switch r.Op {
@@ -282,6 +239,7 @@ func (l *Ledger) apply(r *Record) error {
 		b.DelSpent += r.Del
 		b.Queries++
 		delete(l.reserved, key)
+		l.committed[key] = true
 	case OpRelease:
 		b, ok := l.tenants[r.Tenant]
 		res, held := l.reserved[key]
@@ -297,65 +255,6 @@ func (l *Ledger) apply(r *Record) error {
 	return nil
 }
 
-// append writes one record durably (fsync) and only then applies it, so the
-// disk is never behind memory. The two WALCrash stages straddle the write:
-// stage 0 dies before any byte reaches the file, stage 1 after a torn
-// half-record — both poison the ledger like a real process death.
-func (l *Ledger) append(r *Record) error {
-	if l.dead {
-		return ErrCrashed
-	}
-	r.Seq = l.seq + 1
-	r.Sum = r.checksum()
-	line, err := json.Marshal(r)
-	if err != nil {
-		return fmt.Errorf("ledger: marshal: %w", err)
-	}
-	line = append(line, '\n')
-	if l.crash.Fires(faults.WALCrash, int(r.Seq), 0) {
-		l.die(r, 0, "crashed before WAL append")
-		return fmt.Errorf("%w (before record %d)", ErrCrashed, r.Seq)
-	}
-	if l.crash.Fires(faults.WALCrash, int(r.Seq), 1) {
-		// Torn write: half the line reaches the disk, no newline, no fsync.
-		if _, err := l.f.Write(line[:len(line)/2]); err != nil {
-			return fmt.Errorf("ledger: append: %w", err)
-		}
-		l.die(r, 1, "crashed mid-append (torn record)")
-		return fmt.Errorf("%w (torn record %d)", ErrCrashed, r.Seq)
-	}
-	if _, err := l.f.Write(line); err != nil {
-		return fmt.Errorf("ledger: append: %w", err)
-	}
-	if err := l.f.Sync(); err != nil {
-		return fmt.Errorf("ledger: fsync: %w", err)
-	}
-	if err := l.apply(r); err != nil {
-		// The record is durable but inconsistent with memory — a programming
-		// error, not an I/O race; poison the ledger rather than diverge.
-		l.dead = true
-		return fmt.Errorf("ledger: apply: %w", err)
-	}
-	l.seq = r.Seq
-	return nil
-}
-
-// die records the injected crash and poisons the ledger until reopened.
-// The descriptor is closed the way the kernel would on a real process
-// death — in particular releasing the advisory lock so the "restarted"
-// process can Open the WAL.
-func (l *Ledger) die(r *Record, stage int, note string) {
-	l.dead = true
-	if l.f != nil {
-		l.f.Close()
-		l.f = nil
-	}
-	l.crash.Record(faults.Fault{
-		Kind: faults.WALCrash, Idx: []int{int(r.Seq), stage},
-		Note: fmt.Sprintf("%s %s/%s: %s", r.Op, r.Tenant, r.Job, note),
-	})
-}
-
 // CreateTenant registers a tenant with its lifetime (ε, δ) allowance.
 func (l *Ledger) CreateTenant(tenant string, eps, del float64) error {
 	if tenant == "" || strings.ContainsAny(tenant, "\x00\n") {
@@ -369,7 +268,7 @@ func (l *Ledger) CreateTenant(tenant string, eps, del float64) error {
 	if _, ok := l.tenants[tenant]; ok {
 		return fmt.Errorf("%w: %q", ErrTenantExists, tenant)
 	}
-	return l.append(&Record{Op: OpCreate, Tenant: tenant, Eps: eps, Del: del})
+	return l.log.Append(&Record{Op: OpCreate, Tenant: tenant, Eps: eps, Del: del})
 }
 
 // EnsureTenant creates the tenant if absent; an existing tenant keeps its
@@ -405,7 +304,7 @@ func (l *Ledger) Reserve(tenant, job string, eps, del float64) error {
 		return fmt.Errorf("%w: tenant %q needs ε=%g, has %g of %g (%g spent, %g reserved)",
 			ErrBudgetExhausted, tenant, eps, b.EpsAvailable(), b.EpsTotal, b.EpsSpent, b.EpsReserved)
 	}
-	return l.append(&Record{Op: OpReserve, Tenant: tenant, Job: job, Eps: eps, Del: del})
+	return l.log.Append(&Record{Op: OpReserve, Tenant: tenant, Job: job, Eps: eps, Del: del})
 }
 
 // slack absorbs float64 rounding when a hold exactly drains a balance (the
@@ -430,7 +329,7 @@ func (l *Ledger) Commit(tenant, job string, eps, del float64) error {
 		return fmt.Errorf("ledger: commit ε=%g δ=%g exceeds reservation ε=%g δ=%g for %q/%q",
 			eps, del, res.eps, res.del, tenant, job)
 	}
-	return l.append(&Record{Op: OpCommit, Tenant: tenant, Job: job, Eps: eps, Del: del})
+	return l.log.Append(&Record{Op: OpCommit, Tenant: tenant, Job: job, Eps: eps, Del: del})
 }
 
 // Release returns the job's whole reservation to the tenant's balance.
@@ -440,7 +339,7 @@ func (l *Ledger) Release(tenant, job string, note string) error {
 	if _, ok := l.reserved[tenant+"\x00"+job]; !ok {
 		return fmt.Errorf("%w: %q/%q", ErrNoReservation, tenant, job)
 	}
-	return l.append(&Record{Op: OpRelease, Tenant: tenant, Job: job, Note: note})
+	return l.log.Append(&Record{Op: OpRelease, Tenant: tenant, Job: job, Note: note})
 }
 
 // CommitDangling resolves every reservation left over from a previous
@@ -450,6 +349,10 @@ func (l *Ledger) Release(tenant, job string, note string) error {
 // the commit record became durable, and a reservation equals the
 // certificate's spend, so the recovered balance matches a crash-free run
 // and spend is never under-counted. It returns the resolved job keys.
+//
+// The service only calls this for reservations its job journal cannot pair
+// with a recoverable job (docs/SERVICE.md); paired reservations are instead
+// re-executed deterministically and commit their exact certified spend.
 func (l *Ledger) CommitDangling(note string) ([]string, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -462,7 +365,7 @@ func (l *Ledger) CommitDangling(note string) ([]string, error) {
 	for _, key := range keys {
 		res := l.reserved[key]
 		tenant, job, _ := strings.Cut(key, "\x00")
-		err := l.append(&Record{
+		err := l.log.Append(&Record{
 			Op: OpCommit, Tenant: tenant, Job: job,
 			Eps: res.eps, Del: res.del, Note: note,
 		})
@@ -475,8 +378,8 @@ func (l *Ledger) CommitDangling(note string) ([]string, error) {
 }
 
 // Dangling returns the outstanding reservations as "tenant/job" keys, in
-// sorted order. After CommitDangling at startup, a non-empty result means
-// those jobs are currently running.
+// sorted order. After startup recovery, a non-empty result means those jobs
+// are currently queued or running.
 func (l *Ledger) Dangling() []string {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -487,6 +390,43 @@ func (l *Ledger) Dangling() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// Reservations returns the outstanding holds, sorted by (tenant, job) —
+// the structured form of Dangling used by startup recovery to pair each
+// hold with its journaled job.
+func (l *Ledger) Reservations() []Reservation {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Reservation, 0, len(l.reserved))
+	for key, res := range l.reserved {
+		tenant, job, _ := strings.Cut(key, "\x00")
+		out = append(out, Reservation{Tenant: tenant, Job: job, Eps: res.eps, Del: res.del})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Tenant != out[j].Tenant {
+			return out[i].Tenant < out[j].Tenant
+		}
+		return out[i].Job < out[j].Job
+	})
+	return out
+}
+
+// Reserved reports whether the job holds an outstanding reservation.
+func (l *Ledger) Reserved(tenant, job string) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, ok := l.reserved[tenant+"\x00"+job]
+	return ok
+}
+
+// Committed reports whether the job has a durable commit record — the
+// recovery signal that a crash fell after the budget commit but before the
+// job's own terminal record became durable.
+func (l *Ledger) Committed(tenant, job string) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.committed[tenant+"\x00"+job]
 }
 
 // Balance returns a copy of the tenant's budget state.
@@ -513,27 +453,10 @@ func (l *Ledger) Tenants() []Balance {
 }
 
 // Path returns the WAL file path.
-func (l *Ledger) Path() string { return l.path }
+func (l *Ledger) Path() string { return l.log.Path() }
 
 // Seq returns the sequence number of the last durable record.
-func (l *Ledger) Seq() uint64 {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.seq
-}
+func (l *Ledger) Seq() uint64 { return l.log.Seq() }
 
 // Close flushes and closes the WAL file. The ledger must not be used after.
-func (l *Ledger) Close() error {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.f == nil {
-		return nil
-	}
-	err := l.f.Sync()
-	if cerr := l.f.Close(); err == nil {
-		err = cerr
-	}
-	l.f = nil
-	l.dead = true
-	return err
-}
+func (l *Ledger) Close() error { return l.log.Close() }

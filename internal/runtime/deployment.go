@@ -27,6 +27,7 @@
 package runtime
 
 import (
+	"context"
 	"crypto/rand"
 	"crypto/sha256"
 	"fmt"
@@ -139,6 +140,12 @@ type Deployment struct {
 	// execs tracks every committee engine created for the current query so
 	// their traffic can be flushed into the metrics at the end.
 	execs []*committeeExec
+
+	// runCtx is the current Run's cancellation context (RunOptions.Ctx);
+	// nil between runs and for uncancellable runs. It is written once at
+	// the top of Run, before any fan-out, and only read afterwards (the
+	// checkpoint method), so pool workers may consult it without races.
+	runCtx context.Context
 
 	// vignetteSeq and transferSeq number the mechanism vignettes and VSR
 	// hand-offs across the deployment's lifetime: they are the first

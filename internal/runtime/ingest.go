@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"bytes"
+	"context"
 	"crypto/sha256"
 	"fmt"
 	"hash"
@@ -66,6 +67,10 @@ type ingestSpec struct {
 	plan    *faults.Plan
 	track   bool       // record accepted device indices (the bin protocol needs them)
 	gauge   *heapGauge // optional peak-heap sampling for the bench harness
+	// ctx cancels the ingest at batch boundaries (RunOptions.Ctx); nil
+	// never cancels. Written once before the shard fan-out, read-only
+	// inside it.
+	ctx context.Context
 }
 
 // uploadEvent is the compact coordinator-bound record of a device upload
@@ -221,6 +226,17 @@ func (sp *ingestSpec) runShard(shard int, job shardRun) (*shardResult, error) {
 	}
 
 	for b := 0; b < nBatches; b++ {
+		// Batch boundaries are cancellation checkpoints: the shard's last
+		// checkpoint is committed and no upload is half-folded, so a
+		// deadline-canceled ingest aborts here without double-counting.
+		if sp.ctx != nil {
+			select {
+			case <-sp.ctx.Done():
+				return nil, fmt.Errorf("runtime: ingest canceled at shard %d batch %d: %w",
+					shard, b, sp.ctx.Err())
+			default:
+			}
+		}
 		start := b * sp.batch
 		cnt := sp.batch
 		if start+cnt > n {
@@ -552,6 +568,7 @@ func (d *Deployment) streamIngest(km *keyMaterial, width int, hot func(onlineIdx
 		byz:     d.cfg.ByzantineAggregator,
 		plan:    d.cfg.Faults,
 		track:   track,
+		ctx:     d.runCtx,
 	}
 	jobs := make([]shardRun, shards)
 	for s := 0; s < shards; s++ {

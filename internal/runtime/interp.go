@@ -118,6 +118,12 @@ func (ip *interp) runVignette(input value, protocol func(ce *committeeExec, in v
 	}
 	var lastErr error
 	for attempt := 0; attempt < vignetteBackoff.attempts; attempt++ {
+		// Attempt boundaries are cancellation checkpoints: the previous
+		// attempt's health gates guarantee nothing was opened, so aborting
+		// here releases nothing.
+		if err := ip.dep.checkpoint("vignette attempt"); err != nil {
+			return value{}, err
+		}
 		if attempt > 0 {
 			ip.dep.Metrics.VignetteRetries++
 			ip.dep.Metrics.BackoffSimulated += vignetteBackoff.delay(attempt - 1)
@@ -205,6 +211,12 @@ func (ip *interp) engineOf(vals ...value) (*committeeExec, error) {
 
 func (ip *interp) run(stmts []lang.Stmt) error {
 	for _, s := range stmts {
+		// Statement boundaries are cancellation checkpoints: nothing is
+		// half-open between statements, so a deadline-canceled run aborts
+		// here without a vignette in flight.
+		if err := ip.dep.checkpoint("statement"); err != nil {
+			return err
+		}
 		if err := ip.stmt(s); err != nil {
 			return err
 		}

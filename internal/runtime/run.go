@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -21,6 +22,30 @@ type RunOptions struct {
 	// SumTreeFanout > 0 makes devices aggregate in a tree of this fanout
 	// instead of the aggregator's loop (the outsourcing option).
 	SumTreeFanout int
+	// Ctx cancels the run cooperatively: the runtime checks it at phase,
+	// statement, vignette-attempt, and ingest-batch boundaries — points
+	// where nothing is half-open, so a canceled run aborts without having
+	// released anything on the in-flight step — and returns the context's
+	// error wrapped with the checkpoint that observed it. nil never
+	// cancels. The gateway uses this for per-job deadlines
+	// (docs/SERVICE.md).
+	Ctx context.Context
+}
+
+// checkpoint returns the run context's error, wrapped with where the
+// cancellation was observed, once the context is done; nil otherwise. The
+// caller sites are the run's cancellation checkpoints: batch, vignette,
+// statement, and phase boundaries.
+func (d *Deployment) checkpoint(where string) error {
+	if d.runCtx == nil {
+		return nil
+	}
+	select {
+	case <-d.runCtx.Done():
+		return fmt.Errorf("runtime: run canceled at %s: %w", where, d.runCtx.Err())
+	default:
+		return nil
+	}
 }
 
 // Result is a completed query execution.
@@ -37,8 +62,13 @@ type Result struct {
 // ZKP-checked input collection, audited aggregation, committee vignettes,
 // and returns the released outputs.
 func (d *Deployment) Run(src string, opts RunOptions) (*Result, error) {
+	d.runCtx = opts.Ctx
+	defer func() { d.runCtx = nil }()
 	prog, cert, err := certifyProgram(src, d.cfg.N, d.cfg.Categories)
 	if err != nil {
+		return nil, err
+	}
+	if err := d.checkpoint("query start"); err != nil {
 		return nil, err
 	}
 
@@ -88,6 +118,9 @@ func (d *Deployment) Run(src string, opts RunOptions) (*Result, error) {
 		return nil, fmt.Errorf("runtime: devices reject certificate: %w", err)
 	}
 
+	if err := d.checkpoint("input collection"); err != nil {
+		return nil, err
+	}
 	// Input collection and audited aggregation (Section 5.3). Sampling
 	// queries run the bin protocol of Section 6: devices hide their
 	// contribution in a random bin and the committee decrypts only a secret
@@ -162,6 +195,9 @@ func (d *Deployment) Run(src string, opts RunOptions) (*Result, error) {
 
 	// Hand the key to the operations committee via VSR (Section 5.2), then
 	// run the program with that committee attached.
+	if err := d.checkpoint("key hand-off"); err != nil {
+		return nil, err
+	}
 	if err := km.handoff(d, committees[1]); err != nil {
 		return nil, err
 	}

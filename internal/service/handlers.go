@@ -19,6 +19,7 @@ var (
 	errShutdown      = errors.New("service: server is shutting down")
 	errNoJob         = errors.New("service: no such job")
 	errNotCancelable = errors.New("service: job is not queued")
+	errExpired       = errors.New("service: job expired from the retention window")
 )
 
 // apiError is the error envelope every non-2xx response carries.
@@ -48,6 +49,7 @@ func (s *Server) writeError(w http.ResponseWriter, status int, code, format stri
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /v1/health", s.handleHealth)
 	mux.HandleFunc("POST /v1/tenants", s.handleCreateTenant)
 	mux.HandleFunc("GET /v1/tenants", s.handleListTenants)
 	mux.HandleFunc("GET /v1/tenants/{id}/budget", s.handleBudget)
@@ -60,17 +62,31 @@ func (s *Server) Handler() http.Handler {
 }
 
 // handleHealth reports liveness plus the gauges an operator watches: job
-// counts by state, queue occupancy, ledger position, uptime.
+// counts by state, queue occupancy, per-tenant saturation, ledger and
+// journal positions, journal lag (records appended since the last
+// compaction), recovery and retention counters, uptime.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.draining.Load() || s.crashed.Load() {
+		status = "draining"
+	}
+	jseq := s.journal.log.Seq()
 	s.writeJSON(w, http.StatusOK, map[string]any{
-		"status":         "ok",
-		"uptime_seconds": time.Since(s.started).Seconds(),
-		"jobs":           s.store.counts(),
-		"queue_len":      len(s.store.queue),
-		"queue_cap":      cap(s.store.queue),
-		"ledger_path":    s.ledger.Path(),
-		"ledger_seq":     s.ledger.Seq(),
-		"tenants":        len(s.ledger.Tenants()),
+		"status":              status,
+		"uptime_seconds":      time.Since(s.started).Seconds(),
+		"jobs":                s.store.counts(),
+		"queue_len":           len(s.store.queue),
+		"queue_cap":           cap(s.store.queue),
+		"in_flight_by_tenant": s.store.inFlightByTenant(),
+		"ledger_path":         s.ledger.Path(),
+		"ledger_seq":          s.ledger.Seq(),
+		"journal_path":        s.journal.log.Path(),
+		"journal_seq":         jseq,
+		"journal_bytes":       s.journal.log.Size(),
+		"journal_lag":         jseq - s.lastCompact.Load(),
+		"recovered_jobs":      s.recovered,
+		"expired_jobs":        s.store.evictedCount(),
+		"tenants":             len(s.ledger.Tenants()),
 	})
 }
 
@@ -125,13 +141,19 @@ type submitRequest struct {
 	Tenant string `json:"tenant"`
 	Source string `json:"source"`
 	Faults string `json:"faults,omitempty"`
+	// TimeoutSeconds overrides the server's Config.JobTimeout for this job
+	// (0 = server default; the override may extend as well as shorten).
+	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
 }
 
-// handleSubmit is the admission path: rate limit → certify → reserve →
-// enqueue. Order matters — certification prices the reservation, and the
-// reservation must be durable before the job can run, so a query that
-// exceeds the remaining budget is rejected here with a typed error and
-// never executes.
+// handleSubmit is the admission path: rate limit → certify → journal →
+// reserve → enqueue. Order matters twice over — certification prices the
+// reservation, so a query that exceeds the remaining budget is rejected
+// here with a typed error and never executes; and the submit record is
+// journaled before the reservation, so a reservation can never exist
+// without the journal entry that lets a restarted daemon pair and settle
+// it (the reverse — a journaled submit with no reservation — recovers
+// fail-closed with nothing charged).
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req submitRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -140,6 +162,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.Tenant == "" || req.Source == "" {
 		s.writeError(w, http.StatusBadRequest, "bad_request", "tenant and source are required")
+		return
+	}
+	if req.TimeoutSeconds < 0 {
+		s.writeError(w, http.StatusBadRequest, "bad_request", "timeout_seconds must be non-negative")
+		return
+	}
+	if s.store.isClosed() || s.crashed.Load() {
+		s.writeError(w, http.StatusServiceUnavailable, "shutting_down", "server is shutting down")
 		return
 	}
 	if _, ok := s.ledger.Balance(req.Tenant); !ok {
@@ -171,28 +201,44 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusInternalServerError, "internal", "%v", err)
 		return
 	}
+	// The submit record — with everything a restarted daemon needs to
+	// re-execute this job deterministically — must be durable before the
+	// reservation and before the 202.
+	seq := s.store.nextSeq()
+	if err := s.journal.append(&jrec{
+		Op: jopSubmit, Job: id, Tenant: req.Tenant,
+		Source: req.Source, Faults: req.Faults, JobSeq: seq,
+		Eps: cert.Epsilon, Del: cert.Delta, Timeout: req.TimeoutSeconds,
+	}); err != nil {
+		s.writeError(w, http.StatusInternalServerError, "journal_error", "job journal: %v", err)
+		return
+	}
 	if err := s.ledger.Reserve(req.Tenant, id, cert.Epsilon, cert.Delta); err != nil {
+		// Close out the journaled submit so a restart doesn't see a phantom
+		// in-flight job.
+		code, status := "ledger_error", http.StatusInternalServerError
 		switch {
 		case errors.Is(err, ledger.ErrBudgetExhausted):
-			s.writeError(w, http.StatusConflict, "budget_exhausted", "%v", err)
+			code, status = "budget_exhausted", http.StatusConflict
 		case errors.Is(err, ledger.ErrNoTenant):
-			s.writeError(w, http.StatusNotFound, "no_tenant", "%v", err)
-		default:
-			s.writeError(w, http.StatusInternalServerError, "ledger_error", "%v", err)
+			code, status = "no_tenant", http.StatusNotFound
 		}
+		s.journalTerminal(&jrec{Op: jopFailed, Job: id, Tenant: req.Tenant, Code: code})
+		s.writeError(w, status, code, "%v", err)
 		return
 	}
 	j := &Job{
 		ID: id, Tenant: req.Tenant,
 		Epsilon: cert.Epsilon, Delta: cert.Delta,
-		Submitted: time.Now(),
-		source:    req.Source, faults: req.Faults,
+		Submitted:      time.Now(),
+		TimeoutSeconds: req.TimeoutSeconds,
+		source:         req.Source, faults: req.Faults, seq: seq,
 	}
 	if err := s.store.add(j); err != nil {
-		// Undo the reservation: the job never entered the system. (During
-		// shutdown the ledger may already be closed; the release then fails,
-		// the reservation dangles, and startup recovery settles it
-		// fail-closed — same as a crash.)
+		// Undo the reservation and close out the journal: the job never
+		// entered the system. (During shutdown the ledger may already be
+		// closed; the release then fails, the reservation dangles paired
+		// with its journaled submit, and startup recovery settles it.)
 		code := "queue_full"
 		if errors.Is(err, errShutdown) {
 			code = "shutting_down"
@@ -200,6 +246,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		if lerr := s.ledger.Release(req.Tenant, id, code); lerr != nil {
 			s.cfg.Logf("service: release %s/%s after refused enqueue: %v", req.Tenant, id, lerr)
 		}
+		s.journalTerminal(&jrec{Op: jopFailed, Job: id, Tenant: req.Tenant, Code: code})
 		if errors.Is(err, errShutdown) {
 			s.writeError(w, http.StatusServiceUnavailable, "shutting_down", "server is shutting down")
 			return
@@ -208,7 +255,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			"job queue is full (%d jobs)", cap(s.store.queue))
 		return
 	}
-	snap, _ := s.store.get(id)
+	snap, _, _ := s.store.get(id)
 	s.writeJSON(w, http.StatusAccepted, snap)
 }
 
@@ -226,8 +273,13 @@ func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
-	j, ok := s.store.get(r.PathValue("id"))
+	j, ok, expired := s.store.get(r.PathValue("id"))
 	if !ok {
+		if expired {
+			s.writeError(w, http.StatusGone, "expired",
+				"job %q expired from the retention window", r.PathValue("id"))
+			return
+		}
 		s.writeError(w, http.StatusNotFound, "no_job", "unknown job %q", r.PathValue("id"))
 		return
 	}
@@ -238,10 +290,16 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 
 // handleResult returns the released outputs of a Done job; Failed and
 // Canceled jobs report their terminal state, pending jobs 409 so clients
-// can poll status and fetch the result exactly once.
+// can poll status and fetch the result exactly once. Jobs evicted past the
+// retention window are 410 "expired".
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
-	j, ok := s.store.get(r.PathValue("id"))
+	j, ok, expired := s.store.get(r.PathValue("id"))
 	if !ok {
+		if expired {
+			s.writeError(w, http.StatusGone, "expired",
+				"job %q expired from the retention window", r.PathValue("id"))
+			return
+		}
 		s.writeError(w, http.StatusNotFound, "no_job", "unknown job %q", r.PathValue("id"))
 		return
 	}
@@ -262,15 +320,26 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, errNoJob):
 		s.writeError(w, http.StatusNotFound, "no_job", "unknown job %q", r.PathValue("id"))
 		return
+	case errors.Is(err, errExpired):
+		s.writeError(w, http.StatusGone, "expired",
+			"job %q expired from the retention window", r.PathValue("id"))
+		return
 	case errors.Is(err, errNotCancelable):
 		s.writeError(w, http.StatusConflict, "not_cancelable", "job %s is %s", j.ID, j.State)
 		return
 	}
+	// Refund durably, then journal the terminal state. A crash in between
+	// recovers fail-closed without re-charging (the journal still shows the
+	// job queued and the ledger shows no reservation); a crash before the
+	// release leaves a canceled record paired with a dangling reservation,
+	// which recovery refunds.
 	if lerr := s.ledger.Release(j.Tenant, j.ID, "canceled"); lerr != nil {
 		s.cfg.Logf("service: release %s/%s after cancel: %v", j.Tenant, j.ID, lerr)
+		s.journalTerminal(&jrec{Op: jopCanceled, Job: j.ID, Tenant: j.Tenant})
 		s.writeError(w, http.StatusInternalServerError, "ledger_error",
 			"job canceled but reservation not released: %v", lerr)
 		return
 	}
+	s.journalTerminal(&jrec{Op: jopCanceled, Job: j.ID, Tenant: j.Tenant})
 	s.writeJSON(w, http.StatusOK, j)
 }

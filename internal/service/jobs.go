@@ -43,9 +43,22 @@ type Job struct {
 	Finished  time.Time `json:"finished"`
 
 	// Error and ErrorCode are set on Failed jobs (docs/SERVICE.md's code
-	// table); a fail-closed runtime error carries code "failed_closed".
+	// table); a fail-closed runtime error carries code "failed_closed", a
+	// job canceled by its deadline "deadline_exceeded".
 	Error     string `json:"error,omitempty"`
 	ErrorCode string `json:"error_code,omitempty"`
+
+	// TimeoutSeconds is the per-submission deadline override (0 = the
+	// server's Config.JobTimeout).
+	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
+
+	// Recovered marks a job replayed from the journal after a restart. A
+	// recovered terminal job keeps its state and ResultDigest but not its
+	// outputs (those died with the old process unless re-executed).
+	Recovered bool `json:"recovered,omitempty"`
+	// ResultDigest commits to the released outputs of a Done job; a
+	// deterministic re-execution reproduces it bit-for-bit.
+	ResultDigest string `json:"result_digest,omitempty"`
 
 	Outputs        []float64 `json:"outputs,omitempty"`
 	AcceptedInputs int       `json:"accepted_inputs,omitempty"`
@@ -55,11 +68,20 @@ type Job struct {
 	source string
 	faults string // per-job fault spec ("" = server default)
 	seq    uint64 // submission sequence; seeds the job's deployment
+
+	// recoveredClaim marks a recovered job whose claim was already durable
+	// before the crash: the executor must not journal a second claim.
+	recoveredClaim bool
+	// skipCommit marks a recovered job whose budget commit was already
+	// durable (the crash fell between commit and the done record): the
+	// re-execution regains the outputs but must not spend again.
+	skipCommit bool
 }
 
 // store is the in-memory job table plus the work queue the executor pool
-// drains. Jobs are never evicted (a restarted daemon starts empty — the
-// durable state is the ledger, and docs/SERVICE.md documents the split).
+// drains. Terminal jobs past the retention cap are evicted oldest-first
+// (their IDs are remembered so status reads return a typed "expired" error
+// instead of 404); the durable history is the job journal + ledger.
 type store struct {
 	mu     sync.Mutex
 	jobs   map[string]*Job
@@ -68,13 +90,37 @@ type store struct {
 	// queue feeds the executor pool. Enqueue fails fast when full (the
 	// admission path maps that to 503) instead of blocking the handler.
 	queue chan *Job
+
+	// retain caps the terminal jobs kept in the table; terminalOrder is the
+	// eviction queue (oldest settled first).
+	retain        int
+	terminalOrder []string
+	// evicted remembers evicted job IDs (capped FIFO) so their status reads
+	// fail with "expired", not "no such job".
+	evicted      map[string]bool
+	evictedOrder []string
 }
 
-func newStore(depth int) *store {
+// defaultRetainJobs is Config.RetainJobs's default: the terminal-job window
+// a long-lived daemon keeps queryable in memory.
+const defaultRetainJobs = 10000
+
+// newStore sizes the queue for depth new submissions plus room to re-enqueue
+// recovered jobs at startup (recovery must never be refused by its own
+// backpressure limit).
+func newStore(depth, recovered, retain int) *store {
 	if depth <= 0 {
 		depth = 64
 	}
-	return &store{jobs: map[string]*Job{}, queue: make(chan *Job, depth)}
+	if retain <= 0 {
+		retain = defaultRetainJobs
+	}
+	return &store{
+		jobs:    map[string]*Job{},
+		queue:   make(chan *Job, depth+recovered),
+		retain:  retain,
+		evicted: map[string]bool{},
+	}
 }
 
 // newJobID returns a 16-hex-digit random job id.
@@ -86,16 +132,25 @@ func newJobID() (string, error) {
 	return hex.EncodeToString(b[:]), nil
 }
 
-// add registers a queued job and enqueues it; it fails without registering
-// when the queue is full or the store has been closed.
+// nextSeq reserves the next job sequence number (the deployment seed
+// offset). It is taken before the submit record is journaled so the journal
+// carries the same seq the execution will use.
+func (st *store) nextSeq() uint64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.seq++
+	return st.seq
+}
+
+// add registers a queued job (whose seq was already assigned by nextSeq)
+// and enqueues it; it fails without registering when the queue is full or
+// the store has been closed.
 func (st *store) add(j *Job) error {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if st.closed {
 		return errShutdown
 	}
-	st.seq++
-	j.seq = st.seq
 	j.State = JobQueued
 	select {
 	case st.queue <- j:
@@ -104,6 +159,26 @@ func (st *store) add(j *Job) error {
 	}
 	st.jobs[j.ID] = j
 	return nil
+}
+
+// restore inserts a journal-recovered job: non-terminal jobs re-enter the
+// queue (capacity was sized for them), terminal jobs are registered
+// directly. The store's sequence counter advances past every restored seq
+// so new submissions never reuse a seed offset.
+func (st *store) restore(j *Job) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if j.seq > st.seq {
+		st.seq = j.seq
+	}
+	st.jobs[j.ID] = j
+	switch j.State {
+	case JobDone, JobFailed, JobCanceled:
+		st.markTerminalLocked(j.ID)
+	default:
+		j.State = JobQueued
+		st.queue <- j
+	}
 }
 
 // close stops admission and closes the queue so the executor pool drains
@@ -119,16 +194,24 @@ func (st *store) close() {
 	close(st.queue)
 }
 
-// get returns a snapshot of the job (copied under the lock, so handlers
-// never see a half-updated job while the executor mutates it).
-func (st *store) get(id string) (Job, bool) {
+// isClosed reports whether admission has stopped.
+func (st *store) isClosed() bool {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	j, ok := st.jobs[id]
+	return st.closed
+}
+
+// get returns a snapshot of the job (copied under the lock, so handlers
+// never see a half-updated job while the executor mutates it). expired
+// reports that the job existed but was evicted past the retention cap.
+func (st *store) get(id string) (j Job, ok, expired bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	p, ok := st.jobs[id]
 	if !ok {
-		return Job{}, false
+		return Job{}, false, st.evicted[id]
 	}
-	return *j, true
+	return *p, true, false
 }
 
 // byTenant returns snapshots of the tenant's jobs, newest first.
@@ -142,6 +225,19 @@ func (st *store) byTenant(tenant string) []Job {
 		}
 	}
 	sort.Slice(out, func(i, k int) bool { return out[i].seq > out[k].seq })
+	return out
+}
+
+// snapshot returns every job, in submission order — the journal-compaction
+// rebuild source.
+func (st *store) snapshot() []Job {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]Job, 0, len(st.jobs))
+	for _, j := range st.jobs {
+		out = append(out, *j)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].seq < out[k].seq })
 	return out
 }
 
@@ -170,6 +266,20 @@ func (st *store) inFlight(tenant string) int {
 	return n
 }
 
+// inFlightByTenant tallies non-terminal jobs per tenant (the health
+// endpoint's saturation view).
+func (st *store) inFlightByTenant() map[string]int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := map[string]int{}
+	for _, j := range st.jobs {
+		if j.State == JobQueued || j.State == JobRunning {
+			out[j.Tenant]++
+		}
+	}
+	return out
+}
+
 // cancel transitions a queued job to Canceled. Running jobs are not
 // cancelable: their committee vignettes may already have released DP noise,
 // so the budget outcome must come from the run itself. The executor skips
@@ -179,6 +289,9 @@ func (st *store) cancel(id string) (Job, error) {
 	defer st.mu.Unlock()
 	j, ok := st.jobs[id]
 	if !ok {
+		if st.evicted[id] {
+			return Job{}, errExpired
+		}
 		return Job{}, errNoJob
 	}
 	if j.State != JobQueued {
@@ -186,6 +299,7 @@ func (st *store) cancel(id string) (Job, error) {
 	}
 	j.State = JobCanceled
 	j.Finished = time.Now()
+	st.markTerminalLocked(id)
 	return *j, nil
 }
 
@@ -208,11 +322,53 @@ func (st *store) claim(id string) bool {
 	return true
 }
 
-// update mutates a job under the store lock.
+// update mutates a job under the store lock. A transition into a terminal
+// state enters the job into the eviction queue (and may evict the oldest
+// terminal job past the retention cap).
 func (st *store) update(id string, fn func(*Job)) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	if j, ok := st.jobs[id]; ok {
-		fn(j)
+	j, ok := st.jobs[id]
+	if !ok {
+		return
 	}
+	wasTerminal := j.State == JobDone || j.State == JobFailed || j.State == JobCanceled
+	fn(j)
+	nowTerminal := j.State == JobDone || j.State == JobFailed || j.State == JobCanceled
+	if nowTerminal && !wasTerminal {
+		st.markTerminalLocked(id)
+	}
+}
+
+// markTerminalLocked appends the job to the eviction queue and evicts past
+// the retention cap. Caller holds st.mu.
+func (st *store) markTerminalLocked(id string) {
+	st.terminalOrder = append(st.terminalOrder, id)
+	for len(st.terminalOrder) > st.retain {
+		victim := st.terminalOrder[0]
+		st.terminalOrder = st.terminalOrder[1:]
+		delete(st.jobs, victim)
+		if !st.evicted[victim] {
+			st.evicted[victim] = true
+			st.evictedOrder = append(st.evictedOrder, victim)
+		}
+		// The expired-ID memory is itself capped (at the retention cap, at
+		// least 1024): beyond it, ancient jobs degrade from "expired" to
+		// "no such job".
+		limit := st.retain
+		if limit < 1024 {
+			limit = 1024
+		}
+		for len(st.evictedOrder) > limit {
+			delete(st.evicted, st.evictedOrder[0])
+			st.evictedOrder = st.evictedOrder[1:]
+		}
+	}
+}
+
+// evictedCount returns how many job IDs are remembered as expired.
+func (st *store) evictedCount() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.evictedOrder)
 }

@@ -1,0 +1,259 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	"arboretum/internal/wal"
+)
+
+// The job journal is the durability half of crash-resumable jobs
+// (docs/SERVICE.md): every job-lifecycle transition is one checksummed
+// record appended and fsynced — through internal/wal, the same machinery as
+// the budget ledger — *before* the transition becomes observable:
+//
+//	submit  — before the ledger reservation and the 202 response; carries
+//	          everything a restarted daemon needs to re-execute the job
+//	          deterministically (source, fault spec, seed sequence,
+//	          certified (ε, δ), timeout override).
+//	claim   — before the executor starts the run.
+//	done    — after the budget commit, before the result becomes visible;
+//	          carries the result digest.
+//	failed / canceled — after the ledger release, before the terminal
+//	          state becomes visible; failed carries the error code.
+//
+// Replay folds these into per-job states; startup recovery (recovery.go)
+// pairs each non-terminal job with its dangling ledger reservation and
+// re-executes it from seed+seq. Torn tails truncate, interior corruption
+// refuses the journal — the wal package's rules, identical to the ledger's.
+
+// Journal record ops.
+const (
+	jopSubmit   = "submit"
+	jopClaim    = "claim"
+	jopDone     = "done"
+	jopFailed   = "failed"
+	jopCanceled = "canceled"
+)
+
+// jrec is one journal line. Submit records carry the re-execution fields;
+// terminal records carry the outcome. Sum covers every other field.
+type jrec struct {
+	Seq     uint64  `json:"seq"`
+	Op      string  `json:"op"`
+	Job     string  `json:"job"`
+	Tenant  string  `json:"tenant,omitempty"`
+	Source  string  `json:"source,omitempty"`
+	Faults  string  `json:"faults,omitempty"`
+	JobSeq  uint64  `json:"job_seq,omitempty"` // seeds the deployment: Seed+JobSeq
+	Eps     float64 `json:"eps,omitempty"`     // certified ε (the reservation)
+	Del     float64 `json:"del,omitempty"`     // certified δ
+	Timeout float64 `json:"timeout,omitempty"` // per-job deadline override, seconds
+	Code    string  `json:"code,omitempty"`    // error code (failed)
+	Digest  string  `json:"digest,omitempty"`  // result digest (done)
+	Sum     string  `json:"sum"`
+}
+
+// WALSeq returns the record's sequence number.
+func (r *jrec) WALSeq() uint64 { return r.Seq }
+
+// SetWALSeq assigns the record's sequence number.
+func (r *jrec) SetWALSeq(s uint64) { r.Seq = s }
+
+// WALSum returns the stored checksum.
+func (r *jrec) WALSum() string { return r.Sum }
+
+// SetWALSum assigns the stored checksum.
+func (r *jrec) SetWALSum(s string) { r.Sum = s }
+
+// WALChecksum binds every field except the stored sum. %q quotes Source and
+// Faults so multi-line query text cannot smear into the neighboring fields.
+func (r *jrec) WALChecksum() string {
+	h := sha256.Sum256([]byte(fmt.Sprintf("%d|%s|%s|%s|%q|%q|%d|%.17g|%.17g|%.17g|%s|%s",
+		r.Seq, r.Op, r.Job, r.Tenant, r.Source, r.Faults, r.JobSeq,
+		r.Eps, r.Del, r.Timeout, r.Code, r.Digest)))
+	return hex.EncodeToString(h[:8])
+}
+
+// WALDesc labels the record in injected-crash notes.
+func (r *jrec) WALDesc() string { return fmt.Sprintf("%s %s/%s", r.Op, r.Tenant, r.Job) }
+
+// journaledJob is the folded per-job replay state.
+type journaledJob struct {
+	id, tenant     string
+	source, faults string
+	jobSeq         uint64
+	eps, del       float64
+	timeout        float64
+	state          JobState // JobQueued (submitted) / JobRunning (claimed) / terminal
+	code, digest   string
+}
+
+func (jj *journaledJob) terminal() bool {
+	return jj.state == JobDone || jj.state == JobFailed || jj.state == JobCanceled
+}
+
+// journal is the durable job journal. Appends are concurrent (wal.Log
+// serializes them); compact excludes appenders so a rewrite can never lose
+// a racing record.
+type journal struct {
+	// rw: appenders hold RLock, compaction holds Lock while it snapshots
+	// the job table and rewrites the log — so every record is either in the
+	// snapshot or appended to the rewritten file, never dropped.
+	rw  sync.RWMutex
+	log *wal.Log[*jrec]
+
+	// Replay state, populated by openJournal and consumed by startup
+	// recovery; not maintained afterwards (the store is the live table).
+	jobs  map[string]*journaledJob
+	order []string // job IDs in first-submit order
+
+	// live flips on once recovery has consumed the replay state: from then
+	// on the store is authoritative and apply stops folding (it would only
+	// duplicate the store, unboundedly). Written before the executor pool
+	// starts, read-only after.
+	live bool
+}
+
+// openJournal opens (creating if absent) the journal at path and replays
+// it. wal.ErrCorrupt/ErrLocked surface unchanged; a torn tail truncates.
+func openJournal(path string) (*journal, error) {
+	j := &journal{jobs: map[string]*journaledJob{}}
+	log, err := wal.Open(path, func() *jrec { return new(jrec) }, j.apply, wal.Options{})
+	if err != nil {
+		return nil, err
+	}
+	j.log = log
+	return j, nil
+}
+
+// apply folds one record into the replay state, enforcing the lifecycle
+// grammar: submit introduces a job exactly once; claim moves a queued job
+// to running; a terminal op closes a non-terminal job. Anything else is
+// interior corruption and fails the open (via wal's ErrCorrupt wrap).
+func (j *journal) apply(r *jrec) error {
+	if j.live {
+		return nil
+	}
+	switch r.Op {
+	case jopSubmit:
+		if _, dup := j.jobs[r.Job]; dup {
+			return fmt.Errorf("duplicate submit for job %q", r.Job)
+		}
+		if r.Job == "" || r.Tenant == "" {
+			return fmt.Errorf("submit record missing job or tenant")
+		}
+		j.jobs[r.Job] = &journaledJob{
+			id: r.Job, tenant: r.Tenant,
+			source: r.Source, faults: r.Faults,
+			jobSeq: r.JobSeq, eps: r.Eps, del: r.Del, timeout: r.Timeout,
+			state: JobQueued,
+		}
+		j.order = append(j.order, r.Job)
+	case jopClaim:
+		jj, ok := j.jobs[r.Job]
+		if !ok {
+			return fmt.Errorf("claim for unknown job %q", r.Job)
+		}
+		if jj.state != JobQueued {
+			return fmt.Errorf("claim for %s job %q", jj.state, r.Job)
+		}
+		jj.state = JobRunning
+	case jopDone, jopFailed, jopCanceled:
+		jj, ok := j.jobs[r.Job]
+		if !ok {
+			return fmt.Errorf("%s for unknown job %q", r.Op, r.Job)
+		}
+		if jj.terminal() {
+			return fmt.Errorf("%s for already-terminal job %q", r.Op, r.Job)
+		}
+		switch r.Op {
+		case jopDone:
+			jj.state = JobDone
+			jj.digest = r.Digest
+		case jopFailed:
+			jj.state = JobFailed
+			jj.code = r.Code
+		case jopCanceled:
+			jj.state = JobCanceled
+		}
+	default:
+		return fmt.Errorf("unknown op %q", r.Op)
+	}
+	return nil
+}
+
+// append writes one record durably. Appenders share the read lock so they
+// serialize only inside wal.Log, but never interleave with compact.
+func (j *journal) append(r *jrec) error {
+	j.rw.RLock()
+	defer j.rw.RUnlock()
+	return j.log.Append(r)
+}
+
+// compact atomically replaces the journal with the records build returns.
+// build runs under the journal's write lock, so it sees a table state that
+// includes every already-appended record and excludes none: a record
+// appended after build's snapshot lands in the rewritten file.
+func (j *journal) compact(build func() []*jrec) error {
+	j.rw.Lock()
+	defer j.rw.Unlock()
+	return j.log.Rewrite(build())
+}
+
+// finishReplay marks recovery complete: the replay state is dropped and
+// subsequent appends are durability-only (the store tracks live jobs).
+func (j *journal) finishReplay() {
+	j.live = true
+	j.jobs, j.order = nil, nil
+}
+
+// kill poisons the journal like a process death (the "daemon" fault kind):
+// descriptor closed without flushing, lock released for the restart.
+func (j *journal) kill() { j.log.Kill() }
+
+// close flushes and closes the journal.
+func (j *journal) close() error { return j.log.Close() }
+
+// resultDigest is the short commitment to a job's released outputs that the
+// done record carries: a restarted daemon re-executing the job must
+// reproduce it bit-for-bit (the determinism guarantee the recovery tests
+// pin).
+func resultDigest(outputs []float64, accepted, sampled int) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%d|%d", accepted, sampled)
+	for _, o := range outputs {
+		fmt.Fprintf(h, "|%.17g", o)
+	}
+	return hex.EncodeToString(h.Sum(nil)[:8])
+}
+
+// journalRecords rebuilds the journal's logical contents from job
+// snapshots, for compaction: submit (+claim if the job progressed past
+// queued) (+the terminal record). Evicted jobs are simply absent, which is
+// how the journal's size stays bounded by the retention cap.
+func journalRecords(jobs []Job) []*jrec {
+	recs := make([]*jrec, 0, 2*len(jobs))
+	for i := range jobs {
+		j := &jobs[i]
+		recs = append(recs, &jrec{
+			Op: jopSubmit, Job: j.ID, Tenant: j.Tenant,
+			Source: j.source, Faults: j.faults, JobSeq: j.seq,
+			Eps: j.Epsilon, Del: j.Delta, Timeout: j.TimeoutSeconds,
+		})
+		if j.State == JobRunning {
+			recs = append(recs, &jrec{Op: jopClaim, Job: j.ID, Tenant: j.Tenant})
+		}
+		switch j.State {
+		case JobDone:
+			recs = append(recs, &jrec{Op: jopDone, Job: j.ID, Tenant: j.Tenant, Digest: j.ResultDigest})
+		case JobFailed:
+			recs = append(recs, &jrec{Op: jopFailed, Job: j.ID, Tenant: j.Tenant, Code: j.ErrorCode})
+		case JobCanceled:
+			recs = append(recs, &jrec{Op: jopCanceled, Job: j.ID, Tenant: j.Tenant})
+		}
+	}
+	return recs
+}

@@ -1,0 +1,149 @@
+package service
+
+import (
+	"time"
+)
+
+// Startup crash recovery: the restarted daemon replays the job journal,
+// pairs every job with the budget ledger's view of it, and either restores
+// it (terminal jobs), re-enqueues it for deterministic re-execution
+// (recoverable in-flight jobs), or settles it fail-closed (unrecoverable
+// ones). The pairing table — journal state × (reservation dangling?
+// commit durable?) — is documented in docs/SERVICE.md; the invariant it
+// preserves is the service's core contract: a tenant is charged exactly
+// the certified spend of each job whose outputs were (or will be)
+// released, and nothing for the rest — across any crash point.
+
+// recoverJobs runs once, before the executor pool starts (so it owns the
+// store, journal, and ledger without contention).
+func (s *Server) recoverJobs() error {
+	jn := s.journal
+	now := time.Now()
+	requeued, restored := 0, 0
+	for _, id := range jn.order {
+		jj := jn.jobs[id]
+		j := &Job{
+			ID: jj.id, Tenant: jj.tenant,
+			Epsilon: jj.eps, Delta: jj.del,
+			TimeoutSeconds: jj.timeout,
+			Submitted:      now,
+			Recovered:      true,
+			source:         jj.source, faults: jj.faults, seq: jj.jobSeq,
+		}
+		switch {
+		case jj.terminal():
+			// The outcome is already decided; restore the snapshot. Done
+			// jobs keep their digest but not their outputs (those died with
+			// the old process — the digest still pins what was released).
+			j.State = jj.state
+			j.Finished = now
+			j.ErrorCode = jj.code
+			j.ResultDigest = jj.digest
+			if jj.state == JobDone {
+				j.SpentEpsilon, j.SpentDelta = jj.eps, jj.del
+			}
+			if jj.state == JobFailed {
+				j.Error = "failed before restart (code " + jj.code + "; detail not retained in the journal)"
+			}
+			// Terminal in the journal but the ledger settle never became
+			// durable (an injected WAL crash, or death in the window):
+			// finish it per the journal's verdict. Canceled jobs never ran,
+			// so the reservation is refunded; done/failed jobs may have
+			// released DP noise, so the full reservation is charged —
+			// fail-closed, never under-counting.
+			if s.ledger.Reserved(jj.tenant, id) {
+				var err error
+				if jj.state == JobCanceled {
+					err = s.ledger.Release(jj.tenant, id, "crash-recovery")
+				} else {
+					err = s.ledger.Commit(jj.tenant, id, jj.eps, jj.del)
+				}
+				if err != nil {
+					return err
+				}
+			}
+			s.store.restore(j)
+			restored++
+
+		case jj.state == JobQueued && !s.ledger.Reserved(jj.tenant, id) && !s.ledger.Committed(jj.tenant, id):
+			// Submit journaled but the reservation never became durable:
+			// the job was never admitted (the 202 cannot have been sent
+			// without the reservation). Fail it closed; nothing was charged
+			// and nothing ran.
+			if err := jn.append(&jrec{Op: jopFailed, Job: id, Tenant: jj.tenant, Code: "crashed"}); err != nil {
+				return err
+			}
+			j.State = JobFailed
+			j.Finished = now
+			j.ErrorCode = "crashed"
+			j.Error = "daemon crashed before the job's budget reservation became durable; nothing was charged and nothing ran"
+			s.store.restore(j)
+			restored++
+
+		case s.cfg.SecureNoise:
+			// Secure noise is not replayable: re-executing would mint a
+			// second, different DP release against one certificate. Settle
+			// fail-closed instead — charge the full reservation (the
+			// crashed run may already have released noise) and fail the
+			// job with a typed error.
+			if s.ledger.Reserved(jj.tenant, id) {
+				if err := s.ledger.Commit(jj.tenant, id, jj.eps, jj.del); err != nil {
+					return err
+				}
+			}
+			if err := jn.append(&jrec{Op: jopFailed, Job: id, Tenant: jj.tenant, Code: "crashed"}); err != nil {
+				return err
+			}
+			j.State = JobFailed
+			j.Finished = now
+			j.SpentEpsilon, j.SpentDelta = jj.eps, jj.del
+			j.ErrorCode = "crashed"
+			j.Error = "daemon crashed mid-job; SecureNoise prevents deterministic re-execution, so the reservation was charged fail-closed"
+			s.store.restore(j)
+			restored++
+
+		default:
+			// Recoverable: re-enqueue for deterministic re-execution from
+			// Seed+seq — same source, same fault spec, same seed, so the
+			// re-run reproduces the original bit-for-bit and settles the
+			// dangling reservation with exactly the certified spend. A job
+			// whose budget commit was already durable (the crash fell
+			// between commit and the done record) re-earns its outputs but
+			// must not spend twice; one whose claim was already journaled
+			// must not journal a second.
+			j.recoveredClaim = jj.state == JobRunning
+			j.skipCommit = s.ledger.Committed(jj.tenant, id)
+			j.State = JobQueued
+			s.store.restore(j)
+			requeued++
+		}
+	}
+	// Reservations with no journal record at all (a ledger predating the
+	// journal, or a journal lost separately from its ledger): charge them
+	// fail-closed, exactly as the pre-journal daemon did.
+	danglers := 0
+	for _, r := range s.ledger.Reservations() {
+		if jj, ok := jn.jobs[r.Job]; ok && jj.tenant == r.Tenant {
+			continue // paired with a journaled job; handled above or re-executing
+		}
+		if err := s.ledger.Commit(r.Tenant, r.Job, r.Eps, r.Del); err != nil {
+			return err
+		}
+		danglers++
+	}
+	if requeued > 0 || restored > 0 || danglers > 0 {
+		s.cfg.Logf("service: recovery: %d jobs re-enqueued for re-execution, %d restored terminal, %d unmatched reservations charged fail-closed",
+			requeued, restored, danglers)
+	}
+	// Collapse the replayed history into one canonical snapshot so a crash
+	// loop cannot grow the journal without bound.
+	if restored > 0 || requeued > 0 {
+		if err := jn.compact(func() []*jrec { return journalRecords(s.store.snapshot()) }); err != nil {
+			return err
+		}
+	}
+	s.lastCompact.Store(jn.log.Seq())
+	s.recovered = requeued
+	jn.finishReplay()
+	return nil
+}

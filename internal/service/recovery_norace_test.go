@@ -1,0 +1,8 @@
+//go:build !race
+
+package service
+
+// recoverySchedules is the crash-restart sweep width: 30 independent seeded
+// daemon-death schedules (the acceptance floor for the journal subsystem).
+// The race pass runs a smaller slice (recovery_race_test.go).
+const recoverySchedules = 30

@@ -1,0 +1,484 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"testing"
+	"time"
+
+	"arboretum/internal/faults"
+	"arboretum/internal/wal"
+)
+
+// meanQuery is a second fixed-price query so recovery sweeps mix certified
+// prices (laplace scale 2 certifies at ε=0.5).
+const meanQuery = "aggr = sum(db);\nnoised = laplace(aggr[0], 2.0);\noutput(declassify(noised));"
+
+// waitCrashed polls until the server's injected daemon death fires.
+func waitCrashed(t *testing.T, s *Server) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if s.Crashed() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("injected daemon crash did not fire in 30s")
+}
+
+// waitSettled polls the job table until every id is terminal, or the daemon
+// "dies" (after which nothing further settles in this process).
+func waitSettled(t *testing.T, s *Server, ids []string) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		if s.Crashed() {
+			return
+		}
+		settled := 0
+		for _, id := range ids {
+			j, ok, _ := s.store.get(id)
+			if ok && (j.State == JobDone || j.State == JobFailed || j.State == JobCanceled) {
+				settled++
+			}
+		}
+		if settled == len(ids) {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal("jobs did not settle in 60s")
+}
+
+// TestDaemonCrashStages kills the daemon deterministically at each of the
+// four job-lifecycle boundaries ("daemon" stage 0–3) and asserts the restart
+// re-executes the job to Done with exactly the certified spend — the
+// journal+ledger pairing recovers every crash point, never double-charging.
+func TestDaemonCrashStages(t *testing.T) {
+	for stage := 0; stage <= 3; stage++ {
+		t.Run(fmt.Sprintf("stage%d", stage), func(t *testing.T) {
+			cfg := testConfig(t)
+			cfg.Tenants = []TenantSpec{{ID: "alice", Epsilon: 5, Delta: 1e-6}}
+			cfg.DaemonFaults = faults.New(1).ForceAt(faults.DaemonCrash, 1, stage)
+			s, ts := startT(t, cfg, nil)
+
+			j, code, _ := submit(t, ts.URL, "alice", countQuery)
+			if code != http.StatusAccepted {
+				t.Fatalf("submit: HTTP %d", code)
+			}
+			waitCrashed(t, s)
+			// The "dead" daemon refuses new work with a typed error.
+			if _, code, ec := submit(t, ts.URL, "alice", countQuery); code != http.StatusServiceUnavailable || ec != "shutting_down" {
+				t.Fatalf("submit to crashed daemon = HTTP %d %q", code, ec)
+			}
+			ts.Close()
+			s.Close()
+
+			cfg2 := cfg
+			cfg2.DaemonFaults = nil
+			s2, ts2 := startT(t, cfg2, nil)
+			f := waitTerminal(t, ts2.URL, j.ID)
+			if f.State != JobDone || !f.Recovered || f.ResultDigest == "" {
+				t.Fatalf("recovered job = %s recovered=%v digest=%q (%s)",
+					f.State, f.Recovered, f.ResultDigest, f.Error)
+			}
+			b, _ := s2.Ledger().Balance("alice")
+			if math.Abs(b.EpsSpent-j.Epsilon) > 1e-9 || b.EpsReserved != 0 || b.Queries != 1 {
+				t.Fatalf("stage %d balance %+v, want spent=%g reserved=0 queries=1", stage, b, j.Epsilon)
+			}
+		})
+	}
+}
+
+// TestDaemonCrashRestartSweep is the chaos acceptance scenario for the job
+// journal: recoverySchedules independent seeded daemon-death schedules, each
+// killing the daemon at rate-drawn job-lifecycle boundaries, restarting on
+// the same ledger+journal (with fresh death schedules, then a clean final
+// life) until everything settles. After every schedule: all jobs Done, each
+// reproducing the crash-free baseline's result digest bit-for-bit, with the
+// tenant charged exactly once per job — no double-spends, no leaked
+// reservations, no lost jobs.
+func TestDaemonCrashRestartSweep(t *testing.T) {
+	queries := []string{countQuery, meanQuery, countQuery, meanQuery}
+
+	// Crash-free baseline: pins the digest and price each job seq must
+	// reproduce under every crash schedule.
+	base := testConfig(t)
+	base.Tenants = []TenantSpec{{ID: "alice", Epsilon: 1000, Delta: 1e-3}}
+	_, bts := startT(t, base, nil)
+	want := make([]Job, len(queries))
+	for i, q := range queries {
+		j, code, _ := submit(t, bts.URL, "alice", q)
+		if code != http.StatusAccepted {
+			t.Fatalf("baseline submit %d: HTTP %d", i, code)
+		}
+		want[i] = waitTerminal(t, bts.URL, j.ID)
+		if want[i].State != JobDone || want[i].ResultDigest == "" {
+			t.Fatalf("baseline job %d = %s digest %q", i, want[i].State, want[i].ResultDigest)
+		}
+	}
+	var wantEps float64
+	for i := range want {
+		wantEps += want[i].Epsilon
+	}
+
+	for seed := 0; seed < recoverySchedules; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			cfg := testConfig(t)
+			cfg.Tenants = []TenantSpec{{ID: "alice", Epsilon: 1000, Delta: 1e-3}}
+			cfg.DaemonFaults = faults.New(uint64(seed)).SetRate(faults.DaemonCrash, 0.15)
+			// Park the executor until every job is admitted, so all
+			// schedules run the same submission order (seq 1..N) and the
+			// digests are comparable to the baseline's.
+			hold := make(chan struct{})
+			s, err := newServer(cfg, hold)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer func() { s.Close() }()
+			front := httptest.NewServer(s.Handler())
+			ids := make([]string, len(queries))
+			for i, q := range queries {
+				j, code, _ := submit(t, front.URL, "alice", q)
+				if code != http.StatusAccepted {
+					t.Fatalf("seed %d submit %d: HTTP %d", seed, i, code)
+				}
+				ids[i] = j.ID
+			}
+			front.Close()
+			close(hold)
+
+			waitSettled(t, s, ids)
+			for life := 1; s.Crashed(); life++ {
+				if life > 8 {
+					t.Fatalf("seed %d: still crashing after 8 restarts", seed)
+				}
+				s.Close()
+				// Fresh death schedule for the first restart (the same seed
+				// would re-fire at the same recovered job seqs forever);
+				// later lives run clean to guarantee convergence.
+				cfg.DaemonFaults = faults.New(uint64(seed)*131+uint64(life)).SetRate(faults.DaemonCrash, 0.15)
+				if life >= 2 {
+					cfg.DaemonFaults = nil
+				}
+				s, err = New(cfg)
+				if err != nil {
+					t.Fatalf("seed %d restart %d: %v", seed, life, err)
+				}
+				waitSettled(t, s, ids)
+			}
+
+			for i, id := range ids {
+				j, ok, _ := s.store.get(id)
+				if !ok {
+					t.Fatalf("seed %d: job %d lost", seed, i)
+				}
+				if j.State != JobDone {
+					t.Fatalf("seed %d: job %d = %s code %q (%s)", seed, i, j.State, j.ErrorCode, j.Error)
+				}
+				if j.ResultDigest != want[i].ResultDigest {
+					t.Fatalf("seed %d: job %d digest %s, baseline %s — recovery was not bit-identical",
+						seed, i, j.ResultDigest, want[i].ResultDigest)
+				}
+			}
+			b, _ := s.Ledger().Balance("alice")
+			if math.Abs(b.EpsSpent-wantEps) > 1e-9 || b.EpsReserved != 0 || b.Queries != len(queries) {
+				t.Fatalf("seed %d balance %+v, want spent=%g reserved=0 queries=%d — budget drifted across crash+restart",
+					seed, b, wantEps, len(queries))
+			}
+		})
+	}
+}
+
+// TestJobDeadline: a job whose deadline has already passed is canceled at
+// the runtime's first checkpoint, fails with deadline_exceeded, and releases
+// its reservation; the single executor slot is reclaimed, and a per-request
+// timeout_seconds override extends past the server default so the next job
+// completes on the same worker.
+func TestJobDeadline(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.JobWorkers = 1
+	cfg.JobTimeout = time.Nanosecond // every run starts already overdue
+	cfg.Tenants = []TenantSpec{{ID: "alice", Epsilon: 10, Delta: 1e-6}}
+	s, ts := startT(t, cfg, nil)
+
+	j1, code, _ := submit(t, ts.URL, "alice", countQuery)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	f1 := waitTerminal(t, ts.URL, j1.ID)
+	if f1.State != JobFailed || f1.ErrorCode != "deadline_exceeded" {
+		t.Fatalf("overdue job = %s/%s (%s), want failed/deadline_exceeded", f1.State, f1.ErrorCode, f1.Error)
+	}
+	if b, _ := s.Ledger().Balance("alice"); b.EpsReserved != 0 || b.EpsSpent != 0 {
+		t.Fatalf("balance after deadline %+v, want reservation released", b)
+	}
+
+	// The override extends the default: same worker, job completes.
+	var raw json.RawMessage
+	code = call(t, "POST", ts.URL+"/v1/queries",
+		map[string]any{"tenant": "alice", "source": countQuery, "timeout_seconds": 300.0}, &raw)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit with override: HTTP %d %s", code, raw)
+	}
+	var j2 Job
+	if err := json.Unmarshal(raw, &j2); err != nil {
+		t.Fatal(err)
+	}
+	f2 := waitTerminal(t, ts.URL, j2.ID)
+	if f2.State != JobDone {
+		t.Fatalf("job with extended deadline = %s (%s)", f2.State, f2.Error)
+	}
+	if b, _ := s.Ledger().Balance("alice"); math.Abs(b.EpsSpent-j2.Epsilon) > 1e-9 || b.EpsReserved != 0 || b.Queries != 1 {
+		t.Fatalf("final balance %+v, want only the completed job spent", b)
+	}
+
+	// A negative override is refused outright.
+	if _, code, ec := submitTimeout(t, ts.URL, "alice", countQuery, -1); code != http.StatusBadRequest || ec != "bad_request" {
+		t.Fatalf("negative timeout = HTTP %d %q", code, ec)
+	}
+}
+
+// TestDrainTimeout: Drain with a deadline returns once the deadline passes
+// even though a worker is wedged (parked on the test gate mid-job); the
+// undone job keeps its journaled submit and reservation, and a restart
+// re-executes it to completion with exact accounting.
+func TestDrainTimeout(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.JobWorkers = 1
+	cfg.Tenants = []TenantSpec{{ID: "alice", Epsilon: 10, Delta: 1e-6}}
+	hold := make(chan struct{})
+	s, ts := startT(t, cfg, hold)
+
+	j, code, _ := submit(t, ts.URL, "alice", countQuery)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	start := time.Now()
+	if err := s.Drain(100 * time.Millisecond); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if waited := time.Since(start); waited > 10*time.Second {
+		t.Fatalf("Drain blocked %v past its deadline", waited)
+	}
+	// The job never ran: its reservation is still held for the next process.
+	if b, _ := s.Ledger().Balance("alice"); b.EpsReserved != j.Epsilon {
+		t.Fatalf("post-drain balance %+v, want the queued job's reservation held", b)
+	}
+	close(hold) // release the parked worker; it sees draining and exits
+
+	s2, ts2 := startT(t, cfg, nil)
+	f := waitTerminal(t, ts2.URL, j.ID)
+	if f.State != JobDone || !f.Recovered {
+		t.Fatalf("recovered job = %s recovered=%v (%s)", f.State, f.Recovered, f.Error)
+	}
+	if b, _ := s2.Ledger().Balance("alice"); math.Abs(b.EpsSpent-j.Epsilon) > 1e-9 || b.EpsReserved != 0 {
+		t.Fatalf("post-recovery balance %+v", b)
+	}
+}
+
+// TestJobRetention: terminal jobs past Config.RetainJobs are evicted
+// oldest-first; their status, result, and cancel reads return the typed 410
+// "expired" error, and the health endpoint counts them.
+func TestJobRetention(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.JobWorkers = 1
+	cfg.RetainJobs = 3
+	cfg.Tenants = []TenantSpec{{ID: "alice", Epsilon: 100, Delta: 1e-3}}
+	_, ts := startT(t, cfg, nil)
+
+	var ids []string
+	for i := 0; i < 6; i++ {
+		j, code, _ := submit(t, ts.URL, "alice", countQuery)
+		if code != http.StatusAccepted {
+			t.Fatalf("submit %d: HTTP %d", i, code)
+		}
+		if f := waitTerminal(t, ts.URL, j.ID); f.State != JobDone {
+			t.Fatalf("job %d = %s (%s)", i, f.State, f.Error)
+		}
+		ids = append(ids, j.ID)
+	}
+	var e errEnvelope
+	for _, path := range []string{
+		"/v1/queries/" + ids[0],
+		"/v1/queries/" + ids[0] + "/result",
+	} {
+		if code := call(t, "GET", ts.URL+path, nil, &e); code != http.StatusGone || e.Error.Code != "expired" {
+			t.Fatalf("GET %s = HTTP %d %q, want 410 expired", path, code, e.Error.Code)
+		}
+	}
+	if code := call(t, "DELETE", ts.URL+"/v1/queries/"+ids[0], nil, &e); code != http.StatusGone || e.Error.Code != "expired" {
+		t.Fatalf("cancel evicted = HTTP %d %q, want 410 expired", code, e.Error.Code)
+	}
+	// The newest jobs are still inside the window.
+	var j Job
+	if code := call(t, "GET", ts.URL+"/v1/queries/"+ids[5], nil, &j); code != http.StatusOK || j.State != JobDone {
+		t.Fatalf("newest job = HTTP %d %s", code, j.State)
+	}
+	var h struct {
+		Expired   int            `json:"expired_jobs"`
+		Recovered int            `json:"recovered_jobs"`
+		InFlight  map[string]int `json:"in_flight_by_tenant"`
+		Journal   string         `json:"journal_path"`
+	}
+	if code := call(t, "GET", ts.URL+"/v1/health", nil, &h); code != http.StatusOK {
+		t.Fatalf("health: HTTP %d", code)
+	}
+	if h.Expired != 3 || h.Journal == "" {
+		t.Fatalf("health gauges %+v, want expired_jobs=3 and a journal path", h)
+	}
+}
+
+// TestJournalTornAndCorrupt: the journal inherits the WAL's recovery rules —
+// a torn tail (crash mid-append) truncates silently on restart, but interior
+// corruption of a durable record refuses to start the daemon.
+func TestJournalTornAndCorrupt(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.Tenants = []TenantSpec{{ID: "alice", Epsilon: 10, Delta: 1e-6}}
+	s, ts := startT(t, cfg, nil)
+	j, code, _ := submit(t, ts.URL, "alice", countQuery)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	if f := waitTerminal(t, ts.URL, j.ID); f.State != JobDone {
+		t.Fatalf("job = %s", f.State)
+	}
+	ts.Close()
+	s.Close()
+	jpath := cfg.LedgerPath + ".jobs"
+
+	// Torn tail: a half-written record with no newline is truncated and the
+	// daemon starts with the intact history.
+	fh, err := os.OpenFile(jpath, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fh.WriteString(`{"seq":99,"op":"submit","job":"torn`); err != nil {
+		t.Fatal(err)
+	}
+	fh.Close()
+	s2, ts2 := startT(t, cfg, nil)
+	var got Job
+	if code := call(t, "GET", ts2.URL+"/v1/queries/"+j.ID, nil, &got); code != http.StatusOK {
+		t.Fatalf("status after torn-tail restart: HTTP %d", code)
+	}
+	if got.State != JobDone || !got.Recovered || got.ResultDigest == "" {
+		t.Fatalf("restored job = %s recovered=%v digest=%q", got.State, got.Recovered, got.ResultDigest)
+	}
+	ts2.Close()
+	s2.Close()
+
+	// Interior corruption: flip a field inside a durable record; the daemon
+	// must refuse to guess at job history.
+	data, err := os.ReadFile(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupted := bytesReplace(data, []byte(`"op":"submit"`), []byte(`"op":"submyt"`))
+	if string(corrupted) == string(data) {
+		t.Fatal("corruption target not found in journal")
+	}
+	if err := os.WriteFile(jpath, corrupted, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(cfg); !errors.Is(err, wal.ErrCorrupt) {
+		t.Fatalf("open over corrupt journal = %v, want wal.ErrCorrupt", err)
+	}
+}
+
+// bytesReplace is bytes.Replace(.., 1) without importing bytes twice in the
+// test file's head.
+func bytesReplace(data, old, new []byte) []byte {
+	s := string(data)
+	i := indexOf(s, string(old))
+	if i < 0 {
+		return data
+	}
+	return []byte(s[:i] + string(new) + s[i+len(old):])
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+// submitTimeout posts a submission with a timeout_seconds override.
+func submitTimeout(t *testing.T, base, tenant, source string, timeout float64) (Job, int, string) {
+	t.Helper()
+	var raw json.RawMessage
+	code := call(t, "POST", base+"/v1/queries",
+		map[string]any{"tenant": tenant, "source": source, "timeout_seconds": timeout}, &raw)
+	if code == http.StatusAccepted {
+		var j Job
+		if err := json.Unmarshal(raw, &j); err != nil {
+			t.Fatal(err)
+		}
+		return j, code, ""
+	}
+	var e errEnvelope
+	if err := json.Unmarshal(raw, &e); err != nil {
+		t.Fatal(err)
+	}
+	return Job{}, code, e.Error.Code
+}
+
+// FuzzJournalReplay feeds arbitrary bytes to the journal opener: it must
+// never panic, must fail only with the WAL's typed errors, and must keep
+// working (append + reopen) whenever it accepts the file.
+func FuzzJournalReplay(f *testing.F) {
+	mk := func(recs ...*jrec) []byte {
+		var out []byte
+		for i, r := range recs {
+			r.Seq = uint64(i + 1)
+			r.Sum = r.WALChecksum()
+			line, _ := json.Marshal(r)
+			out = append(out, line...)
+			out = append(out, '\n')
+		}
+		return out
+	}
+	f.Add(mk(
+		&jrec{Op: jopSubmit, Job: "j1", Tenant: "a", Source: "q", JobSeq: 1, Eps: 1},
+		&jrec{Op: jopClaim, Job: "j1", Tenant: "a"},
+		&jrec{Op: jopDone, Job: "j1", Tenant: "a", Digest: "d"},
+	))
+	f.Add(mk(&jrec{Op: jopSubmit, Job: "j1", Tenant: "a"}))
+	f.Add([]byte(`{"seq":1,"op":"submit","job":"j1"`))
+	f.Add([]byte("not json\n"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := t.TempDir() + "/journal"
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		jn, err := openJournal(path)
+		if err != nil {
+			if !errors.Is(err, wal.ErrCorrupt) {
+				t.Fatalf("open failed with untyped error: %v", err)
+			}
+			return
+		}
+		jn.live = true
+		if err := jn.append(&jrec{Op: jopSubmit, Job: "fuzz-probe", Tenant: "t"}); err != nil {
+			t.Fatalf("append on accepted journal: %v", err)
+		}
+		if err := jn.close(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := openJournal(path); err != nil {
+			t.Fatalf("reopen of accepted journal: %v", err)
+		}
+	})
+}

@@ -306,7 +306,7 @@ func TestCancelQueuedReleasesReservation(t *testing.T) {
 // canceled job can never be claimed (its reservation is already released),
 // a claimed job can never be canceled, and a job is claimed at most once.
 func TestStoreClaimVsCancel(t *testing.T) {
-	st := newStore(4)
+	st := newStore(4, 0, 0)
 	a, b := &Job{ID: "a"}, &Job{ID: "b"}
 	if err := st.add(a); err != nil {
 		t.Fatal(err)
@@ -323,7 +323,7 @@ func TestStoreClaimVsCancel(t *testing.T) {
 	if !st.claim("b") {
 		t.Fatal("claim of a queued job refused")
 	}
-	if j, _ := st.get("b"); j.State != JobRunning || j.Started.IsZero() {
+	if j, _, _ := st.get("b"); j.State != JobRunning || j.Started.IsZero() {
 		t.Fatalf("claimed job = %s started %v, want running", j.State, j.Started)
 	}
 	if _, err := st.cancel("b"); !errors.Is(err, errNotCancelable) {
@@ -398,7 +398,9 @@ func TestCancelExecuteRace(t *testing.T) {
 
 // TestSubmitDuringShutdown: Close stops admission under the store mutex, so
 // a submission racing shutdown gets a typed 503 instead of panicking on a
-// closed queue, and its reservation is released.
+// closed queue. Jobs admitted but never started keep their journaled submit
+// and their reservation — a restart on the same ledger+journal re-executes
+// them and settles to exact accounting.
 func TestSubmitDuringShutdown(t *testing.T) {
 	cfg := testConfig(t)
 	cfg.JobWorkers = 1
@@ -406,19 +408,25 @@ func TestSubmitDuringShutdown(t *testing.T) {
 	hold := make(chan struct{})
 	s, ts := startT(t, cfg, hold)
 
-	if _, code, _ := submit(t, ts.URL, "alice", countQuery); code != http.StatusAccepted {
+	j1, code, _ := submit(t, ts.URL, "alice", countQuery)
+	if code != http.StatusAccepted {
 		t.Fatalf("submit: HTTP %d", code) // parks the worker at the gate
 	}
+	accepted := []Job{j1}
 	closed := make(chan error, 1)
 	go func() { closed <- s.Close() }()
 
 	// Close has shut admission (or is about to); keep submitting until the
-	// typed refusal lands. Submissions admitted before the cutover just run
-	// once the gate opens.
+	// typed refusal lands. Submissions admitted before the cutover stay
+	// queued (drain does not start new work) and recover after restart.
 	deadline := time.Now().Add(10 * time.Second)
 	refused := false
 	for !refused && time.Now().Before(deadline) {
-		if _, code, ec := submit(t, ts.URL, "alice", countQuery); code == http.StatusServiceUnavailable {
+		j, code, ec := submit(t, ts.URL, "alice", countQuery)
+		switch code {
+		case http.StatusAccepted:
+			accepted = append(accepted, j)
+		case http.StatusServiceUnavailable:
 			if ec != "shutting_down" {
 				t.Fatalf("refused with %q, want shutting_down", ec)
 			}
@@ -428,14 +436,34 @@ func TestSubmitDuringShutdown(t *testing.T) {
 	if !refused {
 		t.Fatal("no shutting_down refusal within 10s of Close")
 	}
-	close(hold) // open the gate: admitted jobs run, then Close completes
+	close(hold) // open the gate: the parked worker sees draining and exits
 	if err := <-closed; err != nil {
 		t.Fatalf("Close: %v", err)
 	}
-	// Every admitted job settled (committed or released) before the ledger
-	// closed; the refused submission holds nothing.
-	if b, _ := s.Ledger().Balance("alice"); b.EpsReserved != 0 {
-		t.Fatalf("reservations survived shutdown: %+v", b)
+	// None of the admitted jobs ran: each holds exactly its certified
+	// reservation, journaled for the next process.
+	var wantEps float64
+	for _, j := range accepted {
+		wantEps += j.Epsilon
+	}
+	if b, _ := s.Ledger().Balance("alice"); math.Abs(b.EpsReserved-wantEps) > 1e-9 || b.EpsSpent != 0 {
+		t.Fatalf("post-drain balance %+v, want reserved=%g spent=0 for %d queued jobs",
+			b, wantEps, len(accepted))
+	}
+
+	// Restart on the same ledger+journal: recovery re-enqueues and
+	// re-executes every admitted job, committing exactly the certified
+	// spend.
+	s2, ts2 := startT(t, cfg, nil)
+	for _, j := range accepted {
+		f := waitTerminal(t, ts2.URL, j.ID)
+		if f.State != JobDone || !f.Recovered {
+			t.Fatalf("recovered job %s = %s recovered=%v (%s)", j.ID, f.State, f.Recovered, f.Error)
+		}
+	}
+	if b, _ := s2.Ledger().Balance("alice"); math.Abs(b.EpsSpent-wantEps) > 1e-9 || b.EpsReserved != 0 || b.Queries != len(accepted) {
+		t.Fatalf("post-recovery balance %+v, want spent=%g reserved=0 queries=%d",
+			b, wantEps, len(accepted))
 	}
 }
 

@@ -1,0 +1,389 @@
+// Package wal is the shared write-ahead-log machinery behind Arboretum's
+// durable state: checksummed JSON-lines records, fsync-before-apply
+// ordering, exclusive advisory locking, and crash-aware replay. It was
+// factored out of internal/ledger so the privacy-budget ledger and the
+// gateway's job journal (internal/service) enforce one set of durability
+// rules instead of two drifting copies:
+//
+//   - every record is one JSON line carrying a sequence number and a
+//     checksum over all its other fields; Append assigns both, writes the
+//     line, fsyncs, and only then applies the record to in-memory state —
+//     the disk is never behind memory;
+//   - Open takes an exclusive flock (ErrLocked when another live process
+//     holds the file) and replays the log through the same apply function;
+//   - replay truncates a *torn tail* — an unterminated or undecodable final
+//     line, the signature of a crash mid-append — but refuses the whole log
+//     with ErrCorrupt for any decodable, newline-terminated record that
+//     fails its checksum, sequence, or apply, even on the final line: a
+//     torn append cannot include the trailing newline, so such a record was
+//     durably written whole and silently dropping it would rewrite history;
+//   - simulated process deaths are injectable into the append path through
+//     an internal/faults plan (stage 0 dies before any byte is written,
+//     stage 1 after a torn half-write; both close the descriptor the way a
+//     real death would, releasing the lock so a "restarted" process can
+//     reopen), poisoning the log with ErrCrashed until reopened.
+//
+// The record type is supplied by the caller via the Record interface; the
+// checksum algorithm is the caller's too (it is part of each log's on-disk
+// format), so ledger files written before this package existed replay
+// byte-for-byte.
+package wal
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"syscall"
+
+	"arboretum/internal/faults"
+)
+
+// Typed failure modes, shared by every log built on this package.
+var (
+	// ErrCorrupt means replay found a durably written record that is
+	// syntactically broken, fails its checksum, or cannot be applied. The
+	// log refuses to guess at state.
+	ErrCorrupt = errors.New("wal: corrupt record")
+	// ErrCrashed is the simulated process death injected by a faults plan:
+	// the log is poisoned exactly as if the process had died mid-append and
+	// must be reopened (replayed) before further use.
+	ErrCrashed = errors.New("wal: simulated crash during append")
+	// ErrLocked means another live process holds the log file: Open refuses
+	// rather than let two writers interleave conflicting sequence numbers.
+	ErrLocked = errors.New("wal: log file held by another process")
+)
+
+// Record is one log line. Implementations are pointer types whose fields
+// round-trip through encoding/json as a single line (strings with newlines
+// are fine — JSON escapes them).
+type Record interface {
+	// WALSeq and SetWALSeq expose the record's sequence number; Append
+	// assigns it (strictly increasing from 1) and replay validates it.
+	WALSeq() uint64
+	SetWALSeq(uint64)
+	// WALSum and SetWALSum expose the stored checksum field.
+	WALSum() string
+	SetWALSum(string)
+	// WALChecksum computes the canonical checksum over every field
+	// including the sequence number and excluding the stored sum. It is
+	// part of the log's on-disk format.
+	WALChecksum() string
+	// WALDesc is a short human label ("commit alice/j1") used in injected
+	// crash notes.
+	WALDesc() string
+}
+
+// Options configures Open.
+type Options struct {
+	// Crash injects simulated process deaths into the append path
+	// (coordinates: (record sequence, stage)); nil injects nothing.
+	Crash *faults.Plan
+	// CrashKind addresses Crash's decisions and the fired-fault log (e.g.
+	// faults.WALCrash for the budget ledger).
+	CrashKind faults.Kind
+}
+
+// Log is a durable record log. Create one with Open. All methods are safe
+// for concurrent use; Append serializes writers, and the apply callback
+// runs under the log's mutex.
+type Log[R Record] struct {
+	mu     sync.Mutex
+	f      *os.File
+	path   string
+	seq    uint64
+	size   int64 // bytes of the durable intact prefix
+	newRec func() R
+	apply  func(R) error
+	crash  *faults.Plan
+	kind   faults.Kind
+	dead   bool // poisoned by a simulated crash or apply failure
+}
+
+// Open opens (creating if absent) the log at path, takes an exclusive
+// advisory lock on it (ErrLocked when another process holds it), and
+// replays it through apply. newRec allocates an empty record for each
+// replayed line. A torn final line — unterminated or not decodable as a
+// record — is truncated; any durably written record that fails validation
+// fails with ErrCorrupt.
+func Open[R Record](path string, newRec func() R, apply func(R) error, opts Options) (*Log[R], error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	// One writer per log: two processes replaying and appending to the same
+	// file would interleave conflicting sequence numbers. The lock rides
+	// the descriptor, so the kernel releases it on any process death.
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%w: %s", ErrLocked, path)
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: read %s: %w", path, err)
+	}
+	l := &Log[R]{
+		path:   path,
+		newRec: newRec,
+		apply:  apply,
+		crash:  opts.Crash,
+		kind:   opts.CrashKind,
+	}
+	good, err := l.replay(data)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	// Drop the torn tail (if any) so the next append starts on a line
+	// boundary, then position at the end of the intact prefix.
+	if err := f.Truncate(int64(good)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: truncate torn tail: %w", err)
+	}
+	if _, err := f.Seek(int64(good), 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: seek: %w", err)
+	}
+	l.f = f
+	l.size = int64(good)
+	return l, nil
+}
+
+// replay applies every intact record of data and returns the byte length of
+// the intact prefix. The final record may be torn (crash mid-append); any
+// earlier bad record — or a whole, decodable final record that fails its
+// checksum — is ErrCorrupt.
+func (l *Log[R]) replay(data []byte) (int, error) {
+	good := 0
+	for len(data) > 0 {
+		line := data
+		rest := []byte(nil)
+		if i := bytes.IndexByte(data, '\n'); i >= 0 {
+			line, rest = data[:i], data[i+1:]
+		} else {
+			// No terminating newline: the append died mid-line.
+			return good, nil
+		}
+		r := l.newRec()
+		if err := json.Unmarshal(line, r); err != nil {
+			if len(rest) == 0 {
+				return good, nil // undecodable final line: a torn append
+			}
+			return 0, fmt.Errorf("%w: record %d (byte offset %d)", ErrCorrupt, l.seq+1, good)
+		}
+		if r.WALSum() != r.WALChecksum() {
+			// A decodable, newline-terminated record was written whole — a
+			// torn append can't include the trailing newline. A checksum
+			// failure here is corruption of a durable record, even on the
+			// final line: refuse to guess.
+			return 0, fmt.Errorf("%w: record %d (byte offset %d): checksum mismatch", ErrCorrupt, l.seq+1, good)
+		}
+		if r.WALSeq() != l.seq+1 {
+			if len(rest) == 0 {
+				return good, nil // a replayed-but-stale tail record
+			}
+			return 0, fmt.Errorf("%w: sequence %d after %d", ErrCorrupt, r.WALSeq(), l.seq)
+		}
+		if err := l.apply(r); err != nil {
+			return 0, fmt.Errorf("%w: record %d: %v", ErrCorrupt, r.WALSeq(), err)
+		}
+		l.seq = r.WALSeq()
+		good += len(line) + 1
+		data = rest
+	}
+	return good, nil
+}
+
+// Append assigns the next sequence number and the checksum, writes the
+// record durably (fsync), and only then applies it, so the disk is never
+// behind memory. The two crash stages straddle the write: stage 0 dies
+// before any byte reaches the file, stage 1 after a torn half-record —
+// both poison the log like a real process death.
+func (l *Log[R]) Append(r R) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.dead {
+		return ErrCrashed
+	}
+	r.SetWALSeq(l.seq + 1)
+	r.SetWALSum(r.WALChecksum())
+	line, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("wal: marshal: %w", err)
+	}
+	line = append(line, '\n')
+	seq := r.WALSeq()
+	if l.crash.Fires(l.kind, int(seq), 0) {
+		l.die(r, 0, "crashed before WAL append")
+		return fmt.Errorf("%w (before record %d)", ErrCrashed, seq)
+	}
+	if l.crash.Fires(l.kind, int(seq), 1) {
+		// Torn write: half the line reaches the disk, no newline, no fsync.
+		if _, err := l.f.Write(line[:len(line)/2]); err != nil {
+			return fmt.Errorf("wal: append: %w", err)
+		}
+		l.die(r, 1, "crashed mid-append (torn record)")
+		return fmt.Errorf("%w (torn record %d)", ErrCrashed, seq)
+	}
+	if _, err := l.f.Write(line); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	if err := l.apply(r); err != nil {
+		// The record is durable but inconsistent with memory — a programming
+		// error, not an I/O race; poison the log rather than diverge.
+		l.dead = true
+		return fmt.Errorf("wal: apply: %w", err)
+	}
+	l.seq = seq
+	l.size += int64(len(line))
+	return nil
+}
+
+// die records the injected crash and poisons the log until reopened. The
+// descriptor is closed the way the kernel would on a real process death —
+// in particular releasing the advisory lock so the "restarted" process can
+// Open the file.
+func (l *Log[R]) die(r R, stage int, note string) {
+	l.dead = true
+	if l.f != nil {
+		l.f.Close()
+		l.f = nil
+	}
+	l.crash.Record(faults.Fault{
+		Kind: l.kind, Idx: []int{int(r.WALSeq()), stage},
+		Note: fmt.Sprintf("%s: %s", r.WALDesc(), note),
+	})
+}
+
+// Rewrite atomically replaces the log's contents with recs, renumbered
+// from 1 (compaction). The records are written to a temporary file in the
+// same directory, fsynced, and renamed over the log, so a crash during
+// Rewrite leaves either the old log or the new one — never a mix. The
+// caller's apply state must already reflect recs; Rewrite does not re-apply
+// them.
+func (l *Log[R]) Rewrite(recs []R) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.dead {
+		return ErrCrashed
+	}
+	tmpPath := l.path + ".rewrite"
+	tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_RDWR|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: rewrite: %w", err)
+	}
+	// Lock the replacement before it becomes visible under the log's path:
+	// the flock rides the open descriptor across the rename, so there is no
+	// window where another process could grab the new inode.
+	if err := syscall.Flock(int(tmp.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		tmp.Close()
+		return fmt.Errorf("wal: rewrite lock: %w", err)
+	}
+	var size int64
+	for i, r := range recs {
+		r.SetWALSeq(uint64(i) + 1)
+		r.SetWALSum(r.WALChecksum())
+		line, err := json.Marshal(r)
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+			return fmt.Errorf("wal: rewrite marshal: %w", err)
+		}
+		line = append(line, '\n')
+		if _, err := tmp.Write(line); err != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+			return fmt.Errorf("wal: rewrite: %w", err)
+		}
+		size += int64(len(line))
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("wal: rewrite fsync: %w", err)
+	}
+	if err := os.Rename(tmpPath, l.path); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("wal: rewrite rename: %w", err)
+	}
+	// Make the rename itself durable.
+	if dir, err := os.Open(dirOf(l.path)); err == nil {
+		_ = dir.Sync()
+		dir.Close()
+	}
+	if l.f != nil {
+		l.f.Close()
+	}
+	l.f = tmp
+	l.seq = uint64(len(recs))
+	l.size = size
+	return nil
+}
+
+// dirOf returns the directory containing path ("." when path is bare).
+func dirOf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			if i == 0 {
+				return "/"
+			}
+			return path[:i]
+		}
+	}
+	return "."
+}
+
+// Kill poisons the log and closes its descriptor without flushing —
+// simulating a process death outside the append path (the service's
+// "daemon" fault kind). Every append already fsynced, so no durable state
+// is lost; the lock is released so a restarted process can reopen.
+func (l *Log[R]) Kill() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.dead = true
+	if l.f != nil {
+		l.f.Close()
+		l.f = nil
+	}
+}
+
+// Path returns the log file path.
+func (l *Log[R]) Path() string { return l.path }
+
+// Seq returns the sequence number of the last durable record.
+func (l *Log[R]) Seq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// Size returns the byte length of the durable intact log.
+func (l *Log[R]) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
+
+// Close flushes and closes the log file. The log must not be used after.
+func (l *Log[R]) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Sync()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	l.dead = true
+	return err
+}

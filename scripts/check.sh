@@ -45,11 +45,15 @@ ARBORETUM_INGEST_SMOKE=1 go test ./internal/runtime -run '^TestIngestMemoryFlat$
 if [ "${ARBORETUM_CHECK_FAST:-0}" = "1" ]; then
     echo "== skipping go test -race ./... (ARBORETUM_CHECK_FAST=1)"
     # The fast path trades the race pass for the arboretumd end-to-end
-    # smoke: start a daemon, exercise every docs/SERVICE.md endpoint, and
-    # assert exact budget debits (the slow path already covers the service
-    # packages under the race detector above).
+    # smokes: the conformance pass (every docs/SERVICE.md endpoint, exact
+    # budget debits) and the crash-recovery pass (SIGKILL mid-burst,
+    # restart on the same ledger + journal, every accepted job recovered
+    # with exact accounting). The slow path already covers the service
+    # packages under the race detector above.
     echo "== scripts/loadtest.sh -smoke"
     sh scripts/loadtest.sh -smoke
+    echo "== scripts/loadtest.sh -kill"
+    sh scripts/loadtest.sh -kill
 else
     echo "== go test -race ./..."
     go test -race ./...
