@@ -149,8 +149,7 @@ func run(args []string) error {
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		srv.Close()
-		return err
+		return errors.Join(err, srv.Close())
 	}
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	// The sentinel line scripts wait for; with -addr :0 it is also how they
@@ -163,8 +162,7 @@ func run(args []string) error {
 	go func() { errc <- httpSrv.Serve(ln) }()
 	select {
 	case err := <-errc:
-		srv.Close()
-		return err
+		return errors.Join(err, srv.Close())
 	case <-ctx.Done():
 	}
 	fmt.Println("arboretumd: shutting down")

@@ -66,6 +66,7 @@ func aggregateWithAudit(pub *ahe.PublicKey, inputs [][]*ahe.Ciphertext, byz bool
 		}
 		as.chunks = append(as.chunks, chunkInputs)
 	fold:
+		//arblint:ignore ctxcheckpoint bounded retry: returns once attempt+1 reaches aggregatorBackoff.attempts
 		for attempt := 0; ; attempt++ {
 			if plan.Fires(faults.AggregatorCrash, chunkIdx, attempt) {
 				m.AggregatorCrashes++

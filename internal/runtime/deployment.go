@@ -558,6 +558,7 @@ func (d *Deployment) deviceUpload(km *keyMaterial, dev *Device, width, hot int) 
 func (d *Deployment) deviceUploadRetry(km *keyMaterial, dev *Device, width, hot int) (upload, error) {
 	var timeouts int
 	var backoff time.Duration
+	//arblint:ignore ctxcheckpoint bounded retry: the device is dropped once attempt+1 reaches uploadBackoff.attempts
 	for attempt := 0; ; attempt++ {
 		if d.cfg.Faults.Fires(faults.UploadTimeout, dev.ID, attempt) {
 			timeouts++

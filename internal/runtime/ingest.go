@@ -274,6 +274,7 @@ func (sp *ingestSpec) runShard(shard int, job shardRun) (*shardResult, error) {
 		if retainsBatch(retain, b) {
 			prev = snapshotCts(checkpoint)
 		}
+		//arblint:ignore ctxcheckpoint bounded retry: returns once attempt+1 reaches shardBackoff.attempts
 		for attempt := 0; ; attempt++ {
 			if sp.plan.Fires(faults.ShardCrash, shard, b, attempt) {
 				res.crashes++

@@ -216,14 +216,12 @@ func newServer(cfg Config, hold chan struct{}) (*Server, error) {
 	}
 	for _, t := range cfg.Tenants {
 		if err := led.EnsureTenant(t.ID, t.Epsilon, t.Delta); err != nil {
-			led.Close()
-			return nil, err
+			return nil, errors.Join(err, led.Close())
 		}
 	}
 	jn, err := openJournal(cfg.JournalPath)
 	if err != nil {
-		led.Close()
-		return nil, fmt.Errorf("service: job journal: %w", err)
+		return nil, errors.Join(fmt.Errorf("service: job journal: %w", err), led.Close())
 	}
 	inflight := 0
 	for _, jj := range jn.jobs {
@@ -245,9 +243,9 @@ func newServer(cfg Config, hold chan struct{}) (*Server, error) {
 	}
 	if err := s.recoverJobs(); err != nil {
 		jn.close()
-		led.Close()
-		return nil, fmt.Errorf("service: crash recovery: %w", err)
+		return nil, errors.Join(fmt.Errorf("service: crash recovery: %w", err), led.Close())
 	}
+	//arblint:ignore rawgo daemon-lifecycle supervisor, not data-path fan-out; joined via workersDone on Close
 	go s.runWorkers()
 	return s, nil
 }
@@ -349,6 +347,7 @@ func (s *Server) die(j *Job, stage int, note string) {
 	s.cfg.Logf("service: injected daemon crash (job %s, stage %d): %s", j.ID, stage, note)
 	s.store.close()
 	s.journal.kill()
+	//arblint:ignore errdiscard simulated daemon crash: the abrupt teardown IS the fault being injected
 	s.ledger.Close()
 }
 
@@ -518,6 +517,7 @@ func (s *Server) runJob(ctx context.Context, j *Job) (*runtime.Result, string, e
 		err    error
 	}
 	ch := make(chan outcome, 1)
+	//arblint:ignore rawgo per-job watchdog so a deadline can abandon a wedged deployment; buffered channel, never leaks
 	go func() {
 		res, report, err := s.runDeployment(ctx, j)
 		ch <- outcome{res, report, err}

@@ -13,6 +13,8 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+
+	"arboretum/tools/arblint/internal/dataflow"
 )
 
 // Analyzer is one named invariant checker.
@@ -56,6 +58,13 @@ type Pass struct {
 	// when type checking failed; analyzers must tolerate nil lookups.
 	Pkg       *types.Package
 	TypesInfo *types.Info
+
+	// Prog is the whole-load function registry shared by every pass of one
+	// driver run: the interprocedural analyzers resolve callees in other
+	// packages through it. May be nil in minimal test harnesses; analyzers
+	// that need it must tolerate that by degrading to intraprocedural
+	// reasoning.
+	Prog *dataflow.Program
 
 	diags []Diagnostic
 }

@@ -22,6 +22,7 @@ import (
 	"testing"
 
 	"arboretum/tools/arblint/internal/analysis"
+	"arboretum/tools/arblint/internal/dataflow"
 	"arboretum/tools/arblint/internal/directive"
 	"arboretum/tools/arblint/internal/load"
 )
@@ -57,6 +58,10 @@ func Run(t *testing.T, a *analysis.Analyzer, rels ...string) {
 	var diags []analysis.Diagnostic
 	var files []*ast.File
 	fset := pkgs[0].Fset
+	prog := dataflow.NewProgram(fset)
+	for _, pkg := range pkgs {
+		prog.AddPackage(pkg.ImportPath, pkg.Files, pkg.Info)
+	}
 	for _, pkg := range pkgs {
 		pass := &analysis.Pass{
 			Analyzer:  a,
@@ -65,6 +70,7 @@ func Run(t *testing.T, a *analysis.Analyzer, rels ...string) {
 			PkgPath:   pkg.ImportPath,
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.Info,
+			Prog:      prog,
 		}
 		if a.TestFiles {
 			pass.TestFiles = pkg.TestFiles

@@ -6,30 +6,65 @@ package arblint
 import (
 	"go/ast"
 	"go/token"
+	"time"
 
 	"arboretum/tools/arblint/internal/analysis"
+	"arboretum/tools/arblint/internal/dataflow"
 	"arboretum/tools/arblint/internal/directive"
 	"arboretum/tools/arblint/internal/load"
 )
 
 // Finding is one rendered diagnostic.
 type Finding struct {
-	Position token.Position
-	Analyzer string
-	Message  string
+	Position token.Position `json:"position"`
+	Analyzer string         `json:"analyzer"`
+	Message  string         `json:"message"`
+}
+
+// Stat is one analyzer's aggregate wall time across every package of a run.
+type Stat struct {
+	Analyzer string        `json:"analyzer"`
+	Packages int           `json:"packages"`
+	Duration time.Duration `json:"duration_ns"`
 }
 
 // Run loads patterns relative to dir and applies every analyzer,
-// returning the findings that survive //arblint:ignore suppression.
+// returning the findings that survive //arblint:ignore suppression —
+// including a finding for every directive that suppressed nothing.
 func Run(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	findings, _, err := RunStats(dir, patterns, analyzers)
+	return findings, err
+}
+
+// RunStats is Run plus per-analyzer wall time.
+func RunStats(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]Finding, []Stat, error) {
 	pkgs, err := load.Load(dir, patterns)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+
+	// One shared function registry across every loaded package: this is
+	// what lets a pass over internal/service reason about a helper defined
+	// in internal/runtime. Registered before any analyzer runs, so summary
+	// computation is independent of package order.
+	var prog *dataflow.Program
+	if len(pkgs) > 0 {
+		prog = dataflow.NewProgram(pkgs[0].Fset)
+		for _, pkg := range pkgs {
+			prog.AddPackage(pkg.ImportPath, pkg.Files, pkg.Info)
+		}
+	}
+
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+
+	stats := make([]Stat, len(analyzers))
 	var findings []Finding
 	for _, pkg := range pkgs {
 		var diags []analysis.Diagnostic
-		for _, a := range analyzers {
+		for i, a := range analyzers {
 			pass := &analysis.Pass{
 				Analyzer:  a,
 				Fset:      pkg.Fset,
@@ -37,17 +72,33 @@ func Run(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]Findi
 				PkgPath:   pkg.ImportPath,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.Info,
+				Prog:      prog,
 			}
 			if a.TestFiles {
 				pass.TestFiles = pkg.TestFiles
 			}
+			start := time.Now()
 			if err := a.Run(pass); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
+			stats[i].Analyzer = a.Name
+			stats[i].Packages++
+			stats[i].Duration += time.Since(start)
 			diags = append(diags, pass.Diagnostics()...)
 		}
 		files := append(append([]*ast.File{}, pkg.Files...), pkg.TestFiles...)
-		for _, d := range directive.Filter(pkg.Fset, files, diags) {
+		sup := directive.NewSuppressor(pkg.Fset, files)
+		for _, d := range diags {
+			if sup.Suppress(pkg.Fset, d) {
+				continue
+			}
+			findings = append(findings, Finding{
+				Position: pkg.Fset.Position(d.Pos),
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		for _, d := range sup.Stale(ran) {
 			findings = append(findings, Finding{
 				Position: pkg.Fset.Position(d.Pos),
 				Analyzer: d.Analyzer,
@@ -55,5 +106,5 @@ func Run(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]Findi
 			})
 		}
 	}
-	return findings, nil
+	return findings, stats, nil
 }

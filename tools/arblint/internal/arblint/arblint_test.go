@@ -1,0 +1,63 @@
+package arblint_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"arboretum/tools/arblint/internal/analysis"
+	"arboretum/tools/arblint/internal/arblint"
+)
+
+// TestStaleDirectiveIsAFinding drives the full pipeline over a scratch
+// module: a directive that suppresses a finding stays silent, a directive
+// that suppresses nothing becomes a finding of its own, and the stats name
+// every analyzer that ran.
+func TestStaleDirectiveIsAFinding(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module scratch\n\ngo 1.22\n")
+	write("a.go", `package a
+
+//arblint:ignore fake covered exception
+var A = 1
+
+//arblint:ignore fake exception whose finding is gone
+var B = 2
+`)
+
+	// fake reports one diagnostic on the var A line, which the first
+	// directive suppresses; the second directive then has nothing to do.
+	fake := &analysis.Analyzer{
+		Name: "fake",
+		Doc:  "test analyzer",
+		Run: func(pass *analysis.Pass) error {
+			pass.Reportf(pass.Fset.File(pass.Files[0].Pos()).LineStart(4), "seeded finding")
+			return nil
+		},
+	}
+
+	findings, stats, err := arblint.RunStats(dir, []string{"./..."}, []*analysis.Analyzer{fake})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1 (the stale directive): %v", len(findings), findings)
+	}
+	f := findings[0]
+	if f.Analyzer != "directive" || !strings.Contains(f.Message, "stale //arblint:ignore fake") {
+		t.Errorf("unexpected finding %+v", f)
+	}
+	if f.Position.Line != 6 {
+		t.Errorf("stale finding at line %d, want 6", f.Position.Line)
+	}
+	if len(stats) != 1 || stats[0].Analyzer != "fake" || stats[0].Packages != 1 {
+		t.Errorf("unexpected stats %+v", stats)
+	}
+}

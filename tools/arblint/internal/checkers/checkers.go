@@ -1,19 +1,25 @@
-// Package checkers is the arblint analyzer registry: the five domain
+// Package checkers is the arblint analyzer registry: the nine domain
 // analyzers plus the always-on directive validator, in the order the driver
-// runs and documents them (docs/ANALYSIS.md).
+// runs and documents them (docs/ANALYSIS.md). The first five are syntactic
+// (PR 3); the last four ride the interprocedural dataflow engine
+// (internal/dataflow) and reason through helper-function hops.
 package checkers
 
 import (
 	"arboretum/tools/arblint/internal/analysis"
 	"arboretum/tools/arblint/internal/checkers/bigintalias"
 	"arboretum/tools/arblint/internal/checkers/budgetflow"
+	"arboretum/tools/arblint/internal/checkers/ctxcheckpoint"
 	"arboretum/tools/arblint/internal/checkers/errdiscard"
+	"arboretum/tools/arblint/internal/checkers/noiserelease"
 	"arboretum/tools/arblint/internal/checkers/randsource"
 	"arboretum/tools/arblint/internal/checkers/rawgo"
+	"arboretum/tools/arblint/internal/checkers/secretflow"
+	"arboretum/tools/arblint/internal/checkers/walorder"
 	"arboretum/tools/arblint/internal/directive"
 )
 
-// Domain returns the five domain analyzers.
+// Domain returns the nine domain analyzers.
 func Domain() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		randsource.Analyzer,
@@ -21,6 +27,10 @@ func Domain() []*analysis.Analyzer {
 		bigintalias.Analyzer,
 		rawgo.Analyzer,
 		errdiscard.Analyzer,
+		noiserelease.Analyzer,
+		secretflow.Analyzer,
+		ctxcheckpoint.Analyzer,
+		walorder.Analyzer,
 	}
 }
 

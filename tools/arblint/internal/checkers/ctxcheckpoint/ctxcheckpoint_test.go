@@ -1,0 +1,12 @@
+package ctxcheckpoint_test
+
+import (
+	"testing"
+
+	"arboretum/tools/arblint/internal/analysistest"
+	"arboretum/tools/arblint/internal/checkers/ctxcheckpoint"
+)
+
+func TestCheckpointLoops(t *testing.T) {
+	analysistest.Run(t, ctxcheckpoint.Analyzer, "internal/runtime")
+}

@@ -1,0 +1,108 @@
+// Package runtime is ctxcheckpoint analyzer testdata: it defines the exact
+// hot-loop functions policy.CheckpointFuncs lists for internal/runtime (the
+// policy table matches this package by path suffix). runShard checkpoints
+// through a helper hop, runVignette polls ctx.Err directly, and run — the
+// seeded violation — loops with no checkpoint at all.
+package runtime
+
+import "context"
+
+type deployment struct {
+	ctx context.Context
+}
+
+// checkpoint is the helper the interprocedural hop goes through: the
+// registry sees its ctx.Done select and credits callers.
+func (d *deployment) checkpoint() error {
+	select {
+	case <-d.ctx.Done():
+		return d.ctx.Err()
+	default:
+		return nil
+	}
+}
+
+type ingestSpec struct {
+	dep     *deployment
+	batches [][]int64
+}
+
+// runShard is listed in policy.CheckpointFuncs; its loop checkpoints via
+// the helper, one call hop away.
+func (sp *ingestSpec) runShard(shard int) (int64, error) {
+	var total int64
+	for _, batch := range sp.batches {
+		if err := sp.dep.checkpoint(); err != nil {
+			return 0, err
+		}
+		for _, v := range batch {
+			total += v
+		}
+	}
+	return total, nil
+}
+
+type interp struct {
+	ctx   context.Context
+	steps []int64
+}
+
+// runVignette is listed in policy.CheckpointFuncs; its loop polls ctx.Err
+// directly.
+func (ip *interp) runVignette(seq int) int64 {
+	var acc int64
+	for _, s := range ip.steps {
+		if ip.ctx.Err() != nil {
+			return acc
+		}
+		acc += s
+	}
+	return acc
+}
+
+// run is listed in policy.CheckpointFuncs but its loop never observes
+// cancellation: the seeded violation.
+func (ip *interp) run() int64 {
+	var acc int64
+	for _, s := range ip.steps { // want `interp.run has no loop with a cancellation checkpoint`
+		acc += s
+	}
+	return acc
+}
+
+// spin is the package-wide rule's seeded violation: a condition-less loop
+// with no checkpoint.
+func spin(ch chan int) int {
+	for { // want `condition-less loop without a cancellation checkpoint`
+		v := <-ch
+		if v > 0 {
+			return v
+		}
+	}
+}
+
+// pump checkpoints its condition-less loop and is clean.
+func pump(ctx context.Context, ch chan int) int {
+	for {
+		select {
+		case <-ctx.Done():
+			return 0
+		case v := <-ch:
+			if v > 0 {
+				return v
+			}
+		}
+	}
+}
+
+// drain is the recorded exception: the directive suppresses the finding.
+func drain(ch chan int) (total int) {
+	//arblint:ignore ctxcheckpoint recorded exception for analyzer testdata
+	for {
+		v, ok := <-ch
+		if !ok {
+			return total
+		}
+		total += v
+	}
+}

@@ -1,0 +1,104 @@
+// Package noiserelease is the static complement of internal/privacy's
+// runtime certifier: inside the release-boundary packages
+// (policy.ReleaseBoundaries — the gateway's JSON encoding and the CLIs'
+// stdout), every value that reaches an output sink must be free of
+// raw-aggregate taint. A raw aggregate is the result of decrypting a
+// homomorphic sum or reconstructing a secret-shared value
+// (policy.RawAggregateSources); it becomes releasable by mixing in a
+// mechanism.* noise draw (the cleansers) or by arriving through the
+// runtime's certified Run (the sanitizer), which performs the full
+// certify → noise → release pipeline. The taint engine's interprocedural
+// summaries mean a raw sum laundered through any chain of helpers — a
+// writeJSON wrapper, a response builder — is still caught at the call that
+// hands it to the helper.
+package noiserelease
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"arboretum/tools/arblint/internal/analysis"
+	"arboretum/tools/arblint/internal/dataflow"
+	"arboretum/tools/arblint/internal/policy"
+)
+
+// Analyzer is the noiserelease checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "noiserelease",
+	Doc:  "raw aggregates may not reach a release boundary without passing a noise mechanism",
+	Run:  run,
+}
+
+func pkgPathOf(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+// spec is the taint domain, shared (and its summaries memoized) across
+// every package of a driver run.
+var spec = &dataflow.Spec{
+	Key: "noiserelease",
+	SourceCall: func(callee *types.Func, call *ast.CallExpr) (string, bool) {
+		path := pkgPathOf(callee)
+		if policy.FuncIn(policy.RawAggregateSources, path, callee.Name()) {
+			return path[strings.LastIndex(path, "/")+1:] + "." + callee.Name(), true
+		}
+		return "", false
+	},
+	Sanitizer: func(callee *types.Func, call *ast.CallExpr) bool {
+		return policy.FuncIn(policy.ReleaseSanitizers, pkgPathOf(callee), callee.Name())
+	},
+	Cleanser: func(callee *types.Func, call *ast.CallExpr) bool {
+		mech := policy.Set{policy.NoiseSource: true}
+		return mech.Matches(pkgPathOf(callee)) && policy.NoiseConstructors[callee.Name()]
+	},
+	Sink: func(callee *types.Func, call *ast.CallExpr) (string, bool) {
+		path := pkgPathOf(callee)
+		name := callee.Name()
+		switch path {
+		case "fmt":
+			switch name {
+			case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln",
+				"Sprint", "Sprintf", "Sprintln":
+				return "fmt." + name, true
+			}
+		case "encoding/json":
+			switch name {
+			case "Marshal", "MarshalIndent", "Encode": // Encode: (*json.Encoder).Encode
+				return "json." + name, true
+			}
+		}
+		return "", false
+	},
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Prog == nil || pass.TypesInfo == nil {
+		return nil
+	}
+	if !policy.ReleaseBoundaries.Matches(pass.PkgPath) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			sum := pass.Prog.TaintSummary(spec, obj)
+			for _, v := range sum.Violations {
+				pass.Reportf(v.Pos,
+					"raw aggregate from %s reaches release sink %s without passing a mechanism noise constructor: nothing leaves the platform un-noised (the runtime certifier's static complement)",
+					v.Source, v.Sink)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,18 @@
+package noiserelease_test
+
+import (
+	"testing"
+
+	"arboretum/tools/arblint/internal/analysistest"
+	"arboretum/tools/arblint/internal/checkers/noiserelease"
+)
+
+func TestReleaseBoundary(t *testing.T) {
+	analysistest.Run(t, noiserelease.Analyzer, "internal/service")
+}
+
+// TestNonBoundaryClean runs the analyzer over the raw-aggregate producer
+// itself: outside a release boundary nothing is flagged.
+func TestNonBoundaryClean(t *testing.T) {
+	analysistest.Run(t, noiserelease.Analyzer, "internal/ahe")
+}

@@ -1,0 +1,12 @@
+// Package mechanism is noiserelease analyzer testdata: a stand-in exposing
+// the noise-constructor names the real internal/mechanism exports. Calls to
+// these are the cleansers that make a raw aggregate releasable.
+package mechanism
+
+// Rand mirrors the real sampler interface shape.
+type Rand interface {
+	Intn(n int) int
+}
+
+// Laplace mirrors the real noise constructor's name.
+func Laplace(rng Rand, scale int64) int64 { return int64(rng.Intn(3)) - 1 }

@@ -1,0 +1,15 @@
+// Package runtime is noiserelease analyzer testdata: a stand-in exposing
+// the certified release entry point the real internal/runtime exports. Its
+// results are sanitized — the real Run executes the full certify → noise →
+// release pipeline.
+package runtime
+
+// Result mirrors the released-result shape.
+type Result struct {
+	Value int64
+}
+
+// Run mirrors the certified release pipeline: its output is safe to encode.
+func Run(query string) (*Result, error) {
+	return &Result{}, nil
+}

@@ -1,0 +1,64 @@
+// Package mpc is secretflow analyzer testdata: a client of the secret Share
+// type that leaks whole values into format verbs, logs, and encoders —
+// directly and through a helper hop — while field projections and wrapped
+// errors stay clean. secretflow runs in every package, so this needs no
+// special path.
+package mpc
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+
+	shamir "arboretum/tools/arblint/internal/checkers/secretflow/testdata/src/internal/shamir"
+)
+
+// LeakError formats the whole share into an error string.
+func LeakError(sh shamir.Share) error {
+	return fmt.Errorf("bad share %v", sh) // want `secret shamir.Share flows into fmt.Errorf`
+}
+
+// LeakLog writes shares to the log package (every log function is a sink).
+func LeakLog(shares []shamir.Share) {
+	log.Printf("state: %v", shares) // want `secret shamir.Share flows into log.Printf`
+}
+
+// describe is the helper the interprocedural hop goes through: its
+// parameter reaches fmt.Sprintf.
+func describe(v interface{}) string {
+	return fmt.Sprintf("<%v>", v)
+}
+
+// LeakViaHelper hands the share to describe; the helper's summary makes the
+// call site the sink.
+func LeakViaHelper(sh shamir.Share) string {
+	return describe(sh) // want `secret shamir.Share flows into fmt.Sprintf via describe`
+}
+
+// LeakEncode marshals the share.
+func LeakEncode(sh shamir.Share) []byte {
+	out, _ := json.Marshal(sh) // want `secret shamir.Share flows into json.Marshal`
+	return out
+}
+
+// FieldIsPublic projects the public evaluation point: not a leak — the
+// field's own type, not the whole value's, decides.
+func FieldIsPublic(sh shamir.Share) error {
+	return fmt.Errorf("share at x=%d rejected", sh.X)
+}
+
+// WrapError wraps an error from secret-handling code: errors launder, the
+// leak (if any) is reported where the error was built.
+func WrapError(shares []shamir.Share) error {
+	if _, err := shamir.Reconstruct(shares); err != nil {
+		return fmt.Errorf("reconstruct: %w", err)
+	}
+	return nil
+}
+
+// Annotated is the recorded exception: the directive suppresses the leak on
+// the next line.
+func Annotated(sh shamir.Share) {
+	//arblint:ignore secretflow recorded exception for analyzer testdata
+	fmt.Println(sh)
+}

@@ -1,0 +1,16 @@
+// Package shamir is secretflow analyzer testdata: a stand-in exposing the
+// secret-typed Share the real internal/shamir exports. The policy table's
+// SecretTypes matches it by path suffix.
+package shamir
+
+// Share mirrors the real secret share: X is the public evaluation point, Y
+// is the secret polynomial value.
+type Share struct {
+	X int
+	Y []byte
+}
+
+// Reconstruct mirrors the real recovery entry point.
+func Reconstruct(shares []Share) ([]byte, error) {
+	return shares[0].Y, nil
+}

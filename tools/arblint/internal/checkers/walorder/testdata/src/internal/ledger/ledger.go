@@ -1,0 +1,123 @@
+// Package ledger is walorder analyzer testdata: a WAL client
+// (policy.WALClients matches it by path suffix) whose apply callback
+// maintains two durable fields. The seeded violations mutate them before
+// the append — directly, through a helper write, through a helper append,
+// and across a loop's back edge — while the clean cases mutate only via
+// apply or after the append returns.
+package ledger
+
+import (
+	wal "arboretum/tools/arblint/internal/checkers/walorder/testdata/src/internal/wal"
+)
+
+// Ledger owns the durable state. tenants and reserved are roots (apply
+// writes them); hits is scratch and may move freely.
+type Ledger struct {
+	log      *wal.Log
+	tenants  map[string]int64
+	reserved int64
+	hits     int
+}
+
+// Open wires the apply callback into the WAL.
+func Open(path string) (*Ledger, error) {
+	l := &Ledger{tenants: map[string]int64{}}
+	lg, err := wal.Open(path, 0, l.apply)
+	if err != nil {
+		return nil, err
+	}
+	l.log = lg
+	return l, nil
+}
+
+// apply is the only place durable state may change: it runs after the
+// record is fsync-confirmed.
+func (l *Ledger) apply(r wal.Record) {
+	switch r.Op {
+	case "reserve":
+		l.reserved += r.N
+	case "drop":
+		delete(l.tenants, string(r.Data))
+	default:
+		l.setTenant(string(r.Data), r.N)
+	}
+}
+
+// setTenant is an apply helper: the root discovery follows same-owner calls
+// out of apply, so tenants is a root even though apply writes it here.
+func (l *Ledger) setTenant(id string, n int64) {
+	l.tenants[id] = n
+}
+
+// Reserve is the direct seeded violation: memory moves before disk.
+func (l *Ledger) Reserve(n int64) error {
+	l.reserved += n // want `durable state \(Ledger.reserved\) is mutated before the WAL append`
+	return l.log.Append(wal.Record{Op: "reserve", N: n})
+}
+
+// bump writes a root; callers that follow it with an append inherit the
+// violation through the registry.
+func (l *Ledger) bump(id string) {
+	l.tenants[id] = 0
+}
+
+// Grant is the helper-write seeded violation: the mutation hides one call
+// deep.
+func (l *Ledger) Grant(id string) error {
+	l.bump(id) // want `durable state \(via bump\) is mutated before the WAL append`
+	return l.log.Append(wal.Record{Op: "grant", Data: []byte(id)})
+}
+
+// persist reaches the WAL append one call deep.
+func (l *Ledger) persist(r wal.Record) error {
+	return l.log.Append(r)
+}
+
+// Spend is the helper-append seeded violation: the write precedes a call
+// that transitively appends.
+func (l *Ledger) Spend(n int64) error {
+	l.reserved -= n // want `durable state \(Ledger.reserved\) is mutated before the WAL append`
+	return l.persist(wal.Record{Op: "spend", N: n})
+}
+
+// Replay is the back-edge seeded violation: the write follows the append in
+// source order, but the loop carries it ahead of the next iteration's
+// append.
+func (l *Ledger) Replay(rs []wal.Record) error {
+	for _, r := range rs {
+		if err := l.log.Append(r); err != nil {
+			return err
+		}
+		l.reserved++ // want `durable state \(Ledger.reserved\) is mutated before the WAL append`
+	}
+	return nil
+}
+
+// Commit is clean: the mutation happens inside apply, after Append fsyncs.
+func (l *Ledger) Commit(id string, n int64) error {
+	return l.log.Append(wal.Record{Op: "set", N: n, Data: []byte(id)})
+}
+
+// Touch is clean: hits is not durable state (apply never writes it).
+func (l *Ledger) Touch(n int64) error {
+	l.hits++
+	return l.log.Append(wal.Record{Op: "touch", N: n})
+}
+
+// Reset is clean: the write cannot precede the straight-line append above
+// it.
+func (l *Ledger) Reset(r wal.Record) error {
+	if err := l.log.Append(r); err != nil {
+		return err
+	}
+	l.reserved = 0
+	return nil
+}
+
+// Annotated is the recorded exception: the directive suppresses the finding
+// on the next line.
+func (l *Ledger) Annotated(n int64) error {
+	//arblint:ignore walorder recorded exception for analyzer testdata
+	l.reserved += n
+	return l.log.Append(wal.Record{Op: "reserve", N: n})
+}

@@ -1,0 +1,37 @@
+// Package wal is walorder analyzer testdata: a stand-in exposing the
+// Open/Append/Rewrite shape the real internal/wal exports. The analyzer
+// matches it by path suffix and reads the apply callback from Open's third
+// argument.
+package wal
+
+// Record mirrors the real WAL record shape.
+type Record struct {
+	Op   string
+	N    int64
+	Data []byte
+}
+
+// Log mirrors the real fsync-before-apply log.
+type Log struct {
+	apply func(Record)
+}
+
+// Open mirrors the real constructor: the third argument is the apply
+// callback that owns every durable-state mutation.
+func Open(path string, limit int, apply func(Record)) (*Log, error) {
+	return &Log{apply: apply}, nil
+}
+
+// Append mirrors the real fsync-then-apply append.
+func (l *Log) Append(r Record) error {
+	l.apply(r)
+	return nil
+}
+
+// Rewrite mirrors the real compaction entry point.
+func (l *Log) Rewrite(rs []Record) error {
+	for _, r := range rs {
+		l.apply(r)
+	}
+	return nil
+}

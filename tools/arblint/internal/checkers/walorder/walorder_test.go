@@ -1,0 +1,12 @@
+package walorder_test
+
+import (
+	"testing"
+
+	"arboretum/tools/arblint/internal/analysistest"
+	"arboretum/tools/arblint/internal/checkers/walorder"
+)
+
+func TestWALOrdering(t *testing.T) {
+	analysistest.Run(t, walorder.Analyzer, "internal/ledger")
+}

@@ -1,0 +1,351 @@
+// Control-flow graph over a function body's statement ASTs. The graph is
+// built per function, with basic blocks holding statements in execution
+// order and edges for the structured control flow Go has: if/else, for and
+// range loops (with back edges), switch/type-switch/select, break, continue,
+// labeled variants, and return. goto adds no edge — the query below
+// under-approximates in its presence, and the repo bans goto-heavy style
+// anyway. Function literals are opaque: a FuncLit body is not part of the
+// enclosing function's graph (callers analyze closure bodies as separate
+// functions).
+
+package dataflow
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// CFG is one function body's control-flow graph.
+type CFG struct {
+	blocks []*block
+	// where maps each registered statement to its block and intra-block
+	// index, for position queries.
+	where map[ast.Stmt]blockRef
+
+	reach map[[2]int]bool // memoized block reachability (strictly-after)
+}
+
+type block struct {
+	idx   int
+	stmts []ast.Stmt
+	succs []*block
+}
+
+type blockRef struct {
+	b   *block
+	idx int
+}
+
+// builder state: the current block plus the break/continue targets of the
+// enclosing loops and switches.
+type cfgBuilder struct {
+	g   *CFG
+	cur *block
+
+	// loop/switch context stacks for break/continue resolution.
+	breaks    []*block
+	continues []*block
+	labels    map[string]*labelTargets
+}
+
+type labelTargets struct {
+	brk, cont *block
+}
+
+// BuildCFG constructs the graph for body.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	g := &CFG{where: map[ast.Stmt]blockRef{}, reach: map[[2]int]bool{}}
+	b := &cfgBuilder{g: g, labels: map[string]*labelTargets{}}
+	b.cur = b.newBlock()
+	b.stmtList(body.List)
+	return g
+}
+
+func (b *cfgBuilder) newBlock() *block {
+	blk := &block{idx: len(b.g.blocks)}
+	b.g.blocks = append(b.g.blocks, blk)
+	return blk
+}
+
+func link(from, to *block) {
+	if from == nil || to == nil {
+		return
+	}
+	for _, s := range from.succs {
+		if s == to {
+			return
+		}
+	}
+	from.succs = append(from.succs, to)
+}
+
+// add records one statement in the current block.
+func (b *cfgBuilder) add(s ast.Stmt) {
+	if b.cur == nil {
+		// Unreachable code after return/break; give it a detached block so
+		// position queries still resolve.
+		b.cur = b.newBlock()
+	}
+	b.g.where[s] = blockRef{b.cur, len(b.cur.stmts)}
+	b.cur.stmts = append(b.cur.stmts, s)
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s, "")
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt, label string) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		b.stmt(s.Stmt, s.Label.Name)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init, "")
+		}
+		b.add(s) // the condition evaluates in the current block
+		cond := b.cur
+		join := b.newBlock()
+		b.cur = b.newBlock()
+		link(cond, b.cur)
+		b.stmtList(s.Body.List)
+		link(b.cur, join)
+		if s.Else != nil {
+			b.cur = b.newBlock()
+			link(cond, b.cur)
+			b.stmt(s.Else, "")
+			link(b.cur, join)
+		} else {
+			link(cond, join)
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.stmt(s.Init, "")
+		}
+		head := b.newBlock()
+		link(b.cur, head)
+		b.cur = head
+		b.add(s) // condition/loop header
+		exit := b.newBlock()
+		if s.Cond != nil {
+			link(head, exit)
+		}
+		body := b.newBlock()
+		link(head, body)
+		b.cur = body
+		b.pushLoop(exit, head, label)
+		b.stmtList(s.Body.List)
+		if s.Post != nil {
+			b.stmt(s.Post, "")
+		}
+		b.popLoop(label)
+		link(b.cur, head) // back edge
+		b.cur = exit
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		link(b.cur, head)
+		b.cur = head
+		b.add(s)
+		exit := b.newBlock()
+		link(head, exit)
+		body := b.newBlock()
+		link(head, body)
+		b.cur = body
+		b.pushLoop(exit, head, label)
+		b.stmtList(s.Body.List)
+		b.popLoop(label)
+		link(b.cur, head)
+		b.cur = exit
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		b.add(s)
+		head := b.cur
+		exit := b.newBlock()
+		b.pushLoop(exit, nil, label)
+		var clauses []ast.Stmt
+		var hasDefault bool
+		switch s := s.(type) {
+		case *ast.SwitchStmt:
+			clauses = s.Body.List
+		case *ast.TypeSwitchStmt:
+			clauses = s.Body.List
+		case *ast.SelectStmt:
+			clauses = s.Body.List
+		}
+		var prevBody *block // for fallthrough: link end of case N to start of case N+1
+		for _, c := range clauses {
+			caseBlk := b.newBlock()
+			link(head, caseBlk)
+			if prevBody != nil {
+				link(prevBody, caseBlk)
+			}
+			b.cur = caseBlk
+			switch c := c.(type) {
+			case *ast.CaseClause:
+				if c.List == nil {
+					hasDefault = true
+				}
+				b.stmtList(c.Body)
+			case *ast.CommClause:
+				if c.Comm != nil {
+					b.stmt(c.Comm, "")
+				} else {
+					hasDefault = true
+				}
+				b.stmtList(c.Body)
+			}
+			prevBody = b.cur
+			link(b.cur, exit)
+		}
+		if !hasDefault {
+			// switch: no case may match; select: over-approximating the
+			// same way only adds paths, which is safe for a may-query.
+			link(head, exit)
+		}
+		b.popLoop(label)
+		b.cur = exit
+
+	case *ast.BranchStmt:
+		b.add(s)
+		switch s.Tok {
+		case token.BREAK:
+			b.branchTo(s.Label, true)
+		case token.CONTINUE:
+			b.branchTo(s.Label, false)
+		case token.GOTO:
+			// no edge: may-precede under-approximates around goto
+		}
+		b.cur = nil // following statements are unreachable from here
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.cur = nil
+
+	default:
+		// assignments, declarations, expression statements, go/defer, send,
+		// inc/dec, empty: straight-line
+		b.add(s)
+	}
+}
+
+func (b *cfgBuilder) pushLoop(brk, cont *block, label string) {
+	b.breaks = append(b.breaks, brk)
+	b.continues = append(b.continues, cont)
+	if label != "" {
+		b.labels[label] = &labelTargets{brk: brk, cont: cont}
+	}
+}
+
+func (b *cfgBuilder) popLoop(label string) {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+	if label != "" {
+		delete(b.labels, label)
+	}
+}
+
+func (b *cfgBuilder) branchTo(label *ast.Ident, isBreak bool) {
+	var target *block
+	if label != nil {
+		if lt := b.labels[label.Name]; lt != nil {
+			if isBreak {
+				target = lt.brk
+			} else {
+				target = lt.cont
+			}
+		}
+	} else {
+		if isBreak {
+			for i := len(b.breaks) - 1; i >= 0; i-- {
+				if b.breaks[i] != nil {
+					target = b.breaks[i]
+					break
+				}
+			}
+		} else {
+			for i := len(b.continues) - 1; i >= 0; i-- {
+				if b.continues[i] != nil {
+					target = b.continues[i]
+					break
+				}
+			}
+		}
+	}
+	link(b.cur, target)
+}
+
+// refFor locates the innermost registered statement covering pos.
+func (g *CFG) refFor(pos token.Pos) (blockRef, bool) {
+	var best blockRef
+	var bestSpan token.Pos = -1
+	found := false
+	for s, ref := range g.where {
+		if s.Pos() <= pos && pos <= s.End() {
+			span := s.End() - s.Pos()
+			if !found || span < bestSpan {
+				best, bestSpan, found = ref, span, true
+			}
+		}
+	}
+	return best, found
+}
+
+// blockReaches reports whether control leaving block a can ever enter block
+// c (a path a → … → c through successor edges, possibly via back edges).
+func (g *CFG) blockReaches(a, c *block) bool {
+	key := [2]int{a.idx, c.idx}
+	if v, ok := g.reach[key]; ok {
+		return v
+	}
+	seen := make([]bool, len(g.blocks))
+	queue := append([]*block(nil), a.succs...)
+	ok := false
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		if seen[b.idx] {
+			continue
+		}
+		seen[b.idx] = true
+		if b == c {
+			ok = true
+			break
+		}
+		queue = append(queue, b.succs...)
+	}
+	g.reach[key] = ok
+	return ok
+}
+
+// MayPrecede reports whether the statement containing posA can execute
+// before the statement containing posB on some path: same block with A
+// strictly earlier, or a path from A's block to B's (which covers loops via
+// back edges). Positions inside the same statement report false — within one
+// statement Go evaluates the RHS before any store, so "write then call" can
+// not happen there. Unlocatable positions report false.
+func (g *CFG) MayPrecede(posA, posB token.Pos) bool {
+	ra, oka := g.refFor(posA)
+	rb, okb := g.refFor(posB)
+	if !oka || !okb {
+		return false
+	}
+	if ra.b == rb.b {
+		if ra.idx < rb.idx {
+			return true
+		}
+		if ra.idx == rb.idx {
+			return false
+		}
+		// A after B in the same block: only via a cycle back to this block.
+		return g.blockReaches(ra.b, rb.b)
+	}
+	return g.blockReaches(ra.b, rb.b)
+}

@@ -1,0 +1,117 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseBody parses src as a function body and returns the CFG plus a lookup
+// from a marker comment ("/*a*/") to the position of the statement carrying
+// it.
+func parseBody(t *testing.T, body string) (*CFG, func(string) token.Pos) {
+	t.Helper()
+	src := "package p\nfunc f(c bool, xs []int) {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd := f.Decls[0].(*ast.FuncDecl)
+	cfg := BuildCFG(fd.Body)
+	// A marker names the statement that starts on its line.
+	stmtOnLine := map[int]token.Pos{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if s, ok := n.(ast.Stmt); ok {
+			line := fset.Position(s.Pos()).Line
+			if _, seen := stmtOnLine[line]; !seen {
+				stmtOnLine[line] = s.Pos()
+			}
+		}
+		return true
+	})
+	marks := map[string]token.Pos{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			name := strings.Trim(c.Text, "/* ")
+			marks[name] = stmtOnLine[fset.Position(c.Pos()).Line]
+		}
+	}
+	return cfg, func(name string) token.Pos {
+		pos, ok := marks[name]
+		if !ok || pos == token.NoPos {
+			t.Fatalf("no statement for marker %q", name)
+		}
+		return pos
+	}
+}
+
+func TestMayPrecedeStraightLine(t *testing.T) {
+	cfg, at := parseBody(t, `
+	/*a*/ _ = 1
+	/*b*/ _ = 2
+`)
+	if !cfg.MayPrecede(at("a"), at("b")) {
+		t.Error("a should precede b in straight-line code")
+	}
+	if cfg.MayPrecede(at("b"), at("a")) {
+		t.Error("b cannot precede a without a cycle")
+	}
+	if cfg.MayPrecede(at("a"), at("a")) {
+		t.Error("a statement does not precede itself without a cycle")
+	}
+}
+
+func TestMayPrecedeBranches(t *testing.T) {
+	cfg, at := parseBody(t, `
+	if c {
+		/*then*/ _ = 1
+	} else {
+		/*else*/ _ = 2
+	}
+	/*join*/ _ = 3
+`)
+	if cfg.MayPrecede(at("then"), at("else")) || cfg.MayPrecede(at("else"), at("then")) {
+		t.Error("mutually exclusive branches cannot precede each other")
+	}
+	if !cfg.MayPrecede(at("then"), at("join")) || !cfg.MayPrecede(at("else"), at("join")) {
+		t.Error("both branches precede the join")
+	}
+	if cfg.MayPrecede(at("join"), at("then")) {
+		t.Error("the join cannot precede a branch")
+	}
+}
+
+func TestMayPrecedeLoopBackEdge(t *testing.T) {
+	cfg, at := parseBody(t, `
+	for _, x := range xs {
+		/*first*/ _ = x
+		/*second*/ _ = x
+	}
+	/*after*/ _ = 0
+`)
+	if !cfg.MayPrecede(at("second"), at("first")) {
+		t.Error("inside a loop, a later statement precedes an earlier one via the back edge")
+	}
+	if !cfg.MayPrecede(at("first"), at("after")) {
+		t.Error("the loop body precedes the code after the loop")
+	}
+	if cfg.MayPrecede(at("after"), at("first")) {
+		t.Error("code after the loop cannot re-enter it")
+	}
+}
+
+func TestMayPrecedeEarlyReturn(t *testing.T) {
+	cfg, at := parseBody(t, `
+	if c {
+		/*pre*/ _ = 1
+		return
+	}
+	/*rest*/ _ = 2
+`)
+	if cfg.MayPrecede(at("pre"), at("rest")) {
+		t.Error("a statement before return cannot reach code after the if")
+	}
+}

@@ -1,0 +1,772 @@
+// Taint analysis with interprocedural summaries. Each function is analyzed
+// once per Spec: parameters (receiver first) start tainted with their own
+// param bit, sources add the source bit, and a flow-insensitive fixpoint
+// over the body's assignments propagates taint through locals. The result is
+// a Summary — the taint of each result in terms of the inputs, the
+// parameters that reach a sink inside the function (transitively), and the
+// violations where source-derived data hit a sink directly. Callers
+// instantiate a callee's summary by substituting argument taints for param
+// bits, which is what makes the analysis interprocedural without a global
+// fixpoint: summaries are memoized bottom-up on demand.
+//
+// Approximations, deliberately chosen and documented in docs/ANALYSIS.md:
+//
+//   - Value-level, not heap-level: storing a secret into a struct field or
+//     map and reading it back elsewhere is not tracked. Field projection
+//     (x.f) re-derives taint from the field's own type rather than
+//     inheriting the whole value's source bit or param linkage — `share.X`
+//     (a public evaluation point) is not a leak just because `share` is.
+//   - Flow-insensitive within a function: assignments join, never kill.
+//     Sanitization is modeled at expressions (a sanitizer call's result is
+//     clean; mixing in a cleanser's noise sets the noise bit, which
+//     suppresses the source bit at sinks).
+//   - Closures are analyzed inline with their enclosing function (captured
+//     variables share taint), but a closure passed elsewhere as a value is
+//     not re-analyzed at its eventual call site.
+//   - Recursion is resolved optimistically (empty summary on a cycle).
+//   - Error values launder: an expression of type error is always clean. A
+//     secret flowing into fmt.Errorf is reported at that call; the error it
+//     returns is a description of the failure, and propagating taint through
+//     it would flag every caller that wraps an error from secret-handling
+//     code.
+
+package dataflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Taint is a bitset: the source bit, the noise bit, and one bit per
+// parameter of the function under analysis.
+type Taint uint64
+
+const (
+	// TaintSource marks data derived from a Spec source.
+	TaintSource Taint = 1 << 0
+	// TaintNoise marks data mixed with a cleanser's output (calibrated
+	// noise); it suppresses TaintSource at sink checks.
+	TaintNoise Taint = 1 << 1
+
+	paramShift = 2
+	maxParams  = 62
+)
+
+// ParamBit returns the taint bit for parameter i (receiver = 0), or 0 when
+// the function has more parameters than the bitset tracks.
+func ParamBit(i int) Taint {
+	if i < 0 || i >= maxParams {
+		return 0
+	}
+	return 1 << (paramShift + i)
+}
+
+// hot reports whether t is source-tainted and not noise-suppressed.
+func (t Taint) hot() bool { return t&TaintSource != 0 && t&TaintNoise == 0 }
+
+// Spec configures one taint domain. All callbacks may be nil.
+type Spec struct {
+	// Key namespaces the summary memo; each analyzer uses a distinct key.
+	Key string
+
+	// SourceCall marks a call whose results are tainted, returning a
+	// description for diagnostics ("ahe.Decrypt").
+	SourceCall func(callee *types.Func, call *ast.CallExpr) (string, bool)
+
+	// SourceType marks a type whose values are inherently tainted
+	// (pointer/slice/array wrappers are unwrapped before the check).
+	SourceType func(t types.Type) (string, bool)
+
+	// Sanitizer marks a call whose results are certified clean (e.g. the
+	// runtime's Run, which releases only noised outputs).
+	Sanitizer func(callee *types.Func, call *ast.CallExpr) bool
+
+	// Cleanser marks a call producing calibrated noise: combining its
+	// result into a value sets TaintNoise, releasing the value.
+	Cleanser func(callee *types.Func, call *ast.CallExpr) bool
+
+	// Sink marks a call whose arguments must not be source-tainted,
+	// returning a description for diagnostics ("json.Encode").
+	Sink func(callee *types.Func, call *ast.CallExpr) (string, bool)
+}
+
+// Summary is the per-function result of the taint analysis.
+type Summary struct {
+	// Results holds each result's taint in terms of the function's inputs:
+	// param bits for pass-through, TaintSource when the function itself
+	// sources, TaintNoise when it noises.
+	Results []Taint
+	// ResultSrc describes the source behind a TaintSource bit in Results.
+	ResultSrc []string
+
+	// Sinks lists parameters that reach a sink inside the function,
+	// directly or through further calls.
+	Sinks []ParamSink
+
+	// Violations are source-to-sink flows contained entirely in this
+	// function (including flows that enter a callee parameter which the
+	// callee's summary says reaches a sink).
+	Violations []Violation
+}
+
+// ParamSink records that parameter Param's value reaches the sink described
+// by Sink at Pos (the sink call's argument position in this function).
+type ParamSink struct {
+	Param int
+	Sink  string
+	Pos   token.Pos
+}
+
+// Violation is one source-to-sink flow.
+type Violation struct {
+	Pos    token.Pos
+	Source string
+	Sink   string
+}
+
+// TaintSummary returns fn's summary under spec, computing and memoizing it
+// (and every summary it depends on) on first use. Functions without a
+// registered body get a conservative default: every result carries every
+// parameter's taint plus any type-derived source taint, and no sinks.
+func (p *Program) TaintSummary(spec *Spec, fn *types.Func) *Summary {
+	key := sumKey{spec.Key, fn}
+	if s, ok := p.summaries[key]; ok {
+		return s
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil {
+		s := &Summary{}
+		p.summaries[key] = s
+		return s
+	}
+	if p.inProgress[key] {
+		// Recursion: optimistic empty summary for the cycle edge. Not
+		// memoized, so the outer computation's final answer wins.
+		return emptySummary(sig)
+	}
+	f := p.fns[fn]
+	if f == nil {
+		s := defaultSummary(spec, sig)
+		p.summaries[key] = s
+		return s
+	}
+	p.inProgress[key] = true
+	s := p.analyze(spec, f, sig)
+	delete(p.inProgress, key)
+	p.summaries[key] = s
+	return s
+}
+
+func emptySummary(sig *types.Signature) *Summary {
+	n := sig.Results().Len()
+	return &Summary{Results: make([]Taint, n), ResultSrc: make([]string, n)}
+}
+
+// defaultSummary is the conservative model for bodies the registry lacks:
+// results carry the union of all inputs' taint (so passing tainted data
+// through an unknown helper does not launder it), plus source taint when a
+// result's own type is a source type.
+func defaultSummary(spec *Spec, sig *types.Signature) *Summary {
+	nparams := sig.Params().Len()
+	if sig.Recv() != nil {
+		nparams++
+	}
+	var all Taint
+	for i := 0; i < nparams; i++ {
+		all |= ParamBit(i)
+	}
+	n := sig.Results().Len()
+	s := &Summary{Results: make([]Taint, n), ResultSrc: make([]string, n)}
+	for i := 0; i < n; i++ {
+		if types.Identical(sig.Results().At(i).Type(), errorType) {
+			continue // error results launder (see the package comment)
+		}
+		s.Results[i] = all
+		if spec.SourceType != nil {
+			if desc, ok := typeSource(spec, sig.Results().At(i).Type()); ok {
+				s.Results[i] |= TaintSource
+				s.ResultSrc[i] = desc
+			}
+		}
+	}
+	return s
+}
+
+// typeSource unwraps pointers, slices, and arrays and asks the spec whether
+// the underlying type is a source.
+func typeSource(spec *Spec, t types.Type) (string, bool) {
+	if spec.SourceType == nil || t == nil {
+		return "", false
+	}
+	for i := 0; i < 8; i++ {
+		if desc, ok := spec.SourceType(t); ok {
+			return desc, true
+		}
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Slice:
+			t = u.Elem()
+		case *types.Array:
+			t = u.Elem()
+		case *types.Named:
+			t = u.Underlying()
+		default:
+			return "", false
+		}
+	}
+	return "", false
+}
+
+// tv is a taint value with the description of its first source contributor.
+type tv struct {
+	t   Taint
+	src string
+}
+
+func (a tv) join(b tv) tv {
+	out := tv{t: a.t | b.t, src: a.src}
+	if out.src == "" {
+		out.src = b.src
+	}
+	return out
+}
+
+// taintState is the per-function fixpoint state.
+type taintState struct {
+	prog *Program
+	spec *Spec
+	f    *Func
+
+	paramObjs []*types.Var
+	resObjs   []*types.Var // named results, for naked returns
+
+	env     map[types.Object]tv
+	res     []tv
+	sinks   map[ParamSink]bool
+	viol    map[Violation]bool
+	changed bool
+}
+
+func (p *Program) analyze(spec *Spec, f *Func, sig *types.Signature) *Summary {
+	st := &taintState{
+		prog:  p,
+		spec:  spec,
+		f:     f,
+		env:   map[types.Object]tv{},
+		res:   make([]tv, sig.Results().Len()),
+		sinks: map[ParamSink]bool{},
+		viol:  map[Violation]bool{},
+	}
+	if r := sig.Recv(); r != nil {
+		st.paramObjs = append(st.paramObjs, r)
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		st.paramObjs = append(st.paramObjs, sig.Params().At(i))
+	}
+	for i, v := range st.paramObjs {
+		t := tv{t: ParamBit(i)}
+		if desc, ok := typeSource(spec, v.Type()); ok {
+			t.t |= TaintSource
+			t.src = desc
+		}
+		st.env[v] = t
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if v := sig.Results().At(i); v.Name() != "" {
+			st.resObjs = append(st.resObjs, v)
+		} else {
+			st.resObjs = append(st.resObjs, nil)
+		}
+	}
+
+	for iter := 0; iter < 64; iter++ {
+		st.changed = false
+		st.scanStmts(f.Decl.Body.List, false)
+		if !st.changed {
+			break
+		}
+	}
+
+	s := &Summary{
+		Results:   make([]Taint, len(st.res)),
+		ResultSrc: make([]string, len(st.res)),
+	}
+	for i, r := range st.res {
+		if types.Identical(sig.Results().At(i).Type(), errorType) {
+			continue // error results launder (see the package comment)
+		}
+		s.Results[i] = r.t
+		s.ResultSrc[i] = r.src
+	}
+	for ps := range st.sinks {
+		s.Sinks = append(s.Sinks, ps)
+	}
+	sort.Slice(s.Sinks, func(i, j int) bool {
+		a, b := s.Sinks[i], s.Sinks[j]
+		if a.Pos != b.Pos {
+			return a.Pos < b.Pos
+		}
+		if a.Param != b.Param {
+			return a.Param < b.Param
+		}
+		return a.Sink < b.Sink
+	})
+	for v := range st.viol {
+		s.Violations = append(s.Violations, v)
+	}
+	sort.Slice(s.Violations, func(i, j int) bool {
+		a, b := s.Violations[i], s.Violations[j]
+		if a.Pos != b.Pos {
+			return a.Pos < b.Pos
+		}
+		return a.Sink < b.Sink
+	})
+	return s
+}
+
+// bind joins t into the variable a simple lvalue denotes; compound lvalues
+// (x.f, x[i], *p) taint their base variable, over-approximating container
+// contents.
+func (st *taintState) bind(lhs ast.Expr, t tv) {
+	for {
+		switch e := ast.Unparen(lhs).(type) {
+		case *ast.Ident:
+			if e.Name == "_" {
+				return
+			}
+			obj := st.f.Info.ObjectOf(e)
+			if obj == nil {
+				return
+			}
+			old := st.env[obj]
+			nw := old.join(t)
+			if nw.t != old.t || nw.src != old.src {
+				st.env[obj] = nw
+				st.changed = true
+			}
+			return
+		case *ast.SelectorExpr:
+			lhs = e.X
+		case *ast.IndexExpr:
+			lhs = e.X
+		case *ast.StarExpr:
+			lhs = e.X
+		default:
+			return
+		}
+	}
+}
+
+// scanStmts walks statements, interpreting assignments and returns and
+// checking every call. inClosure suppresses result recording for returns
+// that belong to a nested function literal.
+func (st *taintState) scanStmts(list []ast.Stmt, inClosure bool) {
+	for _, s := range list {
+		st.scanStmt(s, inClosure)
+	}
+}
+
+func (st *taintState) scanStmt(s ast.Stmt, inClosure bool) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+			// multi-value: call, map index, type assert, channel receive
+			ts := st.multiValue(s.Rhs[0], len(s.Lhs), inClosure)
+			for i, lhs := range s.Lhs {
+				st.bind(lhs, ts[i])
+			}
+			return
+		}
+		for i, rhs := range s.Rhs {
+			t := st.expr(rhs, inClosure)
+			if s.Tok != token.ASSIGN && s.Tok != token.DEFINE {
+				t = t.join(st.expr(s.Lhs[i], inClosure)) // x += y
+			}
+			st.bind(s.Lhs[i], t)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, sp := range gd.Specs {
+				vs, ok := sp.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				if len(vs.Values) == 1 && len(vs.Names) > 1 {
+					ts := st.multiValue(vs.Values[0], len(vs.Names), inClosure)
+					for i, name := range vs.Names {
+						st.bind(name, ts[i])
+					}
+					continue
+				}
+				for i, v := range vs.Values {
+					st.bind(vs.Names[i], st.expr(v, inClosure))
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		t := st.expr(s.X, inClosure)
+		if s.Key != nil {
+			kt := t
+			if xt := st.f.Info.TypeOf(s.X); xt != nil {
+				switch xt.Underlying().(type) {
+				case *types.Slice, *types.Array, *types.Pointer, *types.Basic:
+					// The key is a positional index (or a string's byte
+					// offset), not data derived from the elements.
+					kt = tv{}
+				}
+			}
+			st.bind(s.Key, kt)
+		}
+		if s.Value != nil {
+			st.bind(s.Value, t)
+		}
+		st.scanStmt(s.Body, inClosure)
+	case *ast.ReturnStmt:
+		if !inClosure {
+			if len(s.Results) == 0 {
+				for i, v := range st.resObjs {
+					if v != nil {
+						st.joinResult(i, st.env[v])
+					}
+				}
+			} else if len(s.Results) == len(st.res) {
+				for i, e := range s.Results {
+					st.joinResult(i, st.expr(e, inClosure))
+				}
+			} else if len(s.Results) == 1 && len(st.res) > 1 {
+				ts := st.multiValue(s.Results[0], len(st.res), inClosure)
+				for i, t := range ts {
+					st.joinResult(i, t)
+				}
+			}
+		} else {
+			for _, e := range s.Results {
+				st.expr(e, true)
+			}
+		}
+	case *ast.IfStmt:
+		st.scanStmt(s.Init, inClosure)
+		st.expr(s.Cond, inClosure)
+		st.scanStmt(s.Body, inClosure)
+		st.scanStmt(s.Else, inClosure)
+	case *ast.ForStmt:
+		st.scanStmt(s.Init, inClosure)
+		if s.Cond != nil {
+			st.expr(s.Cond, inClosure)
+		}
+		st.scanStmt(s.Post, inClosure)
+		st.scanStmt(s.Body, inClosure)
+	case *ast.SwitchStmt:
+		st.scanStmt(s.Init, inClosure)
+		if s.Tag != nil {
+			st.expr(s.Tag, inClosure)
+		}
+		st.scanStmt(s.Body, inClosure)
+	case *ast.TypeSwitchStmt:
+		st.scanStmt(s.Init, inClosure)
+		st.scanStmt(s.Assign, inClosure)
+		st.scanStmt(s.Body, inClosure)
+	case *ast.SelectStmt:
+		st.scanStmt(s.Body, inClosure)
+	case *ast.CaseClause:
+		for _, e := range s.List {
+			st.expr(e, inClosure)
+		}
+		st.scanStmts(s.Body, inClosure)
+	case *ast.CommClause:
+		st.scanStmt(s.Comm, inClosure)
+		st.scanStmts(s.Body, inClosure)
+	case *ast.BlockStmt:
+		st.scanStmts(s.List, inClosure)
+	case *ast.LabeledStmt:
+		st.scanStmt(s.Stmt, inClosure)
+	case *ast.ExprStmt:
+		st.expr(s.X, inClosure)
+	case *ast.SendStmt:
+		st.expr(s.Chan, inClosure)
+		st.bind(s.Chan, st.expr(s.Value, inClosure))
+	case *ast.GoStmt:
+		st.expr(s.Call, inClosure)
+	case *ast.DeferStmt:
+		st.expr(s.Call, inClosure)
+	case *ast.IncDecStmt:
+		st.expr(s.X, inClosure)
+	}
+}
+
+func (st *taintState) joinResult(i int, t tv) {
+	old := st.res[i]
+	nw := old.join(t)
+	if nw.t != old.t || nw.src != old.src {
+		st.res[i] = nw
+		st.changed = true
+	}
+}
+
+// multiValue evaluates a single expression in an n-value context.
+func (st *taintState) multiValue(e ast.Expr, n int, inClosure bool) []tv {
+	out := make([]tv, n)
+	if call, ok := ast.Unparen(e).(*ast.CallExpr); ok {
+		ts := st.call(call, inClosure)
+		for i := range out {
+			if i < len(ts) {
+				out[i] = ts[i]
+			}
+		}
+		return out
+	}
+	// v, ok := m[k] / <-ch / x.(T): value taint in slot 0
+	out[0] = st.expr(e, inClosure)
+	return out
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+// expr computes the taint of e, recursing through subexpressions and
+// processing any calls (including their sink checks) along the way.
+// Expressions of type error are laundered: the violation lives at the sink
+// that built the error, not at every later wrap of it.
+func (st *taintState) expr(e ast.Expr, inClosure bool) tv {
+	t := st.exprInner(e, inClosure)
+	if t.t != 0 && e != nil {
+		if et := st.f.Info.TypeOf(e); et != nil && types.Identical(et, errorType) {
+			return tv{}
+		}
+	}
+	return t
+}
+
+func (st *taintState) exprInner(e ast.Expr, inClosure bool) tv {
+	switch e := e.(type) {
+	case nil:
+		return tv{}
+	case *ast.Ident:
+		t := st.env[st.f.Info.ObjectOf(e)]
+		if desc, ok := typeSource(st.spec, st.f.Info.TypeOf(e)); ok {
+			t = t.join(tv{t: TaintSource, src: desc})
+		}
+		return t
+	case *ast.BasicLit:
+		return tv{}
+	case *ast.ParenExpr:
+		return st.expr(e.X, inClosure)
+	case *ast.SelectorExpr:
+		base := st.expr(e.X, inClosure)
+		// Field projection re-derives taint from the field's own type:
+		// neither the whole value's source bit nor its param linkage
+		// survives — `share.X` (a public evaluation point) is not a leak,
+		// and a helper that formats `up.dev` does not turn its whole
+		// parameter into a sink. Only the noise bit rides along (noised
+		// data stays noised under projection), and a secret-typed field
+		// re-introduces the source bit.
+		t := tv{t: base.t & TaintNoise}
+		if desc, ok := typeSource(st.spec, st.f.Info.TypeOf(e)); ok {
+			t = t.join(tv{t: TaintSource, src: desc})
+		}
+		return t
+	case *ast.StarExpr:
+		return st.expr(e.X, inClosure)
+	case *ast.UnaryExpr:
+		return st.expr(e.X, inClosure)
+	case *ast.BinaryExpr:
+		t := st.expr(e.X, inClosure).join(st.expr(e.Y, inClosure))
+		return t
+	case *ast.IndexExpr:
+		return st.expr(e.X, inClosure).join(st.expr(e.Index, inClosure))
+	case *ast.IndexListExpr:
+		return st.expr(e.X, inClosure)
+	case *ast.SliceExpr:
+		return st.expr(e.X, inClosure)
+	case *ast.TypeAssertExpr:
+		t := st.expr(e.X, inClosure)
+		if desc, ok := typeSource(st.spec, st.f.Info.TypeOf(e)); ok {
+			t = t.join(tv{t: TaintSource, src: desc})
+		}
+		return t
+	case *ast.CompositeLit:
+		var t tv
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				t = t.join(st.expr(kv.Value, inClosure))
+			} else {
+				t = t.join(st.expr(el, inClosure))
+			}
+		}
+		return t
+	case *ast.FuncLit:
+		// Analyze the closure body inline: captured variables share the
+		// enclosing env, so taint flows in and out of closures that run
+		// in place (defer/go/immediately-invoked).
+		st.scanStmts(e.Body.List, true)
+		return tv{}
+	case *ast.CallExpr:
+		ts := st.call(e, inClosure)
+		var t tv
+		for _, rt := range ts {
+			t = t.join(rt)
+		}
+		return t
+	default:
+		return tv{}
+	}
+}
+
+// call evaluates one call expression: argument taints, spec classification
+// (source/sanitizer/cleanser/sink), and summary instantiation for resolvable
+// callees. It returns per-result taints.
+func (st *taintState) call(call *ast.CallExpr, inClosure bool) []tv {
+	// Receiver taint for method calls participates as input 0.
+	var inputs []tv
+	callee := CalleeOf(st.f.Info, call)
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if callee != nil {
+			if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() != nil {
+				inputs = append(inputs, st.expr(sel.X, inClosure))
+			} else {
+				st.expr(sel.X, inClosure)
+			}
+		} else {
+			// Unresolvable method/field call: still evaluate the receiver
+			// so nested calls inside it get their sink checks.
+			st.expr(sel.X, inClosure)
+		}
+	}
+	argStart := len(inputs)
+	for _, a := range call.Args {
+		inputs = append(inputs, st.expr(a, inClosure))
+	}
+
+	nres := 1
+	if sig, ok := st.f.Info.TypeOf(call).(*types.Tuple); ok {
+		nres = sig.Len()
+	}
+
+	// Type conversions propagate their operand.
+	if tvv, ok := st.f.Info.Types[call.Fun]; ok && tvv.IsType() {
+		var t tv
+		for _, in := range inputs {
+			t = t.join(in)
+		}
+		return []tv{t}
+	}
+
+	// Builtins: size queries are clean; append/copy propagate.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := st.f.Info.ObjectOf(id).(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "len", "cap", "make", "new", "delete", "close", "min", "max":
+				return []tv{{}}
+			default:
+				var t tv
+				for _, in := range inputs {
+					t = t.join(in)
+				}
+				return []tv{t}
+			}
+		}
+	}
+
+	if callee != nil && st.spec.Sanitizer != nil && st.spec.Sanitizer(callee, call) {
+		return make([]tv, nres)
+	}
+	if callee != nil && st.spec.Cleanser != nil && st.spec.Cleanser(callee, call) {
+		out := make([]tv, nres)
+		for i := range out {
+			out[i] = tv{t: TaintNoise}
+		}
+		return out
+	}
+	if callee != nil && st.spec.SourceCall != nil {
+		if desc, ok := st.spec.SourceCall(callee, call); ok {
+			out := make([]tv, nres)
+			for i := range out {
+				out[i] = tv{t: TaintSource, src: desc}
+			}
+			return out
+		}
+	}
+	if callee != nil && st.spec.Sink != nil {
+		if desc, ok := st.spec.Sink(callee, call); ok {
+			for i := argStart; i < len(inputs); i++ {
+				st.checkSink(inputs[i], desc, call.Args[i-argStart].Pos(), "")
+			}
+			// The sink consumed the data; its results (an error, a count)
+			// are treated as clean so one leak is reported once, at the
+			// first sink.
+			return make([]tv, nres)
+		}
+	}
+
+	if callee != nil {
+		sum := st.prog.TaintSummary(st.spec, callee)
+		// A parameter of the callee that reaches a sink inside it turns
+		// this call site into a sink for the corresponding argument.
+		for _, ps := range sum.Sinks {
+			if ps.Param < len(inputs) {
+				st.checkSink(inputs[ps.Param], ps.Sink, call.Pos(), callee.Name())
+			}
+		}
+		out := make([]tv, nres)
+		for i := range out {
+			var rt Taint
+			var src string
+			if i < len(sum.Results) {
+				rt = sum.Results[i]
+				src = sum.ResultSrc[i]
+			}
+			t := tv{t: rt & (TaintSource | TaintNoise), src: src}
+			for j := 0; j < len(inputs) && j < maxParams; j++ {
+				if rt&ParamBit(j) != 0 {
+					t = t.join(inputs[j])
+				}
+			}
+			out[i] = t
+		}
+		return out
+	}
+
+	// Unresolvable call (function value, interface method without type
+	// info): propagate the union of inputs.
+	var t tv
+	for _, in := range inputs {
+		t = t.join(in)
+	}
+	out := make([]tv, nres)
+	for i := range out {
+		out[i] = t
+	}
+	return out
+}
+
+// checkSink records a violation when t is hot, and a param-sink when t
+// carries param bits (the caller's caller may be the violator).
+func (st *taintState) checkSink(t tv, sinkDesc string, pos token.Pos, via string) {
+	desc := sinkDesc
+	if via != "" && !strings.Contains(sinkDesc, " via ") {
+		desc = sinkDesc + " via " + via
+	}
+	if t.t.hot() {
+		v := Violation{Pos: pos, Source: t.src, Sink: desc}
+		if !st.viol[v] {
+			st.viol[v] = true
+			st.changed = true
+		}
+	}
+	if t.t&TaintNoise != 0 {
+		return
+	}
+	for i := 0; i < len(st.paramObjs) && i < maxParams; i++ {
+		if t.t&ParamBit(i) != 0 {
+			ps := ParamSink{Param: i, Sink: desc, Pos: pos}
+			if !st.sinks[ps] {
+				st.sinks[ps] = true
+				st.changed = true
+			}
+		}
+	}
+}

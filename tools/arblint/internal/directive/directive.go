@@ -79,41 +79,106 @@ func Parse(fset *token.FileSet, file *ast.File) []Directive {
 	return out
 }
 
-// Filter drops diagnostics suppressed by a well-formed directive in files.
-// Diagnostics of the directive analyzer itself are never suppressible.
-func Filter(fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) []analysis.Diagnostic {
-	// suppressed[file][line] -> analyzer set
-	suppressed := map[string]map[int]map[string]bool{}
+// Suppressor indexes the well-formed directives of one package's files and
+// tracks which of them actually suppressed a diagnostic, so the driver can
+// report the ones that did not: a stale //arblint:ignore is a policy hole
+// pretending to be an exception, and deleting it is part of keeping the
+// remediated tree honest.
+type Suppressor struct {
+	dirs []*tracked
+	// byLine[file][line] -> directives covering that line
+	byLine map[string]map[int][]*tracked
+}
+
+type tracked struct {
+	d    Directive
+	file string
+	used bool
+}
+
+// NewSuppressor indexes every well-formed directive in files.
+func NewSuppressor(fset *token.FileSet, files []*ast.File) *Suppressor {
+	s := &Suppressor{byLine: map[string]map[int][]*tracked{}}
 	for _, f := range files {
 		name := fset.Position(f.Pos()).Filename
 		for _, d := range Parse(fset, f) {
 			if d.Malformed != "" {
 				continue
 			}
-			byLine := suppressed[name]
+			t := &tracked{d: d, file: name}
+			s.dirs = append(s.dirs, t)
+			byLine := s.byLine[name]
 			if byLine == nil {
-				byLine = map[int]map[string]bool{}
-				suppressed[name] = byLine
+				byLine = map[int][]*tracked{}
+				s.byLine[name] = byLine
 			}
 			for _, line := range []int{d.Line, d.Line + 1} {
-				set := byLine[line]
-				if set == nil {
-					set = map[string]bool{}
-					byLine[line] = set
-				}
-				for _, a := range d.Analyzers {
-					set[a] = true
-				}
+				byLine[line] = append(byLine[line], t)
 			}
 		}
 	}
+	return s
+}
+
+// Suppress reports whether diag is covered by a directive, crediting every
+// directive that covers it. Diagnostics of the directive analyzer itself are
+// never suppressible.
+func (s *Suppressor) Suppress(fset *token.FileSet, diag analysis.Diagnostic) bool {
+	if diag.Analyzer == Name {
+		return false
+	}
+	pos := fset.Position(diag.Pos)
+	hit := false
+	for _, t := range s.byLine[pos.Filename][pos.Line] {
+		for _, a := range t.d.Analyzers {
+			if a == diag.Analyzer {
+				t.used = true
+				hit = true
+			}
+		}
+	}
+	return hit
+}
+
+// Stale returns one diagnostic per directive that suppressed nothing, for
+// directives whose named analyzers all ran (a directive naming a disabled
+// analyzer cannot be judged and is skipped).
+func (s *Suppressor) Stale(ran map[string]bool) []analysis.Diagnostic {
+	var out []analysis.Diagnostic
+	for _, t := range s.dirs {
+		if t.used {
+			continue
+		}
+		judgeable := true
+		for _, a := range t.d.Analyzers {
+			if !ran[a] {
+				judgeable = false
+				break
+			}
+		}
+		if !judgeable {
+			continue
+		}
+		out = append(out, analysis.Diagnostic{
+			Pos:      t.d.Pos,
+			Analyzer: Name,
+			Message: "stale //arblint:ignore " + strings.Join(t.d.Analyzers, ",") +
+				": it suppresses no finding anymore — delete the directive (or fix the regression it hides)",
+		})
+	}
+	return out
+}
+
+// Filter drops diagnostics suppressed by a well-formed directive in files.
+// Diagnostics of the directive analyzer itself are never suppressible. It
+// does not report stale directives — the driver does that, via Suppressor,
+// over exactly the analyzers that ran.
+func Filter(fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) []analysis.Diagnostic {
+	s := NewSuppressor(fset, files)
 	var kept []analysis.Diagnostic
 	for _, diag := range diags {
-		if diag.Analyzer != Name {
-			pos := fset.Position(diag.Pos)
-			if set := suppressed[pos.Filename][pos.Line]; set[diag.Analyzer] {
-				continue
-			}
+		if s.Suppress(fset, diag) {
+			continue
 		}
 		kept = append(kept, diag)
 	}

@@ -88,3 +88,40 @@ var C = 3
 		}
 	}
 }
+
+// TestStaleSuppression seeds one live and one stale directive: the stale one
+// becomes a finding, the live one does not, and a directive naming an
+// analyzer that did not run is left unjudged.
+func TestStaleSuppression(t *testing.T) {
+	fset, f := parse(t, `package p
+
+//arblint:ignore fake this one still suppresses a finding
+var A = 1
+
+//arblint:ignore fake this one suppresses nothing anymore
+var B = 2
+
+//arblint:ignore skipped cannot be judged, the analyzer did not run
+var C = 3
+`)
+	s := directive.NewSuppressor(fset, []*ast.File{f})
+	at := func(line int) token.Pos {
+		return fset.File(f.Pos()).LineStart(line)
+	}
+	if !s.Suppress(fset, analysis.Diagnostic{Pos: at(4), Analyzer: "fake", Message: "live"}) {
+		t.Fatal("live directive did not suppress")
+	}
+	stale := s.Stale(map[string]bool{"fake": true})
+	if len(stale) != 1 {
+		t.Fatalf("got %d stale findings, want 1: %v", len(stale), stale)
+	}
+	if got := fset.Position(stale[0].Pos).Line; got != 6 {
+		t.Errorf("stale finding at line %d, want 6", got)
+	}
+	if !strings.Contains(stale[0].Message, "stale //arblint:ignore fake") {
+		t.Errorf("unexpected stale message %q", stale[0].Message)
+	}
+	if stale[0].Analyzer != directive.Name {
+		t.Errorf("stale finding attributed to %q, want %q", stale[0].Analyzer, directive.Name)
+	}
+}

@@ -27,6 +27,17 @@ func (s Set) Match(pkgPath string) string {
 // Matches reports whether pkgPath falls under any key of s.
 func (s Set) Matches(pkgPath string) bool { return s.Match(pkgPath) != "" }
 
+// FuncIn reports whether the function name defined in package pkgPath falls
+// under a pkg→names table, with Set's suffix matching on the package key.
+func FuncIn(table map[string]map[string]bool, pkgPath, name string) bool {
+	for key, names := range table {
+		if (pkgPath == key || strings.HasSuffix(pkgPath, "/"+key)) && names[name] {
+			return true
+		}
+	}
+	return false
+}
+
 // SecrecyCritical lists the packages whose randomness feeds secrets — keys,
 // shares, proofs, sortition tickets, DP noise. math/rand is banned there
 // (randsource): its output is predictable from a small seed, which breaks
@@ -44,6 +55,8 @@ var SecrecyCritical = Set{
 	"internal/mechanism": true,
 	"internal/runtime":   true,
 	"internal/faults":    true,
+	// The gateway mints job IDs analysts cannot be allowed to predict.
+	"internal/service": true,
 }
 
 // SimulationExempt lists SecrecyCritical packages that are pure simulation
@@ -97,13 +110,16 @@ var BudgetApprovedCallers = Set{
 // internal/parallel worker pool (rawgo): raw go statements and ad-hoc
 // sync.WaitGroup fan-out there would escape the pool's determinism
 // guarantees and the worker-count matrix the race pass covers (see
-// docs/CONCURRENCY.md).
+// docs/CONCURRENCY.md). internal/service joined with the gateway: its two
+// daemon-lifecycle goroutines (executor-pool supervisor, per-job watchdog)
+// carry //arblint:ignore annotations recording why each is outside the pool.
 var PoolOnly = Set{
 	"internal/ahe":     true,
 	"internal/bgv":     true,
 	"internal/runtime": true,
 	"internal/planner": true,
 	"internal/mpc":     true,
+	"internal/service": true,
 }
 
 // MustCheckErrors lists the packages whose error returns may not be
@@ -125,6 +141,11 @@ var MustCheckErrors = Set{
 	"internal/sortition": true,
 	"crypto/rand":        true,
 	"hash":               true,
+	// Durability layer (PRs 5 and 8): a discarded wal.Append, ledger, or
+	// journal error is a silently-lost durability guarantee.
+	"internal/wal":     true,
+	"internal/ledger":  true,
+	"internal/service": true,
 }
 
 // MarshalMethods are method names whose error results may never be
@@ -134,4 +155,83 @@ var MarshalMethods = map[string]bool{
 	"MarshalBinary":   true,
 	"UnmarshalBinary": true,
 	"AppendBinary":    true,
+}
+
+// ReleaseBoundaries lists the packages where values leave the platform:
+// the gateway's JSON responses and result digests, and the CLIs' stdout.
+// noiserelease taints raw-aggregate producers there and requires every flow
+// into an output sink to pass through a noise mechanism or the runtime's
+// certified Run — the static complement of internal/privacy's runtime
+// certifier (PAPER.md §3, §5).
+var ReleaseBoundaries = Set{
+	"internal/service": true,
+	"cmd/arboretum":    true,
+	"cmd/arboretumd":   true,
+}
+
+// RawAggregateSources maps a package to the functions whose results are
+// pre-noise aggregates: decrypted homomorphic sums and reconstructed
+// secret-shared values. These are the §5 intermediate values nothing may
+// release un-noised.
+var RawAggregateSources = map[string]map[string]bool{
+	"internal/ahe":    {"Decrypt": true, "Sum": true},
+	"internal/bgv":    {"Decrypt": true},
+	"internal/shamir": {"Reconstruct": true},
+}
+
+// ReleaseSanitizers maps a package to the functions whose results are
+// certified released values: the runtime's Run executes the full certify →
+// noise → release pipeline, so its outputs are safe to encode.
+var ReleaseSanitizers = map[string]map[string]bool{
+	"internal/runtime": {"Run": true},
+}
+
+// SecretTypes maps a package to the named types whose whole values are
+// cryptographic secrets: secretflow bans any flow from them into error
+// strings, logs, or encoders, in every package. Field projection is
+// deliberately exempt (a Share's evaluation point is public; its value is
+// not reachable without projecting the whole struct into a format verb).
+var SecretTypes = map[string]map[string]bool{
+	"internal/ahe":    {"PrivateKey": true},
+	"internal/bgv":    {"SecretKey": true},
+	"internal/shamir": {"Share": true},
+	"internal/vsr":    {"Dealing": true},
+}
+
+// CheckpointFuncs maps a package to the "Type.method" (or plain function)
+// names of its unbounded hot loops: the ingest shard driver and the
+// interpreter's vignette/statement loops, which PR 8's per-job deadlines
+// rely on to observe cancellation. ctxcheckpoint requires each listed
+// function to exist and to contain a loop with a cancellation checkpoint
+// (a ctx.Done select, a ctx.Err poll, or a call reaching one), so the
+// deadline machinery cannot silently rot out of these paths.
+var CheckpointFuncs = map[string][]string{
+	"internal/runtime": {"ingestSpec.runShard", "interp.runVignette", "interp.run"},
+}
+
+// WALClients lists the packages that own a write-ahead log through
+// internal/wal. walorder enforces fsync-before-apply from the client side:
+// the durable-state fields their apply callbacks maintain may not be
+// mutated on any path that precedes a WAL append — disk is never behind
+// memory (docs/FAULTS.md).
+var WALClients = Set{
+	"internal/ledger":  true,
+	"internal/service": true,
+}
+
+// Unregulated lists the internal packages the policy table deliberately
+// leaves outside every analyzer-scoping set, each with a reason. The policy
+// regression test fails when a package is neither governed nor listed here,
+// so adding a package forces an explicit policy decision.
+var Unregulated = Set{
+	"internal/baseline":  true, // reference implementations, compared against, never released
+	"internal/benchrand": true, // deterministic bench inputs by design (see DeterministicBench)
+	"internal/costmodel": true, // pure arithmetic over plan shapes; no secrets, no I/O
+	"internal/eval":      true, // offline accuracy-evaluation harness, not a release path
+	"internal/fixed":     true, // buffer pooling; no secrets, no randomness
+	"internal/hashing":   true, // keyed device-row hashing; error discipline via the stdlib "hash" entry
+	"internal/lang":      true, // DSL parser/AST; pure syntax
+	"internal/plan":      true, // plan IR and variant expansion; pure data
+	"internal/queries":   true, // query catalogue; static text
+	"internal/types":     true, // shared value types; pure data
 }

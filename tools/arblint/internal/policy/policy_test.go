@@ -1,0 +1,131 @@
+package policy
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// repoRoot walks up from the package directory to the module root.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above the policy package")
+		}
+		dir = parent
+	}
+}
+
+// governingSets is every policy structure that scopes an analyzer to
+// packages, so the audit below sees the whole table.
+func governingSets() map[string]Set {
+	sets := map[string]Set{
+		"SecrecyCritical":       SecrecyCritical,
+		"SimulationExempt":      SimulationExempt,
+		"DeterministicBench":    DeterministicBench,
+		"BudgetApprovedCallers": BudgetApprovedCallers,
+		"PoolOnly":              PoolOnly,
+		"MustCheckErrors":       MustCheckErrors,
+		"ReleaseBoundaries":     ReleaseBoundaries,
+		"WALClients":            WALClients,
+		"NoiseSource":           {NoiseSource: true},
+	}
+	tables := map[string]Set{
+		"RawAggregateSources": {},
+		"ReleaseSanitizers":   {},
+		"SecretTypes":         {},
+		"CheckpointFuncs":     {},
+	}
+	for key := range RawAggregateSources {
+		tables["RawAggregateSources"][key] = true
+	}
+	for key := range ReleaseSanitizers {
+		tables["ReleaseSanitizers"][key] = true
+	}
+	for key := range SecretTypes {
+		tables["SecretTypes"][key] = true
+	}
+	for key := range CheckpointFuncs {
+		tables["CheckpointFuncs"][key] = true
+	}
+	for name, s := range tables {
+		sets[name] = s
+	}
+	return sets
+}
+
+// TestEveryInternalPackageGoverned fails when a package under internal/ is
+// neither covered by a governing set nor recorded in Unregulated: adding a
+// package forces an explicit policy decision.
+func TestEveryInternalPackageGoverned(t *testing.T) {
+	root := repoRoot(t)
+	entries, err := os.ReadDir(filepath.Join(root, "internal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets := governingSets()
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		pkg := "internal/" + e.Name()
+		hasGo := false
+		files, err := os.ReadDir(filepath.Join(root, "internal", e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range files {
+			if strings.HasSuffix(f.Name(), ".go") {
+				hasGo = true
+				break
+			}
+		}
+		if !hasGo {
+			continue
+		}
+		governed := Unregulated.Matches(pkg)
+		for _, s := range sets {
+			if s.Matches(pkg) {
+				governed = true
+			}
+		}
+		if !governed {
+			t.Errorf("%s is neither covered by a policy set nor listed in Unregulated: decide and record its policy", pkg)
+		}
+		if Unregulated.Matches(pkg) {
+			for name, s := range sets {
+				if s.Matches(pkg) {
+					t.Errorf("%s is listed in Unregulated but also governed by %s: drop one", pkg, name)
+				}
+			}
+		}
+	}
+}
+
+// TestPolicyKeysExist fails when a policy entry names a repo package that no
+// longer exists on disk: deleting a package must retire its policy rows.
+func TestPolicyKeysExist(t *testing.T) {
+	root := repoRoot(t)
+	sets := governingSets()
+	sets["Unregulated"] = Unregulated
+	for name, s := range sets {
+		for key := range s {
+			if !strings.HasPrefix(key, "internal/") && !strings.HasPrefix(key, "cmd/") {
+				continue // stdlib entries like "crypto/rand" and "hash"
+			}
+			if _, err := os.Stat(filepath.Join(root, filepath.FromSlash(key))); err != nil {
+				t.Errorf("%s lists %q but that package does not exist: %v", name, key, err)
+			}
+		}
+	}
+}

@@ -6,17 +6,22 @@
 //	go run ./tools/arblint ./...
 //
 // and fails the build on any finding. docs/ANALYSIS.md catalogues the
-// analyzers, the package-policy table behind them, and the
-// //arblint:ignore suppression directive (reason mandatory).
+// analyzers, the package-policy table behind them, the interprocedural
+// dataflow engine under the taint analyzers, and the //arblint:ignore
+// suppression directive (reason mandatory).
 //
 // Usage:
 //
-//	arblint [-list] [-disable name,...] [packages...]
+//	arblint [-list] [-json] [-disable name,...] [packages...]
 //
-// Exit status: 0 clean, 1 findings, 2 usage or load failure.
+// -json prints the findings plus per-analyzer timing stats as a single JSON
+// object on stdout (CI uploads it as an artifact); -list after a run prints
+// each analyzer's wall time. Exit status: 0 clean, 1 findings, 2 usage or
+// load failure.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,18 +34,19 @@ import (
 )
 
 func main() {
-	listFlag := flag.Bool("list", false, "list analyzers and exit")
+	listFlag := flag.Bool("list", false, "list analyzers (with wall time, after a run) and exit")
+	jsonFlag := flag.Bool("json", false, "print findings and per-analyzer stats as JSON on stdout")
 	disableFlag := flag.String("disable", "", "comma-separated analyzer names to skip")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: arblint [-list] [-disable name,...] [packages...]\n")
+		fmt.Fprintf(os.Stderr, "usage: arblint [-list] [-json] [-disable name,...] [packages...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 
 	all := checkers.All()
-	if *listFlag {
+	if *listFlag && flag.NArg() == 0 {
 		for _, a := range all {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
 		}
 		return
 	}
@@ -70,7 +76,7 @@ func main() {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	diags, err := arblint.Run(".", patterns, run)
+	diags, stats, err := arblint.RunStats(".", patterns, run)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "arblint: %v\n", err)
 		os.Exit(2)
@@ -81,8 +87,30 @@ func main() {
 		}
 		return diags[i].Position.Line < diags[j].Position.Line
 	})
-	for _, d := range diags {
-		fmt.Printf("%s: %s (%s)\n", d.Position, d.Message, d.Analyzer)
+
+	switch {
+	case *jsonFlag:
+		out := struct {
+			Findings []arblint.Finding `json:"findings"`
+			Stats    []arblint.Stat    `json:"stats"`
+		}{Findings: diags, Stats: stats}
+		if out.Findings == nil {
+			out.Findings = []arblint.Finding{}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "arblint: %v\n", err)
+			os.Exit(2)
+		}
+	case *listFlag:
+		for _, st := range stats {
+			fmt.Printf("%-14s %4d pkg %12s\n", st.Analyzer, st.Packages, st.Duration.Round(1000))
+		}
+	default:
+		for _, d := range diags {
+			fmt.Printf("%s: %s (%s)\n", d.Position, d.Message, d.Analyzer)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "arblint: %d finding(s)\n", len(diags))
