@@ -30,6 +30,7 @@ import (
 	"strings"
 	"time"
 
+	"arboretum/internal/bgv"
 	"arboretum/internal/costmodel"
 	"arboretum/internal/faults"
 	"arboretum/internal/mechanism"
@@ -131,6 +132,14 @@ type PlanRequest struct {
 	// environment variable, then GOMAXPROCS; 1 = sequential). The chosen
 	// plan is identical at every setting.
 	Workers int
+	// Ring selects the BGV ring the FHE costs are priced for, by name
+	// ("paper" = the deployment ring, 2^15 degree / 135-bit RNS modulus;
+	// "test" = the reduced unit-test ring). When set, the FHE constants in
+	// the cost model are measured natively on that ring via
+	// costmodel.CalibrateRing — the deployment ring now runs in-process, so
+	// Table 1's FHE column is measured, not extrapolated. Empty keeps the
+	// reference model's deployment-calibrated defaults.
+	Ring string
 }
 
 // PlanResult is the planning outcome.
@@ -168,6 +177,16 @@ func Plan(req PlanRequest) (*PlanResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	var model *costmodel.Model
+	if req.Ring != "" {
+		rp, err := bgv.RingByName(req.Ring)
+		if err != nil {
+			return nil, err
+		}
+		if model, err = costmodel.CalibrateRing(rp); err != nil {
+			return nil, err
+		}
+	}
 	res, err := planner.Plan(planner.Request{
 		Name:         req.Name,
 		Source:       req.Source,
@@ -175,16 +194,21 @@ func Plan(req PlanRequest) (*PlanResult, error) {
 		Categories:   req.Categories,
 		Goal:         metric,
 		Limits:       req.Limits.internal(),
+		Model:        model,
 		ForceChoices: req.ForceChoices,
 		Workers:      req.Workers,
 	})
 	if err != nil {
 		return nil, err
 	}
+	detailModel := model
+	if detailModel == nil {
+		detailModel = costmodel.Default()
+	}
 	p := res.Plan
 	return &PlanResult{
 		Summary:             p.String(),
-		Detail:              p.DetailString(costmodel.Default()),
+		Detail:              p.DetailString(detailModel),
 		Choices:             p.Choices,
 		AggregatorCoreHours: p.Cost.AggCPU / 3600,
 		AggregatorTerabytes: p.Cost.AggBytes / 1e12,

@@ -31,6 +31,33 @@ func TestPlanFacade(t *testing.T) {
 	}
 }
 
+// TestPlanFacadeRing plans against a natively calibrated ring model: the
+// request must succeed end to end and an unknown ring name must error before
+// any planning work happens.
+func TestPlanFacadeRing(t *testing.T) {
+	res, err := Plan(PlanRequest{
+		Name:       "top1-ring",
+		Source:     "aggr = sum(db);\nresult = em(aggr, 0.1);\noutput(result);",
+		N:          1 << 20,
+		Categories: 1 << 10,
+		Goal:       MinimizeExpectedDeviceCPU,
+		Limits:     DefaultLimits(),
+		Ring:       "test",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeviceExpectedCPU <= 0 || res.Epsilon != 0.1 {
+		t.Errorf("degenerate ring-calibrated result: %+v", res)
+	}
+	if _, err := Plan(PlanRequest{
+		Source: "aggr = sum(db);\nresult = em(aggr, 0.1);\noutput(result);",
+		N:      100, Goal: MinimizeExpectedDeviceCPU, Ring: "bogus",
+	}); err == nil {
+		t.Error("bogus ring name accepted")
+	}
+}
+
 func TestPlanFacadeErrors(t *testing.T) {
 	if _, err := Plan(PlanRequest{Source: "output(1);", N: 100, Goal: "bogus"}); err == nil {
 		t.Error("bogus goal accepted")

@@ -59,7 +59,8 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   arboretum plan    -query <name> | -file <path> [-n N] [-categories C] [-goal G]
-                    [-workers W] [-limit-avg-sent-user MB] [-limit-avg-comp-user s]
+                    [-workers W] [-ring paper|test]
+                    [-limit-avg-sent-user MB] [-limit-avg-comp-user s]
                     [-limit-max-sent-user MB] [-limit-max-comp-user s]
                     [-limit-agg-core-hours h] [-limit-agg-sent GB]
   arboretum run     -query <name> | -file <path> [-devices D] [-committee M] [-seed S] [-workers W]
@@ -105,6 +106,7 @@ func planCmd(args []string) error {
 	verbose := fs.Bool("v", false, "show per-vignette member costs")
 	asJSON := fs.Bool("json", false, "emit the plan result as JSON")
 	workers := fs.Int("workers", 0, "search worker pool size (0 = ARBORETUM_WORKERS, then GOMAXPROCS)")
+	ring := fs.String("ring", "", "measure FHE costs natively on a named BGV ring (\"paper\" = 2^15/135-bit RNS, \"test\"); default: reference model")
 	limAvgSent := fs.Float64("limit-avg-sent-user", -1, "max expected MB sent per user device")
 	limAvgComp := fs.Float64("limit-avg-comp-user", -1, "max expected compute seconds per user device")
 	limMaxSent := fs.Float64("limit-max-sent-user", -1, "max MB sent by any user device")
@@ -142,7 +144,7 @@ func planCmd(args []string) error {
 	res, err := arboretum.Plan(arboretum.PlanRequest{
 		Name: label, Source: src, N: *n, Categories: c,
 		Goal: arboretum.Goal(*goal), Limits: limits,
-		Workers: *workers,
+		Workers: *workers, Ring: *ring,
 	})
 	if err != nil {
 		return err

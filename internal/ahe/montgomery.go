@@ -1,0 +1,211 @@
+package ahe
+
+// Montgomery-form modular arithmetic for the Paillier modexp inner loops.
+//
+// Every Paillier hot path is a chain of modular multiplications against one
+// fixed odd modulus (n², p², or q²): the fixed-base randomizer walk in
+// fixedbase.go multiplies ~120 table entries together, and decryption is a
+// half-width (CRT) or full-width (lambda/mu) exponentiation. In plain form
+// each step is a multiply followed by a division (Mod/QuoRem); in Montgomery
+// form values are kept scaled by R = 2^(64k) and a step is a CIOS
+// (coarsely-integrated operand scanning) interleaved multiply-reduce that
+// replaces the division with shifts and single-word multiplies. Conversion in
+// and out of Montgomery form costs one multiply each, amortized over the
+// whole chain.
+//
+// The representation is a fixed-width little-endian []uint64 limb vector —
+// not math/big — so the inner loop is three bits.Mul64/Add64 chains with no
+// allocation and no per-step normalization. montCtx carries the modulus
+// constants; newMontCtx returns nil when the platform word size is not 64
+// bits (math/big words and our limbs would disagree), and every caller falls
+// back to the math/big path in that case, so correctness never depends on
+// the fast path. Property tests in montgomery_test.go check mul and exp
+// against math/big over random moduli.
+
+import (
+	"math/big"
+	"math/bits"
+)
+
+// montCtx holds the per-modulus constants for Montgomery arithmetic: the
+// modulus limbs, the negated inverse of its low word, and the residues of R
+// and R² used for conversions. It is immutable after newMontCtx and safe for
+// concurrent use; the mutable state lives in caller-owned scratch.
+type montCtx struct {
+	mBig *big.Int
+	m    []uint64 // modulus, k little-endian limbs
+	n0   uint64   // −m⁻¹ mod 2^64
+	rone []uint64 // R mod m: the Montgomery form of 1
+	r2   []uint64 // R² mod m: toMont multiplier
+	oneW []uint64 // plain 1, k limbs: fromMont multiplier
+	k    int
+}
+
+// newMontCtx builds the constants for an odd modulus m > 0. It returns nil —
+// meaning "use the math/big fallback" — on non-64-bit platforms or for even
+// or non-positive moduli.
+func newMontCtx(m *big.Int) *montCtx {
+	if bits.UintSize != 64 || m.Sign() <= 0 || m.Bit(0) == 0 {
+		return nil
+	}
+	k := len(m.Bits())
+	mc := &montCtx{mBig: new(big.Int).Set(m), k: k}
+	mc.m = make([]uint64, k)
+	wordsTo(mc.m, m)
+	// Newton–Hensel iteration for m⁻¹ mod 2^64: for odd m the seed m[0] is
+	// correct to 3 bits and each step doubles the precision, so five steps
+	// reach 96 ≥ 64 bits (a sixth is free insurance).
+	inv := mc.m[0]
+	for i := 0; i < 6; i++ {
+		inv *= 2 - mc.m[0]*inv
+	}
+	mc.n0 = -inv
+	r := new(big.Int).Lsh(one, uint(64*k))
+	mc.rone = make([]uint64, k)
+	wordsTo(mc.rone, new(big.Int).Mod(r, m))
+	r.Mul(r, r)
+	mc.r2 = make([]uint64, k)
+	wordsTo(mc.r2, r.Mod(r, m))
+	mc.oneW = make([]uint64, k)
+	mc.oneW[0] = 1
+	return mc
+}
+
+// scratchLen is the CIOS working-vector length for a k-limb modulus.
+func (mc *montCtx) scratchLen() int { return mc.k + 2 }
+
+// wordsTo copies x's magnitude into dst, zero-padding high limbs. x must be
+// non-negative and fit in len(dst) limbs.
+func wordsTo(dst []uint64, x *big.Int) {
+	w := x.Bits()
+	if len(w) > len(dst) {
+		panic("ahe: montgomery operand wider than modulus")
+	}
+	for i := range dst {
+		if i < len(w) {
+			dst[i] = uint64(w[i])
+		} else {
+			dst[i] = 0
+		}
+	}
+}
+
+// setFromWords sets z to the value of the little-endian limb vector w,
+// reusing z's existing backing array when it is large enough.
+func setFromWords(z *big.Int, w []uint64) {
+	bw := z.Bits()[:0]
+	for _, x := range w {
+		bw = append(bw, big.Word(x))
+	}
+	z.SetBits(bw)
+}
+
+// montMul computes z = x·y·R⁻¹ mod m (CIOS): the Montgomery product of two
+// k-limb operands in [0, m). t is caller scratch of mc.scratchLen() limbs; z
+// may alias x or y (the product accumulates in t and is copied out last).
+func montMul(z, x, y []uint64, mc *montCtx, t []uint64) {
+	k := mc.k
+	m := mc.m
+	t = t[:k+2]
+	for i := range t {
+		t[i] = 0
+	}
+	for i := 0; i < k; i++ {
+		// t += x[i]·y
+		var c uint64
+		xi := x[i]
+		for j := 0; j < k; j++ {
+			hi, lo := bits.Mul64(xi, y[j])
+			var cc uint64
+			lo, cc = bits.Add64(lo, t[j], 0)
+			hi += cc
+			lo, cc = bits.Add64(lo, c, 0)
+			hi += cc
+			t[j] = lo
+			c = hi
+		}
+		var cc uint64
+		t[k], cc = bits.Add64(t[k], c, 0)
+		tk1 := cc
+		// t = (t + μ·m) / 2^64 with μ chosen so the low limb cancels.
+		mu := t[0] * mc.n0
+		hi, lo := bits.Mul64(mu, m[0])
+		_, cc = bits.Add64(lo, t[0], 0)
+		c = hi + cc
+		for j := 1; j < k; j++ {
+			hi, lo := bits.Mul64(mu, m[j])
+			lo, cc = bits.Add64(lo, t[j], 0)
+			hi += cc
+			lo, cc = bits.Add64(lo, c, 0)
+			hi += cc
+			t[j-1] = lo
+			c = hi
+		}
+		t[k-1], cc = bits.Add64(t[k], c, 0)
+		t[k] = tk1 + cc
+	}
+	// Conditional final subtraction: the loop invariant keeps t < 2m.
+	if t[k] != 0 || geqWords(t[:k], m) {
+		var borrow uint64
+		for j := 0; j < k; j++ {
+			t[j], borrow = bits.Sub64(t[j], m[j], borrow)
+		}
+	}
+	copy(z, t[:k])
+}
+
+// geqWords reports a ≥ b for equal-length little-endian limb vectors.
+func geqWords(a, b []uint64) bool {
+	for i := len(a) - 1; i >= 0; i-- {
+		if a[i] != b[i] {
+			return a[i] > b[i]
+		}
+		// equal limb: keep scanning
+	}
+	return true
+}
+
+// exp computes x^e mod m via 4-bit fixed-window Montgomery exponentiation:
+// the value-for-value replacement for (*big.Int).Exp on the decryption paths
+// (decryptCRT's two half-width exponentiations and the lambda/mu fallback).
+// It allocates its own scratch — decryption is not on an alloc-gated path —
+// and is safe for concurrent use (montCtx is read-only).
+func (mc *montCtx) exp(x, e *big.Int) *big.Int {
+	if e.Sign() == 0 {
+		// x^0 = 1 mod m (0 when m = 1).
+		return new(big.Int).Mod(one, mc.mBig)
+	}
+	k := mc.k
+	t := make([]uint64, mc.scratchLen())
+	var xr big.Int
+	xr.Mod(x, mc.mBig)
+	xm := make([]uint64, k)
+	wordsTo(xm, &xr)
+	montMul(xm, xm, mc.r2, mc, t)
+	// tab[d] = x^d in Montgomery form, d = 0..15.
+	tab := make([][]uint64, 16)
+	tab[0] = mc.rone
+	tab[1] = xm
+	for d := 2; d < 16; d++ {
+		tab[d] = make([]uint64, k)
+		montMul(tab[d], tab[d-1], xm, mc, t)
+	}
+	acc := make([]uint64, k)
+	copy(acc, mc.rone)
+	limbs := e.Bits()
+	windows := (e.BitLen() + 3) / 4
+	for i := windows - 1; i >= 0; i-- {
+		for s := 0; s < 4; s++ {
+			montMul(acc, acc, acc, mc, t)
+		}
+		bitPos := 4 * i
+		d := (uint64(limbs[bitPos>>6]) >> (bitPos & 63)) & 0xf
+		if d != 0 {
+			montMul(acc, acc, tab[d], mc, t)
+		}
+	}
+	montMul(acc, acc, mc.oneW, mc, t)
+	z := new(big.Int)
+	setFromWords(z, acc)
+	return z
+}

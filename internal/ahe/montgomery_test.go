@@ -1,0 +1,297 @@
+package ahe
+
+// Property tests for the Montgomery limb kernel against math/big: montMul and
+// montCtx.exp are checked word-for-word over random odd moduli of varying
+// width, and the decryption paths that ride on them (CRT with factors,
+// lambda/mu without) are exercised with and without the fast path so the
+// math/big fallbacks stay correct, not just present.
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+
+	"arboretum/internal/benchrand"
+)
+
+// randOdd draws a random odd modulus of exactly the given bit length from
+// the deterministic stream.
+func randOdd(t *testing.T, rng *benchrand.Reader, bits int) *big.Int {
+	t.Helper()
+	buf := make([]byte, (bits+7)/8)
+	if _, err := rng.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	m := new(big.Int).SetBytes(buf)
+	m.SetBit(m, bits-1, 1) // full width
+	m.SetBit(m, 0, 1)      // odd
+	return m
+}
+
+func randBelow(t *testing.T, rng *benchrand.Reader, m *big.Int) *big.Int {
+	t.Helper()
+	buf := make([]byte, len(m.Bytes())+8)
+	if _, err := rng.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	x := new(big.Int).SetBytes(buf)
+	return x.Mod(x, m)
+}
+
+func TestMontMulMatchesBig(t *testing.T) {
+	rng := benchrand.New(0x30171)
+	for _, bits := range []int{64, 65, 127, 128, 192, 256, 521, 1024, 2048} {
+		for trial := 0; trial < 8; trial++ {
+			m := randOdd(t, rng, bits)
+			mc := newMontCtx(m)
+			if mc == nil {
+				t.Fatalf("%d bits: no Montgomery context on a 64-bit platform", bits)
+			}
+			x := randBelow(t, rng, m)
+			y := randBelow(t, rng, m)
+			xw := make([]uint64, mc.k)
+			yw := make([]uint64, mc.k)
+			zw := make([]uint64, mc.k)
+			scratch := make([]uint64, mc.scratchLen())
+			wordsTo(xw, x)
+			wordsTo(yw, y)
+			// montMul(x, y) = x·y·R⁻¹; multiplying by R² first gives the
+			// plain product: toMont(x)·y → x·y.
+			montMul(zw, xw, mc.r2, mc, scratch)
+			montMul(zw, zw, yw, mc, scratch)
+			var got big.Int
+			setFromWords(&got, zw)
+			want := new(big.Int).Mul(x, y)
+			want.Mod(want, m)
+			if got.Cmp(want) != 0 {
+				t.Fatalf("%d bits trial %d: montMul gave %v, want %v", bits, trial, &got, want)
+			}
+		}
+	}
+}
+
+func TestMontMulAliasing(t *testing.T) {
+	rng := benchrand.New(0x30172)
+	m := randOdd(t, rng, 192)
+	mc := newMontCtx(m)
+	x := randBelow(t, rng, m)
+	xw := make([]uint64, mc.k)
+	scratch := make([]uint64, mc.scratchLen())
+	wordsTo(xw, x)
+	// z aliasing both operands: x → x²·R⁻¹ in place.
+	montMul(xw, xw, xw, mc, scratch)
+	var got big.Int
+	setFromWords(&got, xw)
+	rInv := new(big.Int).ModInverse(new(big.Int).Lsh(one, uint(64*mc.k)), m)
+	want := new(big.Int).Mul(x, x)
+	want.Mul(want, rInv)
+	want.Mod(want, m)
+	if got.Cmp(want) != 0 {
+		t.Fatalf("aliased square gave %v, want %v", &got, want)
+	}
+}
+
+func TestMontExpMatchesBig(t *testing.T) {
+	rng := benchrand.New(0x30173)
+	for _, bits := range []int{64, 128, 256, 1024} {
+		for trial := 0; trial < 4; trial++ {
+			m := randOdd(t, rng, bits)
+			mc := newMontCtx(m)
+			x := randBelow(t, rng, m)
+			e := randBelow(t, rng, m)
+			got := mc.exp(x, e)
+			want := new(big.Int).Exp(x, e, m)
+			if got.Cmp(want) != 0 {
+				t.Fatalf("%d bits trial %d: exp gave %v, want %v", bits, trial, got, want)
+			}
+		}
+	}
+}
+
+func TestMontExpEdgeCases(t *testing.T) {
+	rng := benchrand.New(0x30174)
+	m := randOdd(t, rng, 128)
+	mc := newMontCtx(m)
+	x := randBelow(t, rng, m)
+	cases := []struct {
+		name string
+		x, e *big.Int
+	}{
+		{"zero exponent", x, big.NewInt(0)},
+		{"one exponent", x, big.NewInt(1)},
+		{"zero base", big.NewInt(0), big.NewInt(7)},
+		{"base one", big.NewInt(1), x},
+		{"base above modulus", new(big.Int).Add(x, m), big.NewInt(3)},
+		{"exponent 16 (window boundary)", x, big.NewInt(16)},
+		{"exponent 2^64 (limb boundary)", x, new(big.Int).Lsh(one, 64)},
+	}
+	for _, tc := range cases {
+		got := mc.exp(tc.x, tc.e)
+		want := new(big.Int).Exp(tc.x, tc.e, m)
+		if got.Cmp(want) != 0 {
+			t.Errorf("%s: got %v, want %v", tc.name, got, want)
+		}
+	}
+	if mc := newMontCtx(big.NewInt(6)); mc != nil {
+		t.Error("newMontCtx accepted an even modulus")
+	}
+	if mc := newMontCtx(big.NewInt(0)); mc != nil {
+		t.Error("newMontCtx accepted zero")
+	}
+	if mc := newMontCtx(big.NewInt(-7)); mc != nil {
+		t.Error("newMontCtx accepted a negative modulus")
+	}
+}
+
+// TestDecryptCRTAndFallback checks the three decryption configurations
+// against each other on one keypair: the CRT path with Montgomery contexts
+// (as generated), the CRT path with the contexts stripped (math/big
+// fallback), and the FromSecrets lambda/mu path with and without its
+// Montgomery context.
+func TestDecryptCRTAndFallback(t *testing.T) {
+	sk, err := GenerateKey(rand.Reader, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk := &sk.PublicKey
+	msgs := []*big.Int{
+		big.NewInt(0), big.NewInt(1), big.NewInt(424242),
+		new(big.Int).Sub(pk.N, one), // n−1 decrypts as −1
+	}
+	for _, m := range msgs {
+		ct, err := pk.Encrypt(rand.Reader, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := sk.Decrypt(ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Strip the half-width Montgomery contexts: decryptCRT must fall
+		// back to math/big Exp and agree.
+		noMont := *sk
+		noMont.mcP2, noMont.mcQ2, noMont.mcN2 = nil, nil, nil
+		got, err := noMont.Decrypt(ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cmp(want) != 0 {
+			t.Fatalf("CRT fallback: got %v, want %v", got, want)
+		}
+		// FromSecrets has no factorization: lambda/mu path, Montgomery.
+		fs := FromSecrets(pk, sk.Lambda(), sk.Mu())
+		if fs.mcN2 == nil {
+			t.Fatal("FromSecrets did not build an n² Montgomery context")
+		}
+		got, err = fs.Decrypt(ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cmp(want) != 0 {
+			t.Fatalf("FromSecrets: got %v, want %v", got, want)
+		}
+		// And the lambda/mu math/big fallback.
+		fs.mcN2 = nil
+		got, err = fs.Decrypt(ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cmp(want) != 0 {
+			t.Fatalf("FromSecrets fallback: got %v, want %v", got, want)
+		}
+	}
+}
+
+// TestFixedBaseFallbackMatchesMontgomery pins the two randomPower
+// implementations to each other: with the same exponent stream the math/big
+// table walk and the Montgomery table walk must produce the same randomizer,
+// and encryptions through either must decrypt identically.
+func TestFixedBaseFallbackMatchesMontgomery(t *testing.T) {
+	sk, err := GenerateKey(rand.Reader, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk := &sk.PublicKey
+	if pk.fb == nil || pk.fb.mc == nil {
+		t.Fatal("generated key has no Montgomery fixed-base table")
+	}
+	// The plain table the Montgomery conversion superseded.
+	plain := newFixedBasePlain(pk.N, pk.N2)
+	for seed := uint64(0); seed < 4; seed++ {
+		a, err := pk.fb.randomPower(benchrand.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := plain.randomPower(benchrand.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Cmp(b) != 0 {
+			t.Fatalf("seed %d: Montgomery walk %v, math/big walk %v", seed, a, b)
+		}
+	}
+	// Encrypt through the fallback fixed base and decrypt normally.
+	msg := big.NewInt(123456789)
+	ct, err := pk.encrypt(rand.Reader, msg, plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sk.Decrypt(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(msg) != 0 {
+		t.Fatalf("fallback-table encryption decrypted to %v", got)
+	}
+}
+
+// TestAHEPooledBuffersDoNotEscape is the ahe side of the pooling fence: a
+// ciphertext returned by Encrypt or Sum must be unaffected by later calls
+// that reuse the pooled scratch (fbScratch, the package Accumulator pool).
+func TestAHEPooledBuffersDoNotEscape(t *testing.T) {
+	sk, err := GenerateKey(rand.Reader, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk := &sk.PublicKey
+	first, err := pk.Encrypt(rand.Reader, big.NewInt(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstWords := append([]big.Word(nil), first.C.Bits()...)
+	second, err := pk.Encrypt(rand.Reader, big.NewInt(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := pk.Sum([]*Ciphertext{first, second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sumWords := append([]big.Word(nil), sum.C.Bits()...)
+	// Churn the pools.
+	for i := 0; i < 8; i++ {
+		if _, err := pk.Encrypt(rand.Reader, big.NewInt(int64(100+i))); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := pk.Sum([]*Ciphertext{second, second}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, w := range firstWords {
+		if first.C.Bits()[i] != w {
+			t.Fatal("issued ciphertext changed under pool reuse")
+		}
+	}
+	for i, w := range sumWords {
+		if sum.C.Bits()[i] != w {
+			t.Fatal("issued sum changed under pool reuse")
+		}
+	}
+	got, err := sk.Decrypt(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Int64() != 33 {
+		t.Fatalf("sum decrypts to %v after pool churn, want 33", got)
+	}
+}

@@ -33,10 +33,30 @@ import (
 	"math/big"
 	"sync"
 
+	"arboretum/internal/fixed"
 	"arboretum/internal/parallel"
 )
 
-var one = big.NewInt(1)
+var (
+	one  = big.NewInt(1)
+	zero = big.NewInt(0)
+)
+
+// ctBox bundles a ciphertext header with its big.Int value so a hot-path
+// result costs one struct allocation plus one limb allocation — the whole
+// steady-state budget of sumRange and encrypt.
+type ctBox struct {
+	ct Ciphertext
+	v  big.Int
+}
+
+// newCiphertextFrom returns a fresh ciphertext holding a copy of v.
+func newCiphertextFrom(v *big.Int) *Ciphertext {
+	b := &ctBox{}
+	b.v.Set(v)
+	b.ct.C = &b.v
+	return &b.ct
+}
 
 // PublicKey is a Paillier public key (n, g = n+1). It is immutable after
 // key generation: all methods are safe for concurrent use, and several
@@ -65,10 +85,13 @@ type PrivateKey struct {
 	// exponentiate mod p² and q² separately (~4× at 2048-bit keys) and
 	// recombine. Keys reassembled from shared secrets via FromSecrets have no
 	// factorization — p stays nil and Decrypt takes the lambda/mu path.
-	p, q   *big.Int
-	p2, q2 *big.Int // p², q²
-	hp, hq *big.Int // L_p(g^{p−1} mod p²)^{-1} mod p and the q analogue
-	pInvQ  *big.Int // p^{-1} mod q, for the CRT recombination
+	p, q       *big.Int
+	p2, q2     *big.Int // p², q²
+	pm1, qm1   *big.Int // p−1 and q−1, the CRT decryption exponents
+	hp, hq     *big.Int // L_p(g^{p−1} mod p²)^{-1} mod p and the q analogue
+	pInvQ      *big.Int // p^{-1} mod q, for the CRT recombination
+	mcP2, mcQ2 *montCtx // Montgomery contexts for the two half-width moduli
+	mcN2       *montCtx // Montgomery context for n², the lambda/mu path
 }
 
 // Ciphertext is a Paillier ciphertext.
@@ -140,9 +163,14 @@ func GenerateKey(random io.Reader, bits int) (*PrivateKey, error) {
 			q:         q,
 			p2:        p2,
 			q2:        q2,
+			pm1:       pm1,
+			qm1:       qm1,
 			hp:        hp,
 			hq:        hq,
 			pInvQ:     pInvQ,
+			mcP2:      newMontCtx(p2),
+			mcQ2:      newMontCtx(q2),
+			mcN2:      newMontCtx(n2),
 		}, nil
 	}
 }
@@ -156,19 +184,17 @@ func (pk *PublicKey) Encrypt(random io.Reader, m *big.Int) (*Ciphertext, error) 
 // encrypt is Encrypt with an explicit fixed-base table (possibly nil), so
 // EncryptVector can share one table across slots even on keys without a
 // precomputed one.
+//
+// With a table, the whole operation runs on the table's pooled scratch —
+// randomizer walk, g^m, product, and reduction — and only the returned
+// ciphertext is freshly allocated (two allocations: box + limbs). Without
+// one it falls back to the allocating textbook path.
 func (pk *PublicKey) encrypt(random io.Reader, m *big.Int, fb *fixedBase) (*Ciphertext, error) {
-	msg := new(big.Int).Mod(m, pk.N)
-	var rn *big.Int
-	var err error
-	if fb != nil {
-		rn, err = fb.randomPower(random)
-		if err != nil {
-			return nil, err
-		}
-	} else {
+	if fb == nil {
 		// Textbook path: r uniform in [1, n) with gcd(r, n) = 1
 		// (overwhelmingly likely), then a full n-bit exponentiation.
 		var r *big.Int
+		var err error
 		for {
 			r, err = rand.Int(random, pk.N)
 			if err != nil {
@@ -178,15 +204,30 @@ func (pk *PublicKey) encrypt(random io.Reader, m *big.Int, fb *fixedBase) (*Ciph
 				break
 			}
 		}
-		rn = new(big.Int).Exp(r, pk.N, pk.N2)
+		rn := new(big.Int).Exp(r, pk.N, pk.N2)
+		msg := new(big.Int).Mod(m, pk.N)
+		gm := new(big.Int).Mul(msg, pk.N)
+		gm.Add(gm, one)
+		c := gm.Mul(gm, rn)
+		c.Mod(c, pk.N2)
+		return &Ciphertext{C: c}, nil
 	}
-	// c = g^m · r^n mod n^2 with g = n+1: g^m = 1 + m·n mod n^2.
-	gm := new(big.Int).Mul(msg, pk.N)
+	s := fb.scratch.Get()
+	defer fb.scratch.Put(s)
+	if err := fb.randomPowerInto(random, s); err != nil {
+		return nil, err
+	}
+	msg := s.msg.Mod(m, pk.N)
+	// c = g^m · r^n mod n^2 with g = n+1: g^m = 1 + m·n, which is already
+	// below n² (msg ≤ n−1 gives g^m ≤ n² − n + 1), so no reduction is needed
+	// before the product.
+	gm := s.gm.Mul(msg, pk.N)
 	gm.Add(gm, one)
-	gm.Mod(gm, pk.N2)
-	c := gm.Mul(gm, rn)
-	c.Mod(c, pk.N2)
-	return &Ciphertext{C: c}, nil
+	s.mul.Mul(gm, &s.rn)
+	box := &ctBox{}
+	s.quo.QuoRem(&s.mul, pk.N2, &box.v)
+	box.ct.C = &box.v
+	return &box.ct, nil
 }
 
 // Decrypt recovers the plaintext. Values above n/2 are returned negative,
@@ -202,7 +243,12 @@ func (sk *PrivateKey) Decrypt(ct *Ciphertext) (*big.Int, error) {
 	if sk.p != nil {
 		m = sk.decryptCRT(ct.C)
 	} else {
-		u := new(big.Int).Exp(ct.C, sk.lambda, sk.N2)
+		var u *big.Int
+		if sk.mcN2 != nil {
+			u = sk.mcN2.exp(ct.C, sk.lambda)
+		} else {
+			u = new(big.Int).Exp(ct.C, sk.lambda, sk.N2)
+		}
 		// L(u) = (u-1)/n
 		u.Sub(u, one)
 		u.Div(u, sk.N)
@@ -220,19 +266,28 @@ func (sk *PrivateKey) Decrypt(ct *Ciphertext) (*big.Int, error) {
 // recombines: m_p = L_p(c^{p−1} mod p²)·hp mod p with L_p(x) = (x−1)/p, the
 // same mod q, then m = m_p + p·((m_q − m_p)·p^{-1} mod q). Exponent and
 // modulus are both half-width, which is ~4× cheaper than the lambda/mu
-// exponentiation mod n² at 2048-bit keys.
+// exponentiation mod n² at 2048-bit keys. The two exponentiations run in
+// Montgomery form (montgomery.go) where the platform supports it.
 func (sk *PrivateKey) decryptCRT(c *big.Int) *big.Int {
-	pm1 := new(big.Int).Sub(sk.p, one)
-	up := new(big.Int).Mod(c, sk.p2)
-	up.Exp(up, pm1, sk.p2)
+	var up *big.Int
+	if sk.mcP2 != nil {
+		up = sk.mcP2.exp(c, sk.pm1)
+	} else {
+		up = new(big.Int).Mod(c, sk.p2)
+		up.Exp(up, sk.pm1, sk.p2)
+	}
 	up.Sub(up, one)
 	up.Div(up, sk.p)
 	mp := up.Mul(up, sk.hp)
 	mp.Mod(mp, sk.p)
 
-	qm1 := new(big.Int).Sub(sk.q, one)
-	uq := new(big.Int).Mod(c, sk.q2)
-	uq.Exp(uq, qm1, sk.q2)
+	var uq *big.Int
+	if sk.mcQ2 != nil {
+		uq = sk.mcQ2.exp(c, sk.qm1)
+	} else {
+		uq = new(big.Int).Mod(c, sk.q2)
+		uq.Exp(uq, sk.qm1, sk.q2)
+	}
 	uq.Sub(uq, one)
 	uq.Div(uq, sk.q)
 	mq := uq.Mul(uq, sk.hq)
@@ -286,21 +341,30 @@ func (pk *PublicKey) MulPlain(a *Ciphertext, k *big.Int) (*Ciphertext, error) {
 // dominated by pool overhead.
 const minParallelSum = 64
 
-// sumRange folds Add sequentially over a non-empty slice. It runs on an
-// Accumulator so the whole range costs one ciphertext allocation (the
-// result) instead of one per addition — this is the inner loop of every Sum
-// chunk and of the streaming-ingest shard aggregators.
+// accPool recycles sumRange's accumulators (and their grown scratch limbs)
+// across calls. An accumulator checked out here is re-bound to the calling
+// key before use, so the pool is safe to share across keys; a key-size
+// change just regrows the limbs once.
+var accPool = fixed.Pool[Accumulator]{New: func() *Accumulator { return new(Accumulator) }}
+
+// sumRange folds Add sequentially over a non-empty slice. It runs on a
+// pooled Accumulator so the whole range costs two allocations (the returned
+// ciphertext box) regardless of length — this is the inner loop of every
+// Sum chunk and of the streaming-ingest shard aggregators.
 func (pk *PublicKey) sumRange(cts []*Ciphertext) (*Ciphertext, error) {
 	if len(cts) == 1 {
 		return cts[0], nil
 	}
-	acc := Accumulator{pk: pk}
+	acc := accPool.Get()
+	defer accPool.Put(acc)
+	acc.pk = pk
+	acc.Reset()
 	for _, ct := range cts {
 		if err := acc.Add(ct); err != nil {
 			return nil, err
 		}
 	}
-	return acc.Value(), nil
+	return newCiphertextFrom(&acc.acc), nil
 }
 
 // Sum folds Add over a slice of ciphertexts; this is the aggregator's inner
@@ -375,9 +439,9 @@ func (pk *PublicKey) EncryptVector(random io.Reader, length, hot int) ([]*Cipher
 		random = parallelSafeReader(random)
 	}
 	return parallel.Map(nil, length, w, func(i int) (*Ciphertext, error) {
-		m := big.NewInt(0)
+		m := zero
 		if i == hot {
-			m = big.NewInt(1)
+			m = one
 		}
 		return pk.encrypt(random, m, fb)
 	})
@@ -392,11 +456,14 @@ func (sk *PrivateKey) Lambda() *big.Int { return new(big.Int).Set(sk.lambda) }
 func (sk *PrivateKey) Mu() *big.Int { return new(big.Int).Set(sk.mu) }
 
 // FromSecrets reassembles a private key from redistributed secrets, used by
-// decryption committees after VSR hand-off.
+// decryption committees after VSR hand-off. The key has no factorization, so
+// Decrypt takes the lambda/mu path — in Montgomery form mod n² where the
+// platform supports it.
 func FromSecrets(pk *PublicKey, lambda, mu *big.Int) *PrivateKey {
 	return &PrivateKey{
 		PublicKey: *pk,
 		lambda:    new(big.Int).Set(lambda),
 		mu:        new(big.Int).Set(mu),
+		mcN2:      newMontCtx(pk.N2),
 	}
 }

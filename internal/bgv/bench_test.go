@@ -12,6 +12,8 @@ package bgv
 // same keys and ciphertexts (the randsource invariant for bench files).
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 
 	"arboretum/internal/benchrand"
@@ -148,5 +150,134 @@ func BenchmarkEncryptLarge(b *testing.B) {
 		if _, err := ctx.Encrypt(rng, kp.PK, m); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- RNS ring benchmarks ---
+//
+// Each RNS benchmark runs under a /ring=<degree>x<primes> sub-name;
+// scripts/bench.sh parses the tag into a "ring" field in BENCH_kernels.json,
+// so the tracked rows distinguish the test ring from the paper's deployment
+// ring (2^15, 135-bit composite modulus). The paper-scale rows are the
+// point: Table 1's FHE column is measured on this machine, not extrapolated
+// from a reduced ring.
+
+var benchRNSRings = []RNSParams{TestRNSParams, PaperRNSParams}
+
+func ringTag(p RNSParams) string {
+	return fmt.Sprintf("ring=%dx%d", p.N, len(p.Qi))
+}
+
+type rnsBenchState struct {
+	ctx  *RNSContext
+	keys *RNSKeyPair
+	a, b *RNSCiphertext
+	m    Poly
+}
+
+var (
+	rnsBenchMu    sync.Mutex
+	rnsBenchCache = map[int]*rnsBenchState{}
+)
+
+// benchRNSState builds (once per ring) the context, keys, and two
+// ciphertexts every RNS benchmark reuses — paper-scale key generation is
+// ~10^2 ms, far too slow to repeat per benchmark.
+func benchRNSState(b *testing.B, p RNSParams) *rnsBenchState {
+	b.Helper()
+	rnsBenchMu.Lock()
+	defer rnsBenchMu.Unlock()
+	if s, ok := rnsBenchCache[p.N]; ok {
+		return s
+	}
+	ctx, err := NewRNSContext(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := benchrand.New(uint64(p.N))
+	keys, err := ctx.GenerateKeys(rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := ctx.Encode([]uint64{1, 2, 3, 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctA, err := ctx.Encrypt(rng, keys.PK, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctB, err := ctx.Encrypt(rng, keys.PK, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := &rnsBenchState{ctx: ctx, keys: keys, a: ctA, b: ctB, m: m}
+	rnsBenchCache[p.N] = s
+	return s
+}
+
+// BenchmarkRNSEncrypt times one RNS encryption per ring.
+func BenchmarkRNSEncrypt(b *testing.B) {
+	for _, p := range benchRNSRings {
+		b.Run(ringTag(p), func(b *testing.B) {
+			s := benchRNSState(b, p)
+			rng := benchrand.New(7)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.ctx.Encrypt(rng, s.keys.PK, s.m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRNSMul times one ciphertext multiplication with relinearization
+// per ring — at the paper ring, the number behind the cost model's HEMulCt.
+func BenchmarkRNSMul(b *testing.B) {
+	for _, p := range benchRNSRings {
+		b.Run(ringTag(p), func(b *testing.B) {
+			s := benchRNSState(b, p)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.ctx.Mul(s.a, s.b, s.keys.RLK); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRNSAdd times one homomorphic addition per ring.
+func BenchmarkRNSAdd(b *testing.B) {
+	for _, p := range benchRNSRings {
+		b.Run(ringTag(p), func(b *testing.B) {
+			s := benchRNSState(b, p)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.ctx.Add(s.a, s.b); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRNSSum folds 64 ciphertexts per ring — the aggregator's loop.
+func BenchmarkRNSSum(b *testing.B) {
+	for _, p := range benchRNSRings {
+		b.Run(ringTag(p), func(b *testing.B) {
+			s := benchRNSState(b, p)
+			cts := make([]*RNSCiphertext, 64)
+			for i := range cts {
+				cts[i] = s.a
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.ctx.Sum(cts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

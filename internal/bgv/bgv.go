@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"io"
 
+	"arboretum/internal/fixed"
 	"arboretum/internal/parallel"
 )
 
@@ -46,6 +47,10 @@ const Q uint64 = 1152921504606830593
 // relinBase is the gadget decomposition base (2^relinLogBase) used by the
 // relinearization key.
 const relinLogBase = 10
+
+// relinDigits is the number of gadget digits: Q < 2^60, so six 10-bit digits
+// cover every coefficient.
+const relinDigits = (60 + relinLogBase - 1) / relinLogBase
 
 // Params fixes a ring degree and plaintext modulus.
 type Params struct {
@@ -80,13 +85,47 @@ var TestParams = Params{N: 1 << 10, T: 65537}
 // share it across goroutines.
 type Poly []uint64
 
-// Context carries the parameter set and NTT tables. It is immutable after
-// NewContext: all methods are safe for concurrent use, and the hot ones
-// (Encrypt, Mul, Sum, batched transforms) fan work out over a pool
-// internally.
+// Context carries the parameter set, NTT tables, and the scratch pools the
+// hot paths draw from. It is logically immutable after NewContext — the pools
+// are internally synchronized — so all methods are safe for concurrent use,
+// and the hot ones (Encrypt, Mul, Sum, batched transforms) fan work out over
+// a worker pool internally.
 type Context struct {
 	Params Params
 	ntt    *nttTables
+
+	// Scratch pools for the zero-alloc hot paths: every Encrypt/Mul checks a
+	// scratch struct out, overwrites it completely, and returns it on exit.
+	// Nothing pooled ever escapes into a returned Ciphertext (results live in
+	// freshly allocated slabs), so callers cannot observe recycling.
+	enc fixed.Pool[encScratch]
+	mul fixed.Pool[mulScratch]
+}
+
+// encScratch holds Encrypt's working polynomials: the ternary draws (u, e1,
+// e2), the two half-products (bu, au), eval-domain key copies (bt, at) for
+// public keys without cached NTT forms, the bulk sampling buffer, and
+// pre-built batch headers so batched transforms don't allocate slice
+// literals per call.
+type encScratch struct {
+	u, e1, e2 Poly
+	bu, au    Poly
+	bt, at    Poly
+	buf       []byte
+	batch2    []Poly
+	batch3    []Poly
+}
+
+// mulScratch holds Mul's working polynomials: eval-domain copies of the four
+// input halves, the tensor accumulators (d0, d1, d2), per-digit gadget
+// polynomials and their two products, eval-domain relin-key copies (bt, at)
+// for keys without cached NTT forms, and a pre-built batch header.
+type mulScratch struct {
+	a0, a1, b0, b1 Poly
+	d0, d1, d2     Poly
+	dig, p0, p1    []Poly
+	bt, at         Poly
+	batch4         []Poly
 }
 
 // NewContext validates params and precomputes NTT tables.
@@ -98,55 +137,105 @@ func NewContext(p Params) (*Context, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Context{Params: p, ntt: tables}, nil
+	c := &Context{Params: p, ntt: tables}
+	n := p.N
+	c.enc.New = func() *encScratch {
+		s := &encScratch{
+			u: make(Poly, n), e1: make(Poly, n), e2: make(Poly, n),
+			bu: make(Poly, n), au: make(Poly, n),
+			bt: make(Poly, n), at: make(Poly, n),
+			buf:    make([]byte, n),
+			batch2: make([]Poly, 2),
+			batch3: make([]Poly, 3),
+		}
+		return s
+	}
+	c.mul.New = func() *mulScratch {
+		s := &mulScratch{
+			a0: make(Poly, n), a1: make(Poly, n), b0: make(Poly, n), b1: make(Poly, n),
+			d0: make(Poly, n), d1: make(Poly, n), d2: make(Poly, n),
+			dig: make([]Poly, relinDigits), p0: make([]Poly, relinDigits), p1: make([]Poly, relinDigits),
+			bt: make(Poly, n), at: make(Poly, n),
+			batch4: make([]Poly, 4),
+		}
+		for i := 0; i < relinDigits; i++ {
+			s.dig[i] = make(Poly, n)
+			s.p0[i] = make(Poly, n)
+			s.p1[i] = make(Poly, n)
+		}
+		return s
+	}
+	return c, nil
 }
 
 func (c *Context) newPoly() Poly { return make(Poly, c.Params.N) }
 
 // --- sampling ---
 
-// sampleUniform fills a polynomial with uniform coefficients mod Q.
-func (c *Context) sampleUniform(r io.Reader) (Poly, error) {
-	p := c.newPoly()
-	buf := make([]byte, 8)
+// sampleUniformInto fills p with uniform coefficients mod q by rejection
+// sampling: a draw is accepted only below the largest multiple of q that fits
+// in 64 bits, so the reduction is unbiased. For q = Q the bound equals 16·Q —
+// byte-for-byte the historical single-prime sampler — and the same helper
+// serves the RNS primes, where the per-prime bounds differ.
+func sampleUniformInto(r io.Reader, p Poly, q uint64) error {
+	bound := (^uint64(0) / q) * q
+	var buf [8]byte
 	for i := range p {
 		for {
-			if _, err := io.ReadFull(r, buf); err != nil {
-				return nil, err
+			if _, err := io.ReadFull(r, buf[:]); err != nil {
+				return err
 			}
-			v := binary.LittleEndian.Uint64(buf)
-			// Rejection sampling to stay unbiased.
-			if v < Q*16 { // Q*16 < 2^64, multiple of Q region
-				p[i] = v % Q
+			v := binary.LittleEndian.Uint64(buf[:])
+			if v < bound {
+				p[i] = v % q
 				break
 			}
 		}
 	}
+	return nil
+}
+
+// sampleUniform fills a fresh polynomial with uniform coefficients mod Q.
+func (c *Context) sampleUniform(r io.Reader) (Poly, error) {
+	p := c.newPoly()
+	if err := sampleUniformInto(r, p, Q); err != nil {
+		return nil, err
+	}
 	return p, nil
 }
 
-// sampleTernary fills a polynomial with coefficients in {−1, 0, 1}; used for
+// sampleTernaryInto fills p with coefficients in {−1, 0, 1} mod q; used for
 // secrets, encryption randomness, and errors. Small ternary errors keep one
 // multiplication within the noise budget at test parameters (documented
-// reduced-security test instantiation; see package comment).
-func (c *Context) sampleTernary(r io.Reader) (Poly, error) {
-	p := c.newPoly()
-	// One bulk read instead of a 1-byte read per coefficient: same byte →
-	// coefficient mapping, but crypto/rand throughput instead of per-call
-	// overhead on the encryption hot path.
-	buf := make([]byte, len(p))
+// reduced-security test instantiation; see package comment). buf must be at
+// least len(p) bytes: one bulk read instead of a 1-byte read per coefficient
+// gives crypto/rand throughput without per-call overhead, and the same byte →
+// coefficient mapping for every modulus keeps the single-prime and RNS
+// samplers consuming identical randomness.
+func sampleTernaryInto(r io.Reader, p Poly, buf []byte, q uint64) error {
+	buf = buf[:len(p)]
 	if _, err := io.ReadFull(r, buf); err != nil {
-		return nil, err
+		return err
 	}
 	for i := range p {
 		switch buf[i] % 4 {
 		case 0:
 			p[i] = 1
 		case 1:
-			p[i] = Q - 1
+			p[i] = q - 1
 		default:
 			p[i] = 0
 		}
+	}
+	return nil
+}
+
+// sampleTernary fills a fresh polynomial with coefficients in {−1, 0, 1}.
+func (c *Context) sampleTernary(r io.Reader) (Poly, error) {
+	p := c.newPoly()
+	buf := make([]byte, len(p))
+	if err := sampleTernaryInto(r, p, buf, Q); err != nil {
+		return nil, err
 	}
 	return p, nil
 }
@@ -205,15 +294,26 @@ type SecretKey struct {
 	S Poly
 }
 
-// PublicKey is the RLWE public key (A, B = −A·S + T·E).
+// PublicKey is the RLWE public key (A, B = −A·S + T·E). Keys produced by
+// GenerateKeys also carry their NTT forms, which Encrypt reuses instead of
+// transforming A and B on every call; a zero-constructed PublicKey still
+// works through the uncached fallback path.
 type PublicKey struct {
 	A, B Poly
+
+	// Evaluation-domain (bit-reversed) forms of A and B, populated at key
+	// generation. Unexported: derived data, never serialized.
+	aNTT, bNTT Poly
 }
 
 // RelinKey key-switches s² back to s after multiplication, one entry per
-// gadget digit: (A_i, B_i = −A_i·S + T·E_i + base^i·S²).
+// gadget digit: (A_i, B_i = −A_i·S + T·E_i + base^i·S²). Keys produced by
+// GenerateKeys carry cached NTT forms of every digit pair, which saves Mul
+// twelve forward transforms per call.
 type RelinKey struct {
 	A, B []Poly
+
+	aNTT, bNTT []Poly
 }
 
 // KeyPair bundles the keys a key-generation committee produces.
@@ -242,6 +342,10 @@ func (c *Context) GenerateKeys(r io.Reader) (*KeyPair, error) {
 	b := c.polyAdd(c.polyNeg(c.polyMul(a, s)), c.polyScale(e, c.Params.T))
 	sk := &SecretKey{S: s}
 	pk := &PublicKey{A: a, B: b}
+	pk.aNTT = append(Poly(nil), a...)
+	pk.bNTT = append(Poly(nil), b...)
+	c.ntt.Forward(pk.aNTT)
+	c.ntt.Forward(pk.bNTT)
 	rlk, err := c.generateRelinKey(r, sk)
 	if err != nil {
 		return nil, err
@@ -251,9 +355,11 @@ func (c *Context) GenerateKeys(r io.Reader) (*KeyPair, error) {
 
 func (c *Context) generateRelinKey(r io.Reader, sk *SecretKey) (*RelinKey, error) {
 	s2 := c.polyMul(sk.S, sk.S)
-	// Q < 2^60, so six 10-bit digits cover every coefficient.
-	digits := (60 + relinLogBase - 1) / relinLogBase
-	rlk := &RelinKey{A: make([]Poly, digits), B: make([]Poly, digits)}
+	digits := relinDigits
+	rlk := &RelinKey{
+		A: make([]Poly, digits), B: make([]Poly, digits),
+		aNTT: make([]Poly, digits), bNTT: make([]Poly, digits),
+	}
 	pow := uint64(1)
 	for i := 0; i < digits; i++ {
 		a, err := c.sampleUniform(r)
@@ -267,6 +373,10 @@ func (c *Context) generateRelinKey(r io.Reader, sk *SecretKey) (*RelinKey, error
 		b := c.polyAdd(c.polyNeg(c.polyMul(a, sk.S)), c.polyScale(e, c.Params.T))
 		b = c.polyAdd(b, c.polyScale(s2, pow))
 		rlk.A[i], rlk.B[i] = a, b
+		rlk.aNTT[i] = append(Poly(nil), a...)
+		rlk.bNTT[i] = append(Poly(nil), b...)
+		c.ntt.Forward(rlk.aNTT[i])
+		c.ntt.Forward(rlk.bNTT[i])
 		pow = mulMod(pow, 1<<relinLogBase, Q)
 	}
 	return rlk, nil
@@ -303,43 +413,69 @@ func (c *Context) Encode(values []uint64) (Poly, error) {
 	return p, nil
 }
 
+// newCiphertext allocates a result ciphertext as a single 2n-word slab
+// sliced into its two halves: exactly two heap allocations (slab + header
+// struct), which is the entire steady-state allocation budget of the hot
+// paths — everything else they touch is pooled scratch.
+func (c *Context) newCiphertext() *Ciphertext {
+	n := c.Params.N
+	slab := make(Poly, 2*n)
+	return &Ciphertext{C0: slab[:n:n], C1: slab[n:]}
+}
+
 // Encrypt encrypts the encoded plaintext polynomial under pk.
+//
+// All working polynomials come from the Context's scratch pool and the result
+// is written into a fresh two-poly slab, so a steady-state Encrypt performs
+// two heap allocations (the returned ciphertext) at one worker. Keys from
+// GenerateKeys carry cached NTT forms of (A, B): only u is transformed
+// forward (3 NTTs per call instead of 5); hand-built keys take the uncached
+// batch path. Both paths are bit-identical to the historical per-call
+// formulation — same randomness consumption, same exact modular arithmetic.
 func (c *Context) Encrypt(r io.Reader, pk *PublicKey, m Poly) (*Ciphertext, error) {
 	if len(m) != c.Params.N {
 		return nil, errors.New("bgv: plaintext polynomial has wrong degree")
 	}
-	u, err := c.sampleTernary(r)
-	if err != nil {
+	s := c.enc.Get()
+	defer c.enc.Put(s)
+	if err := sampleTernaryInto(r, s.u, s.buf, Q); err != nil {
 		return nil, err
 	}
-	e1, err := c.sampleTernary(r)
-	if err != nil {
+	if err := sampleTernaryInto(r, s.e1, s.buf, Q); err != nil {
 		return nil, err
 	}
-	e2, err := c.sampleTernary(r)
-	if err != nil {
+	if err := sampleTernaryInto(r, s.e2, s.buf, Q); err != nil {
 		return nil, err
 	}
 	t := c.Params.T
-	// Both half-products share the encryption randomness u: transform
-	// (B, A, u) to the evaluation domain in one batch, multiply point-wise,
-	// and transform the two products back together — 5 NTTs instead of the 6
-	// two polyMul calls would spend, with the batch spread over the worker
-	// pool. Exact modular arithmetic keeps the result bit-identical to the
-	// sequential per-product formulation.
-	bu := append(Poly(nil), pk.B...)
-	au := append(Poly(nil), pk.A...)
-	ue := append(Poly(nil), u...)
-	c.ntt.forwardBatch([]Poly{bu, au, ue})
-	for i := range ue {
-		bu[i] = mulMod(bu[i], ue[i], Q)
-		au[i] = mulMod(au[i], ue[i], Q)
+	// Both half-products share the encryption randomness u: with the key's
+	// evaluation-domain form cached, only u crosses into the evaluation
+	// domain, the two products are point-wise, and the pair transforms back
+	// in one batch. Exact modular arithmetic keeps the result bit-identical
+	// to the sequential per-product formulation.
+	var bEval, aEval Poly
+	if len(pk.bNTT) == c.Params.N && len(pk.aNTT) == c.Params.N {
+		c.ntt.Forward(s.u)
+		bEval, aEval = pk.bNTT, pk.aNTT
+	} else {
+		copy(s.bt, pk.B)
+		copy(s.at, pk.A)
+		s.batch3[0], s.batch3[1], s.batch3[2] = s.bt, s.at, s.u
+		c.ntt.forwardBatch(s.batch3)
+		bEval, aEval = s.bt, s.at
 	}
-	c.ntt.inverseBatch([]Poly{bu, au})
-	c0 := c.polyAdd(bu, c.polyScale(e1, t))
-	c0 = c.polyAdd(c0, m)
-	c1 := c.polyAdd(au, c.polyScale(e2, t))
-	return &Ciphertext{C0: c0, C1: c1}, nil
+	for i := range s.u {
+		s.bu[i] = mulMod(bEval[i], s.u[i], Q)
+		s.au[i] = mulMod(aEval[i], s.u[i], Q)
+	}
+	s.batch2[0], s.batch2[1] = s.bu, s.au
+	c.ntt.inverseBatch(s.batch2)
+	ct := c.newCiphertext()
+	for i := range ct.C0 {
+		ct.C0[i] = addMod(addMod(s.bu[i], mulMod(s.e1[i], t, Q), Q), m[i], Q)
+		ct.C1[i] = addMod(s.au[i], mulMod(s.e2[i], t, Q), Q)
+	}
+	return ct, nil
 }
 
 // EncryptValues encodes and encrypts a value vector in one call.
@@ -373,12 +509,18 @@ func (c *Context) Decrypt(sk *SecretKey, ct *Ciphertext) (Plaintext, error) {
 	return out, nil
 }
 
-// Add homomorphically adds (slot-wise): the ⊞ operator.
+// Add homomorphically adds (slot-wise): the ⊞ operator. The result is one
+// slab (two allocations), like every hot-path ciphertext.
 func (c *Context) Add(a, b *Ciphertext) (*Ciphertext, error) {
 	if a == nil || b == nil {
 		return nil, errors.New("bgv: nil ciphertext")
 	}
-	return &Ciphertext{C0: c.polyAdd(a.C0, b.C0), C1: c.polyAdd(a.C1, b.C1)}, nil
+	out := c.newCiphertext()
+	for i := range out.C0 {
+		out.C0[i] = addMod(a.C0[i], b.C0[i], Q)
+		out.C1[i] = addMod(a.C1[i], b.C1[i], Q)
+	}
+	return out, nil
 }
 
 // Sub homomorphically subtracts.
@@ -386,7 +528,12 @@ func (c *Context) Sub(a, b *Ciphertext) (*Ciphertext, error) {
 	if a == nil || b == nil {
 		return nil, errors.New("bgv: nil ciphertext")
 	}
-	return &Ciphertext{C0: c.polySub(a.C0, b.C0), C1: c.polySub(a.C1, b.C1)}, nil
+	out := c.newCiphertext()
+	for i := range out.C0 {
+		out.C0[i] = subMod(a.C0[i], b.C0[i], Q)
+		out.C1[i] = subMod(a.C1[i], b.C1[i], Q)
+	}
+	return out, nil
 }
 
 // AddPlain adds an encoded plaintext to a ciphertext.
@@ -420,11 +567,13 @@ func (c *Context) MulScalar(a *Ciphertext, k uint64) (*Ciphertext, error) {
 //
 // The tensor and the relinearization are computed in the evaluation domain:
 // the four input polynomials are transformed in one batch, the tensor is
-// point-wise, each gadget digit's two products run as independent worker-pool
-// tasks, and everything is accumulated before two final inverse transforms.
-// The NTT is a linear bijection over exact modular arithmetic, so this is
-// bit-identical to the textbook per-product formulation at any worker count
-// — while doing 23 transforms where the naive version does 36.
+// point-wise, each gadget digit costs one forward transform against the relin
+// key's cached NTT forms, and everything is accumulated before two final
+// inverse transforms — 13 transforms where the naive version does 36. All
+// working polynomials are pooled scratch and the result is a fresh slab, so
+// a steady-state Mul performs two heap allocations at one worker. The NTT is
+// a linear bijection over exact modular arithmetic, so this is bit-identical
+// to the textbook per-product formulation at any worker count.
 func (c *Context) Mul(a, b *Ciphertext, rlk *RelinKey) (*Ciphertext, error) {
 	if a == nil || b == nil {
 		return nil, errors.New("bgv: nil ciphertext")
@@ -432,68 +581,101 @@ func (c *Context) Mul(a, b *Ciphertext, rlk *RelinKey) (*Ciphertext, error) {
 	if rlk == nil {
 		return nil, errors.New("bgv: relinearization key required")
 	}
+	if len(rlk.A) != relinDigits || len(rlk.B) != relinDigits {
+		return nil, fmt.Errorf("bgv: relin key has %d digits, want %d", len(rlk.A), relinDigits)
+	}
 	n := c.Params.N
+	s := c.mul.Get()
+	defer c.mul.Put(s)
 	// Tensor: (a0 + a1 s)(b0 + b1 s) = d0 + d1 s + d2 s², point-wise in the
 	// evaluation domain.
-	a0 := append(Poly(nil), a.C0...)
-	a1 := append(Poly(nil), a.C1...)
-	b0 := append(Poly(nil), b.C0...)
-	b1 := append(Poly(nil), b.C1...)
-	c.ntt.forwardBatch([]Poly{a0, a1, b0, b1})
-	d0 := c.newPoly()
-	d1 := c.newPoly()
-	d2 := c.newPoly()
+	copy(s.a0, a.C0)
+	copy(s.a1, a.C1)
+	copy(s.b0, b.C0)
+	copy(s.b1, b.C1)
+	s.batch4[0], s.batch4[1], s.batch4[2], s.batch4[3] = s.a0, s.a1, s.b0, s.b1
+	c.ntt.forwardBatch(s.batch4)
 	for i := 0; i < n; i++ {
-		d0[i] = mulMod(a0[i], b0[i], Q)
-		d1[i] = addMod(mulMod(a0[i], b1[i], Q), mulMod(a1[i], b0[i], Q), Q)
-		d2[i] = mulMod(a1[i], b1[i], Q)
+		s.d0[i] = mulMod(s.a0[i], s.b0[i], Q)
+		s.d1[i] = addMod(mulMod(s.a0[i], s.b1[i], Q), mulMod(s.a1[i], s.b0[i], Q), Q)
+		s.d2[i] = mulMod(s.a1[i], s.b1[i], Q)
 	}
 	// Gadget decomposition needs d2's coefficients, so it alone returns to
 	// the coefficient domain here.
-	c.ntt.Inverse(d2)
-	digits := len(rlk.A)
+	c.ntt.Inverse(s.d2)
 	mask := uint64(1<<relinLogBase) - 1
-	digitPolys := make([]Poly, digits)
-	for i := 0; i < digits; i++ {
-		digit := c.newPoly()
-		for j := range d2 {
-			digit[j] = d2[j] & mask
-			d2[j] >>= relinLogBase
+	for i := 0; i < relinDigits; i++ {
+		digit := s.dig[i]
+		for j := range s.d2 {
+			digit[j] = s.d2[j] & mask
+			s.d2[j] >>= relinLogBase
 		}
-		digitPolys[i] = digit
 	}
-	// Each digit contributes digit·B_i to c0 and digit·A_i to c1. The digits
-	// are independent — one pool task each — and the contributions are added
-	// afterwards in digit order (addition mod Q is associative and
-	// commutative, so the order is immaterial to the value; fixing it keeps
-	// the loop obviously deterministic).
-	type contrib struct{ c0, c1 Poly }
-	contribs, err := parallel.Map(nil, digits, 0, func(i int) (contrib, error) {
-		dp := digitPolys[i]
-		bi := append(Poly(nil), rlk.B[i]...)
-		ai := append(Poly(nil), rlk.A[i]...)
-		c.ntt.Forward(dp)
+	// Each digit contributes digit·B_i to c0 and digit·A_i to c1. With the
+	// relin key's NTT forms cached at key generation, a digit costs one
+	// forward transform and two point-wise products. The digits are
+	// independent — one pool task each above one worker, a plain loop (no
+	// closure, no allocation) at one — and the contributions are added in
+	// digit order either way (addition mod Q is associative and commutative,
+	// so the order is immaterial to the value; fixing it keeps the loop
+	// obviously deterministic and the result bit-identical at any worker
+	// count).
+	cached := len(rlk.bNTT) == relinDigits && len(rlk.aNTT) == relinDigits &&
+		len(rlk.bNTT[0]) == n
+	if parallel.Workers(0) == 1 {
+		for i := 0; i < relinDigits; i++ {
+			if err := c.mulDigit(s, rlk, i, cached); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		err := parallel.ForEach(nil, relinDigits, 0, func(i int) error {
+			return c.mulDigit(s, rlk, i, cached)
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < relinDigits; i++ {
+		p0, p1 := s.p0[i], s.p1[i]
+		for j := 0; j < n; j++ {
+			s.d0[j] = addMod(s.d0[j], p0[j], Q)
+			s.d1[j] = addMod(s.d1[j], p1[j], Q)
+		}
+	}
+	s.batch4[0], s.batch4[1] = s.d0, s.d1
+	c.ntt.inverseBatch(s.batch4[:2])
+	ct := c.newCiphertext()
+	copy(ct.C0, s.d0)
+	copy(ct.C1, s.d1)
+	return ct, nil
+}
+
+// mulDigit computes one gadget digit's relinearization products into the
+// scratch slots s.p0[i] and s.p1[i]: digit·B_i and digit·A_i in the
+// evaluation domain. Digits touch disjoint scratch slots, so mulDigit calls
+// for distinct i may run concurrently. When the relin key carries no cached
+// NTT forms the digit transforms its own copies (allocating — only hand-built
+// keys take that path).
+func (c *Context) mulDigit(s *mulScratch, rlk *RelinKey, i int, cached bool) error {
+	n := c.Params.N
+	dp := s.dig[i]
+	c.ntt.Forward(dp)
+	bi, ai := Poly(nil), Poly(nil)
+	if cached {
+		bi, ai = rlk.bNTT[i], rlk.aNTT[i]
+	} else {
+		bi = append(Poly(nil), rlk.B[i]...)
+		ai = append(Poly(nil), rlk.A[i]...)
 		c.ntt.Forward(bi)
 		c.ntt.Forward(ai)
-		p0 := c.newPoly()
-		p1 := c.newPoly()
-		for j := 0; j < n; j++ {
-			p0[j] = mulMod(dp[j], bi[j], Q)
-			p1[j] = mulMod(dp[j], ai[j], Q)
-		}
-		return contrib{c0: p0, c1: p1}, nil
-	})
-	if err != nil {
-		return nil, err
 	}
-	for _, ct := range contribs {
-		for j := 0; j < n; j++ {
-			d0[j] = addMod(d0[j], ct.c0[j], Q)
-			d1[j] = addMod(d1[j], ct.c1[j], Q)
-		}
+	p0, p1 := s.p0[i], s.p1[i]
+	for j := 0; j < n; j++ {
+		p0[j] = mulMod(dp[j], bi[j], Q)
+		p1[j] = mulMod(dp[j], ai[j], Q)
 	}
-	c.ntt.inverseBatch([]Poly{d0, d1})
-	return &Ciphertext{C0: d0, C1: d1}, nil
+	return nil
 }
 
 // minParallelSum is the ciphertext count below which Sum stays sequential.
@@ -510,10 +692,9 @@ func (c *Context) sumRange(cts []*Ciphertext) (*Ciphertext, error) {
 	if len(cts) == 1 {
 		return cts[0], nil
 	}
-	acc := &Ciphertext{
-		C0: append(Poly(nil), cts[0].C0...),
-		C1: append(Poly(nil), cts[0].C1...),
-	}
+	acc := c.newCiphertext()
+	copy(acc.C0, cts[0].C0)
+	copy(acc.C1, cts[0].C1)
 	for _, ct := range cts[1:] {
 		if ct == nil {
 			return nil, errors.New("bgv: nil ciphertext")

@@ -226,8 +226,15 @@ func (t *nttTables) Inverse(a []uint64) {
 
 // forwardBatch runs Forward over each polynomial (in place), one worker-pool
 // task per polynomial. The tables are read-only, so transforms of distinct
-// polynomials never share mutable state.
+// polynomials never share mutable state. At one worker the plain loop runs
+// directly — same order, and no closure allocation on the zero-alloc paths.
 func (t *nttTables) forwardBatch(ps []Poly) {
+	if parallel.Workers(0) == 1 {
+		for _, p := range ps {
+			t.Forward(p)
+		}
+		return
+	}
 	//arblint:ignore errdiscard ForEach only propagates closure errors and this closure is infallible
 	_ = parallel.ForEach(nil, len(ps), 0, func(i int) error {
 		t.Forward(ps[i])
@@ -235,8 +242,15 @@ func (t *nttTables) forwardBatch(ps []Poly) {
 	})
 }
 
-// inverseBatch runs Inverse over each polynomial (in place), in parallel.
+// inverseBatch runs Inverse over each polynomial (in place), in parallel
+// (sequentially at one worker, like forwardBatch).
 func (t *nttTables) inverseBatch(ps []Poly) {
+	if parallel.Workers(0) == 1 {
+		for _, p := range ps {
+			t.Inverse(p)
+		}
+		return
+	}
 	//arblint:ignore errdiscard ForEach only propagates closure errors and this closure is infallible
 	_ = parallel.ForEach(nil, len(ps), 0, func(i int) error {
 		t.Inverse(ps[i])

@@ -1,0 +1,311 @@
+package bgv
+
+// Equivalence tests pinning the RNS ring to the single-prime ring where the
+// parameter sets overlap. At L = 1 with q_1 = Q the two implementations are
+// specified to be BIT-IDENTICAL — same randomness consumption, same draw
+// order, same exact modular arithmetic — so these tests compare raw
+// coefficient words, not just decrypted plaintexts. They are the regression
+// fence that lets the RNS path inherit the single-prime path's test history:
+// any divergence in sampling, keygen, encryption, multiplication, or
+// summation shows up as a word-level mismatch with a deterministic seed.
+//
+// The CRT half checks the reconstruction identities the multi-prime decoder
+// rests on: qHat/qHatInv are a valid CRT basis, and interpolation round-trips
+// residue vectors at the q_i boundaries.
+
+import (
+	"math/big"
+	"sync"
+	"testing"
+
+	"arboretum/internal/benchrand"
+)
+
+// singlePrimeRNSParams is the L = 1 overlap point: the RNS ring running on
+// the single-prime modulus at the test degree.
+var singlePrimeRNSParams = RNSParams{N: 1 << 10, T: 65537, Qi: []uint64{Q}}
+
+var (
+	equivOnce sync.Once
+	equivErr  error
+	equivSP   *Context    // single-prime
+	equivRC   *RNSContext // RNS at L = 1
+	equivSPK  *KeyPair
+	equivRK   *RNSKeyPair
+)
+
+// equivCtxs builds both rings and generates keys from the SAME deterministic
+// stream, so every cross-check below starts from byte-identical key material.
+func equivCtxs(t *testing.T) (*Context, *RNSContext, *KeyPair, *RNSKeyPair) {
+	t.Helper()
+	equivOnce.Do(func() {
+		equivSP, equivErr = NewContext(TestParams)
+		if equivErr != nil {
+			return
+		}
+		equivRC, equivErr = NewRNSContext(singlePrimeRNSParams)
+		if equivErr != nil {
+			return
+		}
+		equivSPK, equivErr = equivSP.GenerateKeys(benchrand.New(0xA11CE))
+		if equivErr != nil {
+			return
+		}
+		equivRK, equivErr = equivRC.GenerateKeys(benchrand.New(0xA11CE))
+	})
+	if equivErr != nil {
+		t.Fatal(equivErr)
+	}
+	return equivSP, equivRC, equivSPK, equivRK
+}
+
+func wordsEqual(t *testing.T, what string, got []uint64, want Poly) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d vs %d", what, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: word %d is %d, want %d", what, i, got[i], want[i])
+		}
+	}
+}
+
+func TestRNSSinglePrimeKeysBitExact(t *testing.T) {
+	_, rc, spk, rk := equivCtxs(t)
+	wordsEqual(t, "secret key", rk.SK.S, spk.SK.S)
+	wordsEqual(t, "public key A", rk.PK.A, spk.PK.A)
+	wordsEqual(t, "public key B", rk.PK.B, spk.PK.B)
+	if rc.totalDigits != relinDigits {
+		t.Fatalf("L=1 gadget has %d digits, want %d", rc.totalDigits, relinDigits)
+	}
+	if len(rk.RLK.A) != len(spk.RLK.A) {
+		t.Fatalf("relin key has %d digits, want %d", len(rk.RLK.A), len(spk.RLK.A))
+	}
+	for i := range rk.RLK.A {
+		wordsEqual(t, "relin A digit", rk.RLK.A[i], spk.RLK.A[i])
+		wordsEqual(t, "relin B digit", rk.RLK.B[i], spk.RLK.B[i])
+	}
+}
+
+func TestRNSSinglePrimeEncryptBitExact(t *testing.T) {
+	sp, rc, spk, rk := equivCtxs(t)
+	values := []uint64{3, 1, 4, 1, 5, 9, 2, 6, sp.Params.T - 1}
+	a, err := sp.EncryptValues(benchrand.New(42), spk.PK, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := rc.EncryptValues(benchrand.New(42), rk.PK, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wordsEqual(t, "encrypt C0", b.C0, a.C0)
+	wordsEqual(t, "encrypt C1", b.C1, a.C1)
+	// The uncached-key path (a hand-built key with no NTT cache) must encrypt
+	// to the same words as the cached path.
+	bareSP := &PublicKey{A: spk.PK.A, B: spk.PK.B}
+	bareRC := &RNSPublicKey{A: rk.PK.A, B: rk.PK.B}
+	a2, err := sp.EncryptValues(benchrand.New(42), bareSP, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := rc.EncryptValues(benchrand.New(42), bareRC, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wordsEqual(t, "uncached single-prime C0", []uint64(a2.C0), a.C0)
+	wordsEqual(t, "uncached RNS C0", b2.C0, a.C0)
+	wordsEqual(t, "uncached RNS C1", b2.C1, a.C1)
+}
+
+func TestRNSSinglePrimeMulBitExact(t *testing.T) {
+	sp, rc, spk, rk := equivCtxs(t)
+	a1, err := sp.EncryptValues(benchrand.New(7), spk.PK, []uint64{6, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := sp.EncryptValues(benchrand.New(8), spk.PK, []uint64{8, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := rc.EncryptValues(benchrand.New(7), rk.PK, []uint64{6, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := rc.EncryptValues(benchrand.New(8), rk.PK, []uint64{8, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap, err := sp.Mul(a1, a2, spk.RLK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp, err := rc.Mul(b1, b2, rk.RLK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wordsEqual(t, "mul C0", bp.C0, ap.C0)
+	wordsEqual(t, "mul C1", bp.C1, ap.C1)
+	pa, err := sp.Decrypt(spk.SK, ap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := rc.Decrypt(rk.SK, bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatalf("decrypted slot %d: %d vs %d", i, pb[i], pa[i])
+		}
+	}
+	if pa[0] != 48 || pa[1] != 6*9+7*8 {
+		t.Fatalf("product slots: got %v, want [48 110]", pa[:2])
+	}
+}
+
+func TestRNSSinglePrimeSumBitExact(t *testing.T) {
+	sp, rc, spk, rk := equivCtxs(t)
+	const k = 37
+	as := make([]*Ciphertext, k)
+	bs := make([]*RNSCiphertext, k)
+	for i := 0; i < k; i++ {
+		seed := uint64(1000 + i)
+		var err error
+		as[i], err = sp.EncryptValues(benchrand.New(seed), spk.PK, []uint64{uint64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bs[i], err = rc.EncryptValues(benchrand.New(seed), rk.PK, []uint64{uint64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	sa, err := sp.Sum(as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := rc.Sum(bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wordsEqual(t, "sum C0", sb.C0, sa.C0)
+	wordsEqual(t, "sum C1", sb.C1, sa.C1)
+}
+
+func TestRNSSinglePrimeDecryptBitExact(t *testing.T) {
+	sp, rc, spk, rk := equivCtxs(t)
+	// Coefficients spanning the full plaintext range, including the T−1
+	// boundary where the centered lift changes sign.
+	values := make([]uint64, sp.Params.N)
+	rng := benchrand.New(99)
+	buf := make([]byte, 8)
+	for i := range values {
+		if _, err := rng.Read(buf); err != nil {
+			t.Fatal(err)
+		}
+		values[i] = (uint64(buf[0]) | uint64(buf[1])<<8 | uint64(buf[2])<<16) % sp.Params.T
+	}
+	a, err := sp.EncryptValues(benchrand.New(5), spk.PK, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := rc.EncryptValues(benchrand.New(5), rk.PK, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, err := sp.Decrypt(spk.SK, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := rc.Decrypt(rk.SK, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pa {
+		if pa[i] != values[i] || pb[i] != values[i] {
+			t.Fatalf("slot %d: single=%d rns=%d want %d", i, pa[i], pb[i], values[i])
+		}
+	}
+}
+
+// TestRNSCRTBasisIdentities checks the interpolation basis the decoder uses:
+// g_l = qHat_l·qHatInv_l satisfies g_l ≡ 1 (mod q_l) and g_l ≡ 0 (mod q_m)
+// for m ≠ l. These identities are also what lets relin keygen place the
+// s²-term only in row l with no big-int arithmetic.
+func TestRNSCRTBasisIdentities(t *testing.T) {
+	ctx, _ := testRNSCtx(t)
+	for l, ql := range ctx.Params.Qi {
+		g := new(big.Int).Mul(ctx.qHat[l], new(big.Int).SetUint64(ctx.qHatInv[l]))
+		for m, qm := range ctx.Params.Qi {
+			got := new(big.Int).Mod(g, new(big.Int).SetUint64(qm)).Uint64()
+			want := uint64(0)
+			if m == l {
+				want = 1
+			}
+			if got != want {
+				t.Fatalf("basis g_%d mod q_%d = %d, want %d", l, m, got, want)
+			}
+		}
+		if new(big.Int).Mul(ctx.qHat[l], new(big.Int).SetUint64(ql)).Cmp(ctx.qBig) != 0 {
+			t.Fatalf("qHat_%d · q_%d ≠ Q", l, l)
+		}
+	}
+}
+
+// TestRNSCRTReconstructionRoundTrip interpolates residue vectors back to
+// Z_Q with the decoder's formula and checks against big.Int arithmetic,
+// driving the q_i boundary cases explicitly: 0, 1, q_l−1 in a single lane,
+// Q−1, Q/2 and Q/2+1 (the centered-lift split), and random values.
+func TestRNSCRTReconstructionRoundTrip(t *testing.T) {
+	ctx, _ := testRNSCtx(t)
+	reconstruct := func(res []uint64) *big.Int {
+		acc := new(big.Int)
+		term := new(big.Int)
+		for l := range ctx.Params.Qi {
+			xi := mulMod(res[l], ctx.qHatInv[l], ctx.Params.Qi[l])
+			term.SetUint64(xi)
+			term.Mul(term, ctx.qHat[l])
+			acc.Add(acc, term)
+		}
+		return acc.Mod(acc, ctx.qBig)
+	}
+	residues := func(x *big.Int) []uint64 {
+		res := make([]uint64, len(ctx.Params.Qi))
+		m := new(big.Int)
+		for l, q := range ctx.Params.Qi {
+			res[l] = m.Mod(x, new(big.Int).SetUint64(q)).Uint64()
+		}
+		return res
+	}
+	cases := []*big.Int{
+		big.NewInt(0),
+		big.NewInt(1),
+		new(big.Int).Sub(ctx.qBig, big.NewInt(1)),
+		new(big.Int).Set(ctx.qHalf),
+		new(big.Int).Add(ctx.qHalf, big.NewInt(1)),
+	}
+	// Each prime's own boundary: x = q_l − 1 is the largest single-lane
+	// residue, and x = q_l wraps lane l to zero while the others see q_l.
+	for _, q := range ctx.Params.Qi {
+		cases = append(cases,
+			new(big.Int).SetUint64(q-1),
+			new(big.Int).SetUint64(q),
+			new(big.Int).Mul(new(big.Int).SetUint64(q), new(big.Int).SetUint64(q)),
+		)
+	}
+	rng := benchrand.New(123)
+	buf := make([]byte, 16)
+	for i := 0; i < 32; i++ {
+		if _, err := rng.Read(buf); err != nil {
+			t.Fatal(err)
+		}
+		x := new(big.Int).SetBytes(buf)
+		cases = append(cases, x.Mod(x, ctx.qBig))
+	}
+	for i, x := range cases {
+		if got := reconstruct(residues(x)); got.Cmp(x) != 0 {
+			t.Fatalf("case %d: reconstructed %v, want %v", i, got, x)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package fixed
+
+import "testing"
+
+func TestSlabPoolRoundTrip(t *testing.T) {
+	sp := NewSlabPool(64)
+	if sp.Size() != 64 {
+		t.Fatalf("Size = %d, want 64", sp.Size())
+	}
+	s := sp.Get()
+	if len(*s) != 64 {
+		t.Fatalf("slab length %d, want 64", len(*s))
+	}
+	for i := range *s {
+		(*s)[i] = uint64(i)
+	}
+	sp.Put(s)
+	// A second checkout may or may not be the same slab; either way it must
+	// have the right size and be fully writable.
+	s2 := sp.Get()
+	if len(*s2) != 64 {
+		t.Fatalf("second slab length %d, want 64", len(*s2))
+	}
+	sp.Put(s2)
+}
+
+func TestSlabPoolPutWrongSizePanics(t *testing.T) {
+	sp := NewSlabPool(8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Put of a resliced slab did not panic")
+		}
+	}()
+	s := sp.Get()
+	short := (*s)[:4]
+	sp.Put(&short)
+}
+
+func TestSlabPoolZeroSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewSlabPool(0) did not panic")
+		}
+	}()
+	NewSlabPool(0)
+}
+
+// TestSlabPoolSteadyStateAllocs pins the Get/Put round trip itself at zero
+// allocations — the property the bgv/ahe hot paths build their zero-alloc
+// budgets on.
+func TestSlabPoolSteadyStateAllocs(t *testing.T) {
+	sp := NewSlabPool(1 << 10)
+	sp.Put(sp.Get()) // warm the pool
+	avg := testing.AllocsPerRun(100, func() {
+		s := sp.Get()
+		(*s)[0] = 1
+		sp.Put(s)
+	})
+	if avg > 0 {
+		t.Fatalf("SlabPool round trip allocates %.1f/op, want 0", avg)
+	}
+}
+
+func TestTypedPoolRoundTrip(t *testing.T) {
+	type scratch struct{ a, b []uint64 }
+	p := Pool[scratch]{New: func() *scratch {
+		return &scratch{a: make([]uint64, 16), b: make([]uint64, 16)}
+	}}
+	s := p.Get()
+	if len(s.a) != 16 || len(s.b) != 16 {
+		t.Fatal("New not applied")
+	}
+	p.Put(s)
+	p.Put(p.Get())
+	avg := testing.AllocsPerRun(100, func() {
+		v := p.Get()
+		v.a[0]++
+		p.Put(v)
+	})
+	if avg > 0 {
+		t.Fatalf("Pool[T] round trip allocates %.1f/op, want 0", avg)
+	}
+}

@@ -19,19 +19,21 @@ func TestIngestMemoryFlat(t *testing.T) {
 		t.Skip("set ARBORETUM_INGEST_SMOKE=1 to run the memory-flatness smoke")
 	}
 	sk := ingestKey(t)
-	// Batch 256 rather than the default 64: the one structure that grows
+	// Batch 1024 rather than the default 64: the one structure that grows
 	// with population is the commitment-leaf buffer, 32 B per batch
 	// (docs/INGEST.md) — an analytically-sized term, not leaked per-device
-	// state. At batch 64 that term alone (≈0.5 B/device, amplified ~2× by
-	// GC pacing over the run) sits right at the 1.2× bound; at 256 the
-	// smoke measures what must stay flat, and a pipeline that held
-	// per-device state would still blow past 5× at any batch size.
+	// state. The batch size scales that term against the pipeline's
+	// steady-state peak, which the pooled kernels (docs/KERNELS.md) cut
+	// ~3.5× (to under 1 MB): at batch 256 the ~200 KB leaf term (amplified
+	// ~2× by GC pacing over the run) again sits right at the 1.2× bound;
+	// at 1024 the smoke measures what must stay flat, and a pipeline that
+	// held per-device state would still blow past 5× at any batch size.
 	peak := func(n int) uint64 {
 		pop := newVirtualPopulation(7, n, 8)
 		goruntime.GC() // settle the baseline before sampling begins
 		gauge := &heapGauge{}
 		gauge.sample(true)
-		res, err := virtualIngest(pop, &sk.PublicKey, uint64(n), 8, 256, 0, nil, gauge)
+		res, err := virtualIngest(pop, &sk.PublicKey, uint64(n), 8, 1024, 0, nil, gauge)
 		if err != nil {
 			t.Fatal(err)
 		}

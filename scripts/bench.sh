@@ -85,13 +85,24 @@ done
 
 # Convert `go test -bench` output into a JSON array of
 # {pkg, op, iterations, ns_op, b_op, allocs_op} objects, one per benchmark
-# line (repeated ops appear once per -count run).
+# line (repeated ops appear once per -count run). A /ring=<degree>x<primes>
+# sub-benchmark tag (the RNS ring benchmarks) is lifted out of the op name
+# into its own "ring" field, so rows at different ring parameters are
+# distinguishable without string-parsing op names downstream.
 awk '
 BEGIN { print "["; first = 1 }
 /^pkg: / { pkg = $2 }
 /^Benchmark/ {
     op = $1
     sub(/^Benchmark/, "", op)
+    ring = "null"
+    if (op ~ /\/ring=/) {
+        ring = op
+        sub(/^.*\/ring=/, "", ring)
+        sub(/\/.*$/, "", ring)
+        ring = "\"" ring "\""
+        sub(/\/ring=[^\/]*/, "", op)
+    }
     iters = $2
     ns = ""; bytes = ""; allocs = ""
     for (i = 3; i < NF; i++) {
@@ -104,7 +115,7 @@ BEGIN { print "["; first = 1 }
     if (allocs == "") allocs = "null"
     if (!first) printf ",\n"
     first = 0
-    printf "  {\"pkg\": \"%s\", \"op\": \"%s\", \"iterations\": %s, \"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s}", pkg, op, iters, ns, bytes, allocs
+    printf "  {\"pkg\": \"%s\", \"op\": \"%s\", \"ring\": %s, \"iterations\": %s, \"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s}", pkg, op, ring, iters, ns, bytes, allocs
 }
 END { print "\n]" }
 ' "$TMP" > "$OUT"

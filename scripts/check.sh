@@ -35,6 +35,13 @@ fi
 echo "== go test ./..."
 go test ./...
 
+# Allocation-regression gates (docs/KERNELS.md): the kernel hot paths are
+# pinned to their steady-state allocation counts. Runs inside `go test ./...`
+# too; this named invocation bypasses the test cache so the gate always
+# executes, and fails loudly on its own line when a hot path regresses.
+echo "== alloc-regression gates"
+go test ./internal/bgv ./internal/ahe -run '^TestAllocGate' -count=1
+
 # Streaming-ingest memory-flatness smoke (docs/INGEST.md): peak heap at 10^6
 # simulated devices must stay within 1.2x of the 10^5 run. Runs without the
 # race detector (the test is !race-tagged: 10^6 instrumented Paillier folds

@@ -1,0 +1,54 @@
+// Package fixed is bigintalias testdata for the policy.AliasProne rule: a
+// pooled Slab type whose values recycle through a pool, seeded with every
+// boundary-crossing shape the analyzer must flag — and the compliant
+// copy/annotated variants it must not.
+package fixed
+
+// Slab stands in for the real internal/fixed.Slab: a pooled buffer the
+// policy table lists in AliasProne.
+type Slab []uint64
+
+// Buf owns pooled slabs.
+type Buf struct {
+	Scratch Slab
+	Rows    []Slab
+}
+
+// LeakScratch returns the pooled scratch slab itself.
+func (b *Buf) LeakScratch() Slab {
+	return b.Scratch // want `LeakScratch returns internal fixed\.Slab b\.Scratch without copy`
+}
+
+// LeakRow returns one element of the pooled row set.
+func (b *Buf) LeakRow(i int) Slab {
+	return b.Rows[i] // want `LeakRow returns internal fixed\.Slab b\.Rows\[\.\.\.\] without copy`
+}
+
+// StoreScratch adopts the caller's slab without copying.
+func (b *Buf) StoreScratch(s Slab) {
+	b.Scratch = s // want `StoreScratch stores caller-owned fixed\.Slab parameter s into b\.Scratch without copy`
+}
+
+// Wrap captures the caller's slab in a composite literal.
+func Wrap(s Slab) *Buf {
+	return &Buf{Scratch: s} // want `Wrap captures caller-owned fixed\.Slab parameter s in a composite literal without copy`
+}
+
+// CopyScratch is the compliant version: an explicit copy.
+func (b *Buf) CopyScratch() Slab {
+	out := make(Slab, len(b.Scratch))
+	copy(out, b.Scratch)
+	return out
+}
+
+// Adopt is the annotated ownership transfer: the directive suppresses the
+// store on the next line.
+func (b *Buf) Adopt(s Slab) {
+	//arblint:ignore bigintalias caller transfers slab ownership by documented contract in analyzer testdata
+	b.Scratch = s
+}
+
+// leakInternal is unexported; boundaries below export are out of scope.
+func leakInternal(b *Buf) Slab {
+	return b.Scratch
+}

@@ -198,6 +198,19 @@ var SecretTypes = map[string]map[string]bool{
 	"internal/vsr":    {"Dealing": true},
 }
 
+// AliasProne maps a package to the named types whose values alias pooled or
+// otherwise recycled memory: a fixed.Slab checked out of a SlabPool is
+// returned to the pool and handed to the next operation, and a bgv.Poly may
+// be a view into a pooled scratch slab. bigintalias extends its
+// no-uncopied-boundary-crossing rule from *big.Int to these types — an
+// exported function that returns such a field of its receiver or parameters,
+// or stores a caller's value into one, must copy first (or annotate the
+// documented ownership transfer with //arblint:ignore bigintalias).
+var AliasProne = map[string]map[string]bool{
+	"internal/bgv":   {"Poly": true},
+	"internal/fixed": {"Slab": true},
+}
+
 // CheckpointFuncs maps a package to the "Type.method" (or plain function)
 // names of its unbounded hot loops: the ingest shard driver and the
 // interpreter's vignette/statement loops, which PR 8's per-job deadlines
@@ -228,7 +241,6 @@ var Unregulated = Set{
 	"internal/benchrand": true, // deterministic bench inputs by design (see DeterministicBench)
 	"internal/costmodel": true, // pure arithmetic over plan shapes; no secrets, no I/O
 	"internal/eval":      true, // offline accuracy-evaluation harness, not a release path
-	"internal/fixed":     true, // buffer pooling; no secrets, no randomness
 	"internal/hashing":   true, // keyed device-row hashing; error discipline via the stdlib "hash" entry
 	"internal/lang":      true, // DSL parser/AST; pure syntax
 	"internal/plan":      true, // plan IR and variant expansion; pure data

@@ -44,6 +44,7 @@ func governingSets() map[string]Set {
 		"RawAggregateSources": {},
 		"ReleaseSanitizers":   {},
 		"SecretTypes":         {},
+		"AliasProne":          {},
 		"CheckpointFuncs":     {},
 	}
 	for key := range RawAggregateSources {
@@ -54,6 +55,9 @@ func governingSets() map[string]Set {
 	}
 	for key := range SecretTypes {
 		tables["SecretTypes"][key] = true
+	}
+	for key := range AliasProne {
+		tables["AliasProne"][key] = true
 	}
 	for key := range CheckpointFuncs {
 		tables["CheckpointFuncs"][key] = true
